@@ -1,0 +1,115 @@
+// Experiment E2 (figure 2, section 2.2.2): on an acyclic producer-consumer
+// pipeline, halting initiated at the consumer cannot reach upstream with
+// the basic algorithm; the extended model (debugger process with control
+// channels) halts everything.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "core/debug_shim.hpp"
+
+namespace ddbg::bench {
+namespace {
+
+struct AcyclicResult {
+  std::uint32_t depth = 0;
+  std::uint32_t basic_halted = 0;     // of depth processes
+  std::uint32_t extended_halted = 0;  // of depth processes
+  double extended_latency_ms = 0;
+  bool extended_complete = false;
+};
+
+AcyclicResult run_depth(std::uint32_t depth, std::uint64_t seed) {
+  AcyclicResult result;
+  result.depth = depth;
+
+  PipelineConfig pipeline;
+  pipeline.items = 0;  // unbounded producer
+
+  {
+    // Basic algorithm: no debugger; the consumer spontaneously halts.
+    Topology topology = Topology::pipeline(depth);
+    Simulation sim(topology,
+                   wrap_in_shims(topology, make_pipeline(depth, pipeline)),
+                   [&] {
+                     SimulationConfig config;
+                     config.seed = seed;
+                     return config;
+                   }());
+    sim.run_for(Duration::millis(20));
+    sim.post(ProcessId(depth - 1), [](ProcessContext& ctx, Process& process) {
+      dynamic_cast<DebugShim&>(process).initiate_halt(ctx);
+    });
+    sim.run_for(Duration::seconds(2));
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      if (dynamic_cast<DebugShim&>(sim.process(ProcessId(i))).halted()) {
+        ++result.basic_halted;
+      }
+    }
+  }
+  {
+    // Extended model: same pipeline, halt initiated from the debugger.
+    HarnessConfig config;
+    config.seed = seed;
+    SimDebugHarness harness(Topology::pipeline(depth),
+                            make_pipeline(depth, pipeline),
+                            std::move(config));
+    harness.sim().run_for(Duration::millis(20));
+    const TimePoint start = harness.sim().now();
+    harness.session().halt();
+    auto wave = harness.session().wait_for_halt(Duration::seconds(30));
+    result.extended_complete = wave.has_value();
+    if (wave.has_value()) {
+      result.extended_latency_ms = (wave->completed_at - start).to_millis();
+    }
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      if (harness.shim(ProcessId(i)).halted()) ++result.extended_halted;
+    }
+  }
+  return result;
+}
+
+void print_table() {
+  print_header(
+      "E2: acyclic pipelines (figure 2)",
+      "Basic Halting Algorithm initiated at the consumer vs extended model "
+      "(debugger).\nPaper claim: the basic algorithm cannot halt upstream "
+      "processes of an acyclic graph;\nthe debugger process's control "
+      "channels make the network strongly connected.");
+  print_row("%6s %14s %17s %17s %14s", "depth", "basic_halted",
+            "extended_halted", "extended_S_h", "ext_lat_ms");
+  for (const std::uint32_t depth : {2u, 4u, 8u, 16u}) {
+    const AcyclicResult r = run_depth(depth, 1);
+    print_row("%6u %10u/%-3u %13u/%-3u %17s %14.2f", r.depth, r.basic_halted,
+              depth, r.extended_halted, depth,
+              r.extended_complete ? "complete" : "INCOMPLETE",
+              r.extended_latency_ms);
+  }
+  print_row("\n(the basic algorithm strands everything upstream of the "
+            "consumer: 1/%s halted)",
+            "n");
+}
+
+void BM_ExtendedHaltPipeline(benchmark::State& state) {
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    PipelineConfig pipeline;
+    pipeline.items = 0;
+    const HaltRunMetrics metrics =
+        run_halt_wave(Topology::pipeline(depth),
+                      make_pipeline(depth, pipeline), seed++,
+                      Duration::millis(20));
+    benchmark::DoNotOptimize(metrics.completed);
+  }
+}
+BENCHMARK(BM_ExtendedHaltPipeline)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ddbg::bench
+
+int main(int argc, char** argv) {
+  ddbg::bench::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E3 (figure 3, section 2.2.3): the debugger-process model.
+// Halt latency, marker counts and control traffic across topology families
+// and sizes — the cost profile of consistent halting in the extended model.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace ddbg::bench {
+namespace {
+
+Topology make_topology(const std::string& family, std::uint32_t n,
+                       std::uint64_t seed) {
+  if (family == "ring") return Topology::ring(n);
+  if (family == "star") return Topology::star(n);
+  if (family == "pipeline") return Topology::pipeline(n);
+  Rng rng(seed);
+  return Topology::random_strongly_connected(n, 2 * n, rng);
+}
+
+void print_table() {
+  print_header(
+      "E3: the extended model (figure 3)",
+      "Halt latency and marker cost from a debugger-initiated wave, per "
+      "topology family and size.\nPaper claim: one debugger process with "
+      "control channels suffices for any topology;\nmarkers per wave are "
+      "bounded by the channel count.");
+  print_row("%10s %4s %10s %12s %14s %14s %12s", "family", "n", "lat_ms",
+            "halt_mkrs", "channels+ctl", "chan_state", "complete");
+  for (const std::string family : {"ring", "star", "pipeline", "random"}) {
+    for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      const Topology topology = make_topology(family, n, n);
+      const std::size_t total_channels =
+          topology.num_channels() + 2 * topology.num_processes();
+      const HaltRunMetrics metrics = run_halt_wave(
+          topology, make_gossip(n, GossipConfig{}), n, Duration::millis(20));
+      print_row("%10s %4u %10.2f %12llu %14zu %14zu %12s", family.c_str(), n,
+                metrics.halt_latency_ms,
+                static_cast<unsigned long long>(metrics.halt_markers),
+                total_channels, metrics.channel_state_messages,
+                metrics.completed ? "yes" : "NO");
+    }
+  }
+  print_row("\n(halt_mkrs <= channels+ctl: each channel carries at most one "
+            "marker per wave)");
+}
+
+void BM_HaltLatencyByFamily(benchmark::State& state) {
+  const std::uint32_t n = 16;
+  const char* families[] = {"ring", "star", "pipeline", "random"};
+  const std::string family = families[state.range(0)];
+  std::uint64_t seed = 1;
+  double latency = 0;
+  std::uint64_t waves = 0;
+  for (auto _ : state) {
+    const HaltRunMetrics metrics =
+        run_halt_wave(make_topology(family, n, seed),
+                      make_gossip(n, GossipConfig{}), seed, Duration::millis(20));
+    ++seed;
+    latency += metrics.halt_latency_ms;
+    ++waves;
+  }
+  state.SetLabel(family);
+  state.counters["virtual_halt_latency_ms"] =
+      benchmark::Counter(latency / static_cast<double>(waves));
+}
+BENCHMARK(BM_HaltLatencyByFamily)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ddbg::bench
+
+int main(int argc, char** argv) {
+  ddbg::bench::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Experiment E5 (section 2.2.2, problem 1): infrequently-interacting
+// processes halt late under the basic algorithm; the extended model is flat.
+//
+// Every process is wrapped in a LazyProcess that services peer channels
+// only at its interaction points (a poll every `poll_interval`), but — per
+// section 2.2.3 — always accepts debugger traffic immediately.  Under the
+// basic algorithm a peer's halt marker therefore waits for the next poll;
+// under the extended model the debugger's marker arrives on a control
+// channel and halts the process at once.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "core/debug_shim.hpp"
+#include "workload/lazy.hpp"
+
+namespace ddbg::bench {
+namespace {
+
+constexpr std::uint32_t kN = 6;
+
+std::vector<ProcessPtr> lazy_shims(const Topology& topology,
+                                   Duration poll_interval,
+                                   DebugShim::Options options) {
+  std::vector<ProcessPtr> shims =
+      wrap_in_shims(topology, make_gossip(kN, GossipConfig{}), options);
+  std::vector<ProcessPtr> wrapped;
+  wrapped.reserve(shims.size());
+  for (auto& shim : shims) {
+    wrapped.push_back(
+        std::make_unique<LazyProcess>(std::move(shim), poll_interval));
+  }
+  return wrapped;
+}
+
+// Time from initiation until every user process has halted.
+struct LatencyResult {
+  bool all_halted = false;
+  double last_halt_ms = 0;
+};
+
+LatencyResult run_basic(Duration poll_interval, std::uint64_t seed) {
+  Topology topology = Topology::ring(kN);
+  auto last_halt = std::make_shared<TimePoint>();
+  auto halted_count = std::make_shared<std::uint32_t>(0);
+
+  SimulationConfig config;
+  config.seed = seed;
+  DebugShim::Options options;
+  Simulation* sim_ptr = nullptr;
+  options.on_halted = [&sim_ptr, last_halt, halted_count](HaltId) {
+    ++*halted_count;
+    *last_halt = sim_ptr->now();
+  };
+  Simulation sim(topology, lazy_shims(topology, poll_interval, options),
+                 std::move(config));
+  sim_ptr = &sim;
+  sim.run_for(Duration::millis(20));
+  const TimePoint start = sim.now();
+  sim.post(ProcessId(0), [](ProcessContext& ctx, Process& process) {
+    auto& lazy = dynamic_cast<LazyProcess&>(process);
+    dynamic_cast<DebugShim&>(lazy.inner()).initiate_halt(ctx);
+  });
+  sim.run_until_condition([&] { return *halted_count == kN; },
+                          sim.now() + Duration::seconds(120));
+  LatencyResult result;
+  result.all_halted = *halted_count == kN;
+  result.last_halt_ms = (*last_halt - start).to_millis();
+  return result;
+}
+
+LatencyResult run_extended(Duration poll_interval, std::uint64_t seed) {
+  Topology topology = Topology::ring(kN).with_debugger();
+  auto last_halt = std::make_shared<TimePoint>();
+  auto halted_count = std::make_shared<std::uint32_t>(0);
+
+  SimulationConfig config;
+  config.seed = seed;
+  DebugShim::Options options;
+  Simulation* sim_ptr = nullptr;
+  options.on_halted = [&sim_ptr, last_halt, halted_count](HaltId) {
+    ++*halted_count;
+    *last_halt = sim_ptr->now();
+  };
+
+  std::vector<ProcessPtr> processes =
+      lazy_shims(topology, poll_interval, options);
+  auto debugger = std::make_unique<DebuggerProcess>();
+  DebuggerProcess* debugger_ptr = debugger.get();
+  processes.push_back(std::move(debugger));
+
+  Simulation sim(topology, std::move(processes), std::move(config));
+  sim_ptr = &sim;
+  sim.run_for(Duration::millis(20));
+  const TimePoint start = sim.now();
+  sim.post(topology.debugger_id(), [debugger_ptr](ProcessContext& ctx,
+                                                  Process&) {
+    debugger_ptr->initiate_halt(ctx);
+  });
+  sim.run_until_condition([&] { return *halted_count == kN; },
+                          sim.now() + Duration::seconds(120));
+  LatencyResult result;
+  result.all_halted = *halted_count == kN;
+  result.last_halt_ms = (*last_halt - start).to_millis();
+  return result;
+}
+
+void print_table() {
+  print_header(
+      "E5: infrequent interactions (section 2.2.2, problem 1)",
+      "Ring of 6 processes that service peer channels only every "
+      "poll_interval,\nbut always accept debugger messages.  Time until the "
+      "last process halts.\nPaper claim: basic-algorithm halting waits for "
+      "the application's own\ninteraction points; the debugger process "
+      "removes the dependence.");
+  print_row("%14s %18s %20s", "poll_ms", "basic_last_halt_ms",
+            "extended_last_halt_ms");
+  for (const std::int64_t poll_ms : {5, 20, 80, 320, 1280}) {
+    const LatencyResult basic = run_basic(Duration::millis(poll_ms), 1);
+    const LatencyResult extended = run_extended(Duration::millis(poll_ms), 1);
+    print_row("%14lld %18.2f %20.2f", static_cast<long long>(poll_ms),
+              basic.all_halted ? basic.last_halt_ms : -1.0,
+              extended.all_halted ? extended.last_halt_ms : -1.0);
+  }
+  print_row("\n(basic grows with the interaction interval; extended stays "
+            "flat at ~1 control hop)");
+}
+
+void BM_ExtendedLazyHalt(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_extended(Duration::millis(state.range(0)), seed++).all_halted);
+  }
+}
+BENCHMARK(BM_ExtendedLazyHalt)->Arg(5)->Arg(320)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ddbg::bench
+
+int main(int argc, char** argv) {
+  ddbg::bench::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

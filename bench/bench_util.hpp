@@ -1,0 +1,72 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary regenerates one experiment from DESIGN.md's index: it
+// prints a paper-style table of the experiment's rows (deterministic,
+// virtual-time metrics from the simulator) and then runs google-benchmark
+// timings for the wall-clock cost of the operations involved.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "debugger/harness.hpp"
+#include "workload/behaviors.hpp"
+
+namespace ddbg::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n==== %s ====\n%s\n\n", experiment, claim);
+}
+
+inline void print_row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Metrics from driving one halting wave to completion on the simulator.
+struct HaltRunMetrics {
+  bool completed = false;
+  double halt_latency_ms = 0;   // virtual time: initiation -> S_h complete
+  std::uint64_t halt_markers = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t app_messages = 0;
+  std::size_t channel_state_messages = 0;
+  std::size_t processes = 0;
+};
+
+// Runs `workload` on `topology` (+debugger) for `warmup`, initiates a halt
+// from the debugger, and reports wave metrics.
+inline HaltRunMetrics run_halt_wave(const Topology& topology,
+                                    std::vector<ProcessPtr> processes,
+                                    std::uint64_t seed, Duration warmup,
+                                    Duration limit = Duration::seconds(60)) {
+  HarnessConfig config;
+  config.seed = seed;
+  SimDebugHarness harness(topology, std::move(processes), std::move(config));
+  harness.sim().run_for(warmup);
+  const std::uint64_t markers_before = harness.sim().stats().halt_markers_sent;
+  const std::uint64_t app_before = harness.sim().stats().app_messages_sent;
+  const TimePoint start = harness.sim().now();
+  harness.session().halt();
+  auto wave = harness.session().wait_for_halt(limit);
+
+  HaltRunMetrics metrics;
+  metrics.completed = wave.has_value();
+  if (wave.has_value()) {
+    metrics.halt_latency_ms = (wave->completed_at - start).to_millis();
+    metrics.channel_state_messages = wave->state.total_channel_messages();
+    metrics.processes = wave->state.size();
+  }
+  metrics.halt_markers =
+      harness.sim().stats().halt_markers_sent - markers_before;
+  metrics.control_messages = harness.sim().stats().control_messages_sent;
+  metrics.app_messages = harness.sim().stats().app_messages_sent - app_before;
+  return metrics;
+}
+
+}  // namespace ddbg::bench

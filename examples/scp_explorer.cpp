@@ -1,0 +1,84 @@
+// Exploring figure 4: which satisfaction pairs of a conjunctive predicate
+// are ordered (detectable by a Linked Predicate) and which are unordered?
+//
+// Two processes exchange messages while both repeatedly satisfy a Simple
+// Predicate; the analysis layer classifies every (t1, t2) pair of the SCP
+// set by vector clocks and prints a figure-4-style map.
+#include <cstdio>
+
+#include "analysis/scp.hpp"
+#include "analysis/trace.hpp"
+#include "debugger/harness.hpp"
+#include "workload/behaviors.hpp"
+
+using namespace ddbg;
+
+int main() {
+  Trace trace;
+  GossipConfig gossip;
+  gossip.send_interval = Duration::millis(2);
+  gossip.max_sends = 8;
+
+  HarnessConfig config;
+  config.seed = 42;
+  config.shim_options.trace_sink = trace.sink();
+  SimDebugHarness harness(Topology::complete(2), make_gossip(2, gossip),
+                          std::move(config));
+  harness.sim().run_for(Duration::seconds(5));
+
+  const auto sp1 = SimplePredicate::message_sent(ProcessId(0));
+  const auto sp2 = SimplePredicate::message_sent(ProcessId(1));
+  const ScpAnalysis analysis = analyze_scp(trace, sp1, sp2, /*keep_pairs=*/true);
+
+  std::printf("SP1 = p0:sent (%zu satisfactions), SP2 = p1:sent (%zu)\n",
+              analysis.satisfactions_sp1, analysis.satisfactions_sp2);
+  std::printf("SCP = %zu pairs: %zu ordered, %zu unordered "
+              "(ordered fraction %.2f)\n\n",
+              analysis.total_pairs(), analysis.ordered_pairs,
+              analysis.unordered_pairs, analysis.ordered_fraction());
+
+  // Figure-4-style grid: rows = SP1 satisfactions (p0's virtual times),
+  // columns = SP2 satisfactions; '<' first-before-second, '>' the reverse,
+  // '.' concurrent (unordered-SCP).
+  std::printf("      ");
+  for (std::size_t j = 0; j < analysis.satisfactions_sp2; ++j) {
+    std::printf("t2%-3zu", j);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < analysis.satisfactions_sp1; ++i) {
+    std::printf("t1%-4zu", i);
+    for (std::size_t j = 0; j < analysis.satisfactions_sp2; ++j) {
+      const ScpPair& pair =
+          analysis.pairs[i * analysis.satisfactions_sp2 + j];
+      const char mark = pair.order == CausalOrder::kBefore   ? '<'
+                        : pair.order == CausalOrder::kAfter  ? '>'
+                        : pair.order == CausalOrder::kEqual  ? '='
+                                                             : '.';
+      std::printf("  %c  ", mark);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n'<' / '>' ordered pair (detectable via SP1->SP2 or "
+              "SP2->SP1 Linked Predicates)\n");
+  std::printf("'.'       unordered pair (figure 4's (t12, t22): no Linked "
+              "Predicate can see it)\n");
+
+  // Show one concrete pair of each kind, like the paper's figure.
+  for (const ScpPair& pair : analysis.pairs) {
+    if (pair.order == CausalOrder::kBefore) {
+      std::printf("\nexample ordered pair:   %s  -->  %s\n",
+                  pair.first.describe().c_str(),
+                  pair.second.describe().c_str());
+      break;
+    }
+  }
+  for (const ScpPair& pair : analysis.pairs) {
+    if (pair.order == CausalOrder::kConcurrent) {
+      std::printf("example unordered pair: %s  ||   %s\n",
+                  pair.first.describe().c_str(),
+                  pair.second.describe().c_str());
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "analysis/consistency.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace ddbg {
+
+std::optional<std::string> find_cut_inconsistency(const GlobalState& state) {
+  // C_q[p] <= C_p[p] for all p, q: nobody observed p beyond p's own
+  // recorded progress.
+  for (const auto& [p, snap_p] : state.snapshots()) {
+    const std::uint64_t own_progress = snap_p.vclock.at(p);
+    for (const auto& [q, snap_q] : state.snapshots()) {
+      if (p == q) continue;
+      const std::uint64_t observed = snap_q.vclock.at(p);
+      if (observed > own_progress) {
+        std::ostringstream out;
+        out << to_string(q) << " observed " << to_string(p) << " at "
+            << observed << " but " << to_string(p) << " recorded only "
+            << own_progress;
+        return out.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+MessageAccounting account_messages(const Trace& trace,
+                                   const GlobalState& state) {
+  MessageAccounting accounting;
+
+  const auto in_cut = [&](const LocalEvent& event) {
+    if (!state.has(event.process)) return false;
+    const ProcessSnapshot& snapshot = state.at(event.process);
+    return event.vclock.at(event.process) <=
+           snapshot.vclock.at(event.process);
+  };
+
+  struct MessageInfo {
+    bool sent_in_cut = false;
+    bool seen_send = false;
+    bool received = false;
+    bool received_in_cut = false;
+    ChannelId channel;
+  };
+  std::map<std::uint64_t, MessageInfo> messages;
+
+  for (const LocalEvent& event : trace.events()) {
+    if (event.message_id == 0) continue;
+    if (event.kind == LocalEventKind::kMessageSent) {
+      MessageInfo& info = messages[event.message_id];
+      info.seen_send = true;
+      info.sent_in_cut = in_cut(event);
+      info.channel = event.channel;
+    } else if (event.kind == LocalEventKind::kMessageReceived) {
+      MessageInfo& info = messages[event.message_id];
+      info.received = true;
+      info.received_in_cut = in_cut(event);
+    }
+  }
+
+  std::map<ChannelId, std::size_t> in_flight_per_channel;
+  for (const auto& [id, info] : messages) {
+    if (info.received_in_cut && !(info.seen_send && info.sent_in_cut)) {
+      ++accounting.orphan_receives;
+    }
+    if (info.seen_send && info.sent_in_cut && !info.received_in_cut) {
+      ++accounting.in_flight_per_trace;
+      ++in_flight_per_channel[info.channel];
+    }
+  }
+
+  std::map<ChannelId, std::size_t> recorded_per_channel;
+  for (const auto& [p, snapshot] : state.snapshots()) {
+    for (const ChannelState& channel : snapshot.in_channels) {
+      recorded_per_channel[channel.channel] += channel.messages.size();
+      accounting.recorded_in_channels += channel.messages.size();
+    }
+  }
+
+  for (const auto& [channel, in_flight] : in_flight_per_channel) {
+    auto it = recorded_per_channel.find(channel);
+    const std::size_t recorded =
+        it != recorded_per_channel.end() ? it->second : 0;
+    if (in_flight > recorded) {
+      accounting.lost_messages += in_flight - recorded;
+    }
+  }
+  return accounting;
+}
+
+}  // namespace ddbg

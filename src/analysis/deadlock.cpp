@@ -1,0 +1,93 @@
+#include "analysis/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ddbg {
+
+namespace {
+
+// Does any recorded in-flight message to this process unblock its wait?
+bool unblocking_message_in_flight(
+    const ProcessSnapshot& snapshot,
+    ResourceRingProcess::WaitKind wait_kind) {
+  const ResourceMessage needed =
+      wait_kind == ResourceRingProcess::WaitKind::kGrant
+          ? ResourceMessage::kGrant
+          : ResourceMessage::kRelease;
+  for (const ChannelState& channel : snapshot.in_channels) {
+    for (const Bytes& payload : channel.messages) {
+      auto kind = ResourceRingProcess::decode_message(payload);
+      if (kind.ok() && kind.value() == needed) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DeadlockReport> find_deadlock(const GlobalState& state) {
+  const auto n = static_cast<std::uint32_t>(state.size());
+  if (n < 2) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "deadlock analysis needs at least 2 processes");
+  }
+
+  DeadlockReport report;
+  // waits_for[p] = the process p is genuinely blocked on (at most one).
+  std::map<ProcessId, ProcessId> waits_for;
+
+  for (const auto& [process, snapshot] : state.snapshots()) {
+    auto decoded = ResourceRingProcess::decode_state(snapshot.state);
+    if (!decoded.ok()) return decoded.error();
+    if (decoded.value().wait_kind == ResourceRingProcess::WaitKind::kNone) {
+      continue;
+    }
+    ++report.blocked_processes;
+    if (unblocking_message_in_flight(snapshot, decoded.value().wait_kind)) {
+      // The wait is about to be satisfied: not a real edge.  A naive
+      // analysis without channel state would count it.
+      ++report.rescued_by_channel_state;
+      continue;
+    }
+    // Ring positions determine the wait target.
+    const std::uint32_t i = process.value();
+    const ProcessId target =
+        decoded.value().wait_kind == ResourceRingProcess::WaitKind::kGrant
+            ? ProcessId((i + 1) % n)     // successor holds what we want
+            : ProcessId((i + n - 1) % n);  // predecessor has our resource
+    waits_for[process] = target;
+  }
+
+  // Cycle detection on the (out-degree <= 1) waits-for graph.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<ProcessId, Color> color;
+  for (const auto& [p, target] : waits_for) color[p] = Color::kWhite;
+
+  for (const auto& [start, start_target] : waits_for) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<ProcessId> path;
+    ProcessId current = start;
+    while (true) {
+      auto edge = waits_for.find(current);
+      if (edge == waits_for.end() || color[current] == Color::kBlack) {
+        break;  // chain ends at an unblocked (or already-cleared) process
+      }
+      if (color[current] == Color::kGray) {
+        // Found a cycle: extract it from the path.
+        report.deadlocked = true;
+        auto cycle_start =
+            std::find(path.begin(), path.end(), current);
+        report.cycle.assign(cycle_start, path.end());
+        return report;
+      }
+      color[current] = Color::kGray;
+      path.push_back(current);
+      current = edge->second;
+    }
+    for (const ProcessId p : path) color[p] = Color::kBlack;
+  }
+  return report;
+}
+
+}  // namespace ddbg

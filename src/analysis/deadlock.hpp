@@ -1,0 +1,40 @@
+// Deadlock detection on a consistent global state — the canonical "now
+// that the program is halted, what do I do with S_h" analysis.
+//
+// A circular wait is a *stable* property: once present it persists, so a
+// consistent snapshot either shows it or the system was not deadlocked at
+// the cut.  Soundness, however, needs the channel contents: a process whose
+// snapshot says "blocked waiting for a grant" is not actually stuck if the
+// GRANT is already in flight.  Per-process inspection (or the naive halt of
+// experiment E10, which loses channel state) reports such *phantom
+// deadlocks*; S_h does not, because the Halting Algorithm records every
+// in-flight message.
+//
+// The analysis is written against the ResourceRingProcess workload's state
+// encoding (workload/resources.hpp).
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/global_state.hpp"
+#include "workload/resources.hpp"
+
+namespace ddbg {
+
+struct DeadlockReport {
+  bool deadlocked = false;
+  // One circular wait, in ring order, when deadlocked.
+  std::vector<ProcessId> cycle;
+  // Processes whose snapshot says "blocked" (before channel rescue).
+  std::size_t blocked_processes = 0;
+  // Blocked processes whose unblocking message was found in a recorded
+  // channel state (phantom-deadlock candidates a naive analysis would get
+  // wrong).
+  std::size_t rescued_by_channel_state = 0;
+};
+
+// Analyze a halted/recorded global state of a ResourceRingProcess system.
+[[nodiscard]] Result<DeadlockReport> find_deadlock(const GlobalState& state);
+
+}  // namespace ddbg

@@ -1,0 +1,56 @@
+#include "analysis/scp.hpp"
+
+namespace ddbg {
+
+ScpAnalysis analyze_scp(const Trace& trace, const SimplePredicate& sp1,
+                        const SimplePredicate& sp2, bool keep_pairs) {
+  ScpAnalysis analysis;
+  const std::vector<LocalEvent> first = trace.matching(sp1);
+  const std::vector<LocalEvent> second = trace.matching(sp2);
+  analysis.satisfactions_sp1 = first.size();
+  analysis.satisfactions_sp2 = second.size();
+
+  for (const LocalEvent& e1 : first) {
+    for (const LocalEvent& e2 : second) {
+      const CausalOrder order = e1.vclock.compare(e2.vclock);
+      if (order == CausalOrder::kConcurrent) {
+        ++analysis.unordered_pairs;
+      } else {
+        ++analysis.ordered_pairs;
+      }
+      if (keep_pairs) {
+        analysis.pairs.push_back(ScpPair{e1, e2, order});
+      }
+    }
+  }
+  return analysis;
+}
+
+ScpAnalysis analyze_scp_via_graph(const Trace& trace,
+                                  const SimplePredicate& sp1,
+                                  const SimplePredicate& sp2) {
+  ScpAnalysis analysis;
+  const Trace::Graph graph = trace.build_graph();
+
+  std::vector<EventIndex> first;
+  std::vector<EventIndex> second;
+  for (EventIndex i = 0; i < graph.events.size(); ++i) {
+    if (sp1.matches(graph.events[i])) first.push_back(i);
+    if (sp2.matches(graph.events[i])) second.push_back(i);
+  }
+  analysis.satisfactions_sp1 = first.size();
+  analysis.satisfactions_sp2 = second.size();
+
+  for (const EventIndex a : first) {
+    for (const EventIndex b : second) {
+      if (graph.graph.concurrent(a, b)) {
+        ++analysis.unordered_pairs;
+      } else {
+        ++analysis.ordered_pairs;
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace ddbg

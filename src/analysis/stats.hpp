@@ -1,0 +1,41 @@
+// Small summary-statistics helper for the experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ddbg {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+
+[[nodiscard]] inline Summary summarize(std::vector<double> samples) {
+  Summary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.min = samples.front();
+  summary.max = samples.back();
+  double total = 0;
+  for (const double s : samples) total += s;
+  summary.mean = total / static_cast<double>(samples.size());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  summary.p50 = at(0.50);
+  summary.p95 = at(0.95);
+  return summary;
+}
+
+}  // namespace ddbg

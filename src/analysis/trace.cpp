@@ -1,0 +1,138 @@
+#include "analysis/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ddbg {
+
+std::vector<LocalEvent> Trace::matching(const SimplePredicate& sp) const {
+  std::vector<LocalEvent> out;
+  std::lock_guard<std::mutex> guard{mutex_};
+  for (const LocalEvent& event : events_) {
+    if (sp.matches(event)) out.push_back(event);
+  }
+  return out;
+}
+
+Trace::Graph Trace::build_graph() const {
+  Graph result;
+  result.events = events();
+  // Sort by (process, local_seq) for program order, remembering original
+  // indices so message edges can be added afterwards.
+  std::vector<std::size_t> order(result.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const LocalEvent& ea = result.events[a];
+    const LocalEvent& eb = result.events[b];
+    if (ea.process != eb.process) return ea.process < eb.process;
+    return ea.local_seq < eb.local_seq;
+  });
+
+  std::vector<EventIndex> node_of(result.events.size());
+  for (const std::size_t i : order) {
+    node_of[i] = result.graph.add_event(result.events[i].process);
+  }
+
+  // Program-order edges.
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const LocalEvent& prev = result.events[order[k - 1]];
+    const LocalEvent& curr = result.events[order[k]];
+    if (prev.process == curr.process) {
+      result.graph.add_edge(node_of[order[k - 1]], node_of[order[k]]);
+    }
+  }
+
+  // Message edges.
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    const LocalEvent& event = result.events[i];
+    if (event.kind == LocalEventKind::kMessageSent && event.message_id != 0) {
+      result.graph.register_send(event.message_id, node_of[i]);
+    }
+  }
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    const LocalEvent& event = result.events[i];
+    if (event.kind == LocalEventKind::kMessageReceived &&
+        event.message_id != 0) {
+      result.graph.link_receive(event.message_id, node_of[i]);
+    }
+  }
+
+  // Reorder stored events to match node indices (node k == events[k]).
+  std::vector<LocalEvent> reordered(result.events.size());
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    reordered[node_of[i]] = result.events[i];
+  }
+  result.events = std::move(reordered);
+  return result;
+}
+
+std::string Trace::render_timeline(std::size_t max_events) const {
+  std::vector<LocalEvent> sorted = events();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LocalEvent& a, const LocalEvent& b) {
+              if (a.lamport != b.lamport) return a.lamport < b.lamport;
+              if (a.process != b.process) return a.process < b.process;
+              return a.local_seq < b.local_seq;
+            });
+
+  // Pair sends with receivers (and vice versa) for the arrows.
+  std::map<std::uint64_t, ProcessId> sender_of;
+  std::map<std::uint64_t, ProcessId> receiver_of;
+  for (const LocalEvent& event : sorted) {
+    if (event.message_id == 0) continue;
+    if (event.kind == LocalEventKind::kMessageSent) {
+      sender_of[event.message_id] = event.process;
+    } else if (event.kind == LocalEventKind::kMessageReceived) {
+      receiver_of[event.message_id] = event.process;
+    }
+  }
+
+  std::ostringstream out;
+  std::size_t printed = 0;
+  for (const LocalEvent& event : sorted) {
+    if (max_events != 0 && printed >= max_events) {
+      out << "... (" << sorted.size() - printed << " more events)\n";
+      break;
+    }
+    out << "[L" << event.lamport << "]\t" << to_string(event.process)
+        << "  ";
+    switch (event.kind) {
+      case LocalEventKind::kMessageSent: {
+        out << "send #" << event.message_id;
+        auto to = receiver_of.find(event.message_id);
+        if (to != receiver_of.end()) {
+          out << " -> " << to_string(to->second);
+        } else {
+          out << " -> (in flight)";
+        }
+        break;
+      }
+      case LocalEventKind::kMessageReceived: {
+        out << "recv #" << event.message_id;
+        auto from = sender_of.find(event.message_id);
+        if (from != sender_of.end()) {
+          out << " <- " << to_string(from->second);
+        }
+        break;
+      }
+      case LocalEventKind::kUserEvent:
+        out << "event(" << event.name << ")=" << event.value;
+        break;
+      case LocalEventKind::kProcedureEntered:
+        out << "enter " << event.name << "()";
+        break;
+      case LocalEventKind::kStateChange:
+        out << event.name << " := " << event.value;
+        break;
+      default:
+        out << to_string(event.kind);
+        break;
+    }
+    out << '\n';
+    ++printed;
+  }
+  return out.str();
+}
+
+}  // namespace ddbg

@@ -1,0 +1,71 @@
+// Event traces: the analysis layer's record of what happened.
+//
+// A Trace collects the LocalEvents emitted by the debug shims (install
+// Trace::sink() as DebugShim::Options::trace_sink).  It is thread-safe so
+// the multithreaded runtime's shims can share one.  From a trace the
+// analysis layer derives happened-before graphs, SCP classifications and
+// cut-consistency witnesses.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "clock/happened_before.hpp"
+#include "core/event.hpp"
+#include "core/predicate.hpp"
+
+namespace ddbg {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void record(const LocalEvent& event) {
+    std::lock_guard<std::mutex> guard{mutex_};
+    events_.push_back(event);
+  }
+
+  // A sink bound to this trace, suitable for DebugShim::Options.
+  [[nodiscard]] std::function<void(const LocalEvent&)> sink() {
+    return [this](const LocalEvent& event) { record(event); };
+  }
+
+  [[nodiscard]] std::vector<LocalEvent> events() const {
+    std::lock_guard<std::mutex> guard{mutex_};
+    return events_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> guard{mutex_};
+    return events_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> guard{mutex_};
+    events_.clear();
+  }
+
+  // All events matching a Simple Predicate, in recording order.
+  [[nodiscard]] std::vector<LocalEvent> matching(
+      const SimplePredicate& sp) const;
+
+  // Build an explicit happened-before graph: program-order edges within
+  // each process (by local_seq) and send->receive edges (by message_id).
+  // Returns the graph plus, aligned by index, the events used.
+  struct Graph {
+    HappenedBeforeGraph graph;
+    std::vector<LocalEvent> events;
+  };
+  [[nodiscard]] Graph build_graph() const;
+
+  // Human-readable causal timeline: events ordered by (Lamport time,
+  // process), one line each, with sends and receives paired by message id.
+  // Truncates to max_events lines (0 = no limit).
+  [[nodiscard]] std::string render_timeline(std::size_t max_events = 200) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<LocalEvent> events_;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,149 @@
+#include "baselines/central_hub.hpp"
+
+#include "common/logging.hpp"
+#include "common/serialization.hpp"
+
+namespace ddbg {
+
+namespace {
+
+Bytes envelope(ChannelId original_channel, const Bytes& payload) {
+  ByteWriter writer;
+  writer.u32(original_channel.value());
+  writer.bytes(payload);
+  return std::move(writer).take();
+}
+
+struct Unwrapped {
+  ChannelId original_channel;
+  Bytes payload;
+};
+
+Result<Unwrapped> unwrap(const Bytes& data) {
+  ByteReader reader(data);
+  auto channel = reader.u32();
+  if (!channel.ok()) return channel.error();
+  auto payload = reader.bytes();
+  if (!payload.ok()) return payload.error();
+  return Unwrapped{ChannelId(channel.value()), std::move(payload).value()};
+}
+
+}  // namespace
+
+HubTopology make_hub_topology(const Topology& user_topology) {
+  HubTopology info;
+  info.topology = user_topology;
+  info.user_topology = user_topology;
+  info.hub = info.topology.add_process();
+  const std::uint32_t users = user_topology.num_processes();
+  info.to_hub.reserve(users);
+  info.from_hub.reserve(users);
+  for (std::uint32_t i = 0; i < users; ++i) {
+    info.to_hub.push_back(info.topology.add_channel(ProcessId(i), info.hub));
+    info.from_hub.push_back(info.topology.add_channel(info.hub, ProcessId(i)));
+  }
+  return info;
+}
+
+void HubRouterProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
+                                  Message message) {
+  auto unwrapped = unwrap(message.payload);
+  if (!unwrapped.ok()) {
+    DDBG_WARN() << "hub: bad envelope";
+    return;
+  }
+  // The original channel id names the true destination.
+  const ChannelSpec& spec =
+      hub_info_->topology.channel(unwrapped.value().original_channel);
+  ++forwarded_;
+  // Re-envelope so the client can present the original channel.
+  ctx.send(hub_info_->from_hub[spec.destination.value()],
+           Message::application(envelope(unwrapped.value().original_channel,
+                                         unwrapped.value().payload)));
+}
+
+// Presents the original application topology to the user process while
+// physically routing everything through the hub.
+class HubClientShim::ClientContext final : public ProcessContext {
+ public:
+  explicit ClientContext(HubClientShim& shim) : shim_(shim) {}
+
+  void bind(ProcessContext* outer) { outer_ = outer; }
+
+  [[nodiscard]] ProcessId self() const override { return shim_.self_; }
+  [[nodiscard]] TimePoint now() const override { return outer_->now(); }
+  [[nodiscard]] const Topology& topology() const override {
+    // The user sees the *original* application topology, exactly as in the
+    // un-rerouted run; the hub channels are this shim's private plumbing.
+    return shim_.hub_info_->user_topology;
+  }
+
+  void send(ChannelId channel, Message message) override {
+    // Reroute: wrap and send to the hub instead of the direct channel.
+    ctx_send_count_ += 1;
+    outer_->send(shim_.hub_info_->to_hub[shim_.self_.value()],
+                 Message::application(
+                     envelope(channel, message.payload)));
+  }
+
+  TimerId set_timer(Duration delay) override {
+    return outer_->set_timer(delay);
+  }
+  void cancel_timer(TimerId timer) override { outer_->cancel_timer(timer); }
+  [[nodiscard]] Rng& rng() override { return outer_->rng(); }
+  void stop_self() override { outer_->stop_self(); }
+
+ private:
+  HubClientShim& shim_;
+  ProcessContext* outer_ = nullptr;
+  std::uint64_t ctx_send_count_ = 0;
+};
+
+HubClientShim::HubClientShim(ProcessId self, const HubTopology* hub_info,
+                             ProcessPtr user)
+    : self_(self), hub_info_(hub_info), user_(std::move(user)) {
+  DDBG_ASSERT(hub_info_ != nullptr, "HubClientShim needs hub topology info");
+  DDBG_ASSERT(user_ != nullptr, "HubClientShim needs a user process");
+  client_ctx_ = std::make_unique<ClientContext>(*this);
+}
+
+HubClientShim::~HubClientShim() = default;
+
+void HubClientShim::on_start(ProcessContext& ctx) {
+  client_ctx_->bind(&ctx);
+  user_->on_start(*client_ctx_);
+}
+
+void HubClientShim::on_message(ProcessContext& ctx, ChannelId /*in*/,
+                               Message message) {
+  client_ctx_->bind(&ctx);
+  auto unwrapped = unwrap(message.payload);
+  if (!unwrapped.ok()) {
+    DDBG_WARN() << "hub client: bad envelope";
+    return;
+  }
+  user_->on_message(*client_ctx_, unwrapped.value().original_channel,
+                    Message::application(std::move(unwrapped.value().payload)));
+}
+
+void HubClientShim::on_timer(ProcessContext& ctx, TimerId timer) {
+  client_ctx_->bind(&ctx);
+  user_->on_timer(*client_ctx_, timer);
+}
+
+std::vector<ProcessPtr> wrap_for_hub(const HubTopology& hub_info,
+                                     std::vector<ProcessPtr> users) {
+  DDBG_ASSERT(users.size() + 1 == hub_info.topology.num_processes(),
+              "one user process per non-hub topology slot");
+  std::vector<ProcessPtr> wrapped;
+  wrapped.reserve(users.size() + 1);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    wrapped.push_back(std::make_unique<HubClientShim>(
+        ProcessId(static_cast<std::uint32_t>(i)), &hub_info,
+        std::move(users[i])));
+  }
+  wrapped.push_back(std::make_unique<HubRouterProcess>(&hub_info));
+  return wrapped;
+}
+
+}  // namespace ddbg

@@ -1,0 +1,89 @@
+// Central-hub rerouting baseline (section 4 of the paper).
+//
+// BUGNET [10] and Schiffenbaur's debugger [11] route *all* application
+// messages through a central debugger process, which gives a single point
+// of event ordering but — as the paper argues — (1) adds substantial
+// communication overhead, (2) perturbs the execution, and (3) is complex to
+// build.  This module implements that architecture so experiment E7 can
+// measure (1) and (2) against the marker-based approach.
+//
+// Realization: the hub topology keeps the application's channel table (so
+// channel ids keep their meaning) but adds a hub process with a channel
+// pair to every user process.  A HubClientShim wraps each user process:
+// sends are enveloped {original_channel, payload} and go to the hub; the
+// hub unwraps, decides the true destination from the original channel id,
+// and forwards; the client presents the delivery to the user as if it had
+// arrived on the original channel.
+//
+// The HubTopology struct is owned by the caller and must outlive the
+// simulation/runtime (its channel and process ids are plain indices, valid
+// across the runtime's own copy of the Topology).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/process.hpp"
+
+namespace ddbg {
+
+struct HubTopology {
+  Topology topology;       // user topology + hub process and channels
+  Topology user_topology;  // what the wrapped user processes are shown
+  ProcessId hub;
+  std::vector<ChannelId> to_hub;    // per user process
+  std::vector<ChannelId> from_hub;  // per user process
+};
+
+// Extends `user_topology` with a hub process connected to every user
+// process.  The original application channels remain in the table but
+// carry no traffic.
+[[nodiscard]] HubTopology make_hub_topology(const Topology& user_topology);
+
+class HubRouterProcess final : public Process {
+ public:
+  explicit HubRouterProcess(const HubTopology* hub_info)
+      : hub_info_(hub_info) {}
+
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  [[nodiscard]] std::string describe_state() const override {
+    return "hub forwarded=" + std::to_string(forwarded_);
+  }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  const HubTopology* hub_info_;
+  std::uint64_t forwarded_ = 0;
+};
+
+class HubClientShim final : public Process {
+ public:
+  HubClientShim(ProcessId self, const HubTopology* hub_info, ProcessPtr user);
+  ~HubClientShim() override;
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+  [[nodiscard]] Bytes snapshot_state() const override {
+    return user_->snapshot_state();
+  }
+  [[nodiscard]] std::string describe_state() const override {
+    return user_->describe_state();
+  }
+
+ private:
+  class ClientContext;
+
+  ProcessId self_;
+  const HubTopology* hub_info_;
+  ProcessPtr user_;
+  std::unique_ptr<ClientContext> client_ctx_;
+};
+
+// Wrap user processes in hub-client shims and append the router (hub slot
+// last, matching make_hub_topology's process numbering).
+[[nodiscard]] std::vector<ProcessPtr> wrap_for_hub(
+    const HubTopology& hub_info, std::vector<ProcessPtr> users);
+
+}  // namespace ddbg

@@ -1,0 +1,126 @@
+#include "baselines/naive_halt.hpp"
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+// Minimal instrumentation context: stamps clocks and emits send/receive
+// events so the analysis layer can account messages, but implements none of
+// the marker machinery — that is the point of this baseline.
+class NaiveHaltShim::NaiveContext final : public ProcessContext {
+ public:
+  explicit NaiveContext(NaiveHaltShim& shim) : shim_(shim) {}
+
+  void bind(ProcessContext* outer) { outer_ = outer; }
+
+  [[nodiscard]] ProcessId self() const override { return shim_.self_; }
+  [[nodiscard]] TimePoint now() const override { return outer_->now(); }
+  [[nodiscard]] const Topology& topology() const override {
+    return outer_->topology();
+  }
+
+  void send(ChannelId channel, Message message) override {
+    shim_.vclock_.tick(shim_.self_);
+    message.vclock = shim_.vclock_;
+    message.lamport = shim_.lamport_.on_send();
+    message.message_id =
+        (static_cast<std::uint64_t>(shim_.self_.value()) + 1) << 40 |
+        ++shim_.send_counter_;
+
+    LocalEvent event;
+    event.kind = LocalEventKind::kMessageSent;
+    event.process = shim_.self_;
+    event.channel = channel;
+    event.message_id = message.message_id;
+    event.lamport = message.lamport;
+    event.vclock = shim_.vclock_;
+    event.local_seq = shim_.local_seq_++;
+    event.when = outer_->now();
+
+    outer_->send(channel, std::move(message));
+    if (shim_.options_.trace_sink) shim_.options_.trace_sink(event);
+  }
+
+  TimerId set_timer(Duration delay) override {
+    return outer_->set_timer(delay);
+  }
+  void cancel_timer(TimerId timer) override { outer_->cancel_timer(timer); }
+  [[nodiscard]] Rng& rng() override { return outer_->rng(); }
+  void stop_self() override { outer_->stop_self(); }
+
+ private:
+  NaiveHaltShim& shim_;
+  ProcessContext* outer_ = nullptr;
+};
+
+NaiveHaltShim::NaiveHaltShim(ProcessId self, ProcessPtr user, Options options)
+    : self_(self), user_(std::move(user)), options_(std::move(options)) {
+  DDBG_ASSERT(user_ != nullptr, "NaiveHaltShim needs a user process");
+  naive_ctx_ = std::make_unique<NaiveContext>(*this);
+}
+
+NaiveHaltShim::~NaiveHaltShim() = default;
+
+void NaiveHaltShim::on_start(ProcessContext& ctx) {
+  naive_ctx_->bind(&ctx);
+  user_->on_start(*naive_ctx_);
+}
+
+void NaiveHaltShim::on_message(ProcessContext& ctx, ChannelId in,
+                               Message message) {
+  naive_ctx_->bind(&ctx);
+  if (halted_) {
+    // The naive scheme has nowhere to put this: the process is frozen and
+    // no channel recording exists.  The message is lost to the debugger.
+    ++dropped_;
+    return;
+  }
+  vclock_.on_receive(self_, message.vclock);
+  const std::uint64_t receive_lamport = lamport_.on_receive(message.lamport);
+
+  LocalEvent event;
+  event.kind = LocalEventKind::kMessageReceived;
+  event.process = self_;
+  event.channel = in;
+  event.message_id = message.message_id;
+  event.lamport = receive_lamport;
+  event.vclock = vclock_;
+  event.local_seq = local_seq_++;
+  event.when = ctx.now();
+
+  user_->on_message(*naive_ctx_, in, std::move(message));
+  if (options_.trace_sink) options_.trace_sink(event);
+}
+
+void NaiveHaltShim::on_timer(ProcessContext& ctx, TimerId timer) {
+  naive_ctx_->bind(&ctx);
+  if (halted_) return;
+  user_->on_timer(*naive_ctx_, timer);
+}
+
+void NaiveHaltShim::halt_now(ProcessContext& ctx) {
+  if (halted_) return;
+  halted_ = true;
+  snapshot_.process = self_;
+  snapshot_.state = user_->snapshot_state();
+  snapshot_.description = user_->describe_state();
+  snapshot_.vclock = vclock_;
+  snapshot_.captured_at = ctx.now();
+}
+
+std::vector<ProcessPtr> wrap_in_naive_shims(const Topology& topology,
+                                            std::vector<ProcessPtr> users,
+                                            NaiveHaltShim::Options options) {
+  DDBG_ASSERT(users.size() == topology.num_user_processes(),
+              "one user process per topology slot");
+  std::vector<ProcessPtr> wrapped;
+  wrapped.reserve(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    wrapped.push_back(std::make_unique<NaiveHaltShim>(
+        ProcessId(static_cast<std::uint32_t>(i)), std::move(users[i]),
+        options));
+  }
+  return wrapped;
+}
+
+}  // namespace ddbg

@@ -1,0 +1,77 @@
+// Naive-halt baseline (section 4's IDD critique, and the paper's section-2
+// motivation: "some information may be lost or recorded incorrectly").
+//
+// The naive approach halts each process by an out-of-band "signal" that
+// reaches processes at different times, with no markers and no channel
+// recording.  Each process freezes where the signal finds it and reports
+// its state; application messages that were in flight are simply dropped
+// on arrival at a frozen process.
+//
+// The resulting cut of process states is a real-time cut — actually
+// consistent by the vector-clock criterion — but the global state is
+// *incomplete*: in-flight messages are unaccounted, so resuming from (or
+// reasoning about) the collected state loses them.  Experiment E10
+// quantifies the loss against the Halting Algorithm's zero.
+#pragma once
+
+#include <memory>
+
+#include "clock/lamport.hpp"
+#include "clock/vector_clock.hpp"
+#include "core/event.hpp"
+#include "core/global_state.hpp"
+#include "net/process.hpp"
+
+namespace ddbg {
+
+class NaiveHaltShim final : public Process {
+ public:
+  struct Options {
+    std::function<void(const LocalEvent&)> trace_sink;
+  };
+
+  NaiveHaltShim(ProcessId self, ProcessPtr user, Options options);
+  ~NaiveHaltShim() override;
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+  [[nodiscard]] Bytes snapshot_state() const override {
+    return user_->snapshot_state();
+  }
+  [[nodiscard]] std::string describe_state() const override {
+    return user_->describe_state();
+  }
+
+  // The out-of-band stop signal: freeze immediately, capture state.
+  // Invoke via Simulation::post / Runtime::post.
+  void halt_now(ProcessContext& ctx);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] const ProcessSnapshot& snapshot() const { return snapshot_; }
+  // Application messages that arrived after the freeze and were dropped.
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  class NaiveContext;
+
+  ProcessId self_;
+  ProcessPtr user_;
+  Options options_;
+  std::unique_ptr<NaiveContext> naive_ctx_;
+
+  LamportClock lamport_;
+  VectorClock vclock_;
+  std::uint64_t local_seq_ = 0;
+  std::uint64_t send_counter_ = 0;
+
+  bool halted_ = false;
+  ProcessSnapshot snapshot_;
+  std::uint64_t dropped_ = 0;
+};
+
+[[nodiscard]] std::vector<ProcessPtr> wrap_in_naive_shims(
+    const Topology& topology, std::vector<ProcessPtr> users,
+    NaiveHaltShim::Options options);
+
+}  // namespace ddbg

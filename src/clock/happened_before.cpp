@@ -1,0 +1,53 @@
+#include "clock/happened_before.hpp"
+
+#include <deque>
+
+namespace ddbg {
+
+EventIndex HappenedBeforeGraph::add_event(ProcessId process) {
+  process_of_.push_back(process);
+  successors_.emplace_back();
+  return process_of_.size() - 1;
+}
+
+void HappenedBeforeGraph::add_edge(EventIndex earlier, EventIndex later) {
+  DDBG_ASSERT(earlier < num_events() && later < num_events(),
+              "happened-before edge endpoints must exist");
+  successors_[earlier].push_back(later);
+}
+
+void HappenedBeforeGraph::register_send(std::uint64_t message_id,
+                                        EventIndex send_event) {
+  pending_sends_[message_id] = send_event;
+}
+
+void HappenedBeforeGraph::link_receive(std::uint64_t message_id,
+                                       EventIndex receive_event) {
+  auto it = pending_sends_.find(message_id);
+  if (it == pending_sends_.end()) return;  // untracked message; tolerated
+  add_edge(it->second, receive_event);
+  pending_sends_.erase(it);
+}
+
+bool HappenedBeforeGraph::happened_before(EventIndex a, EventIndex b) const {
+  if (a == b) return false;
+  // Plain BFS.  Traces in this library are bounded (tests and benches cap
+  // event counts), so memoization buys little over a direct search.
+  std::vector<bool> visited(num_events(), false);
+  std::deque<EventIndex> frontier{a};
+  visited[a] = true;
+  while (!frontier.empty()) {
+    const EventIndex current = frontier.front();
+    frontier.pop_front();
+    for (const EventIndex next : successors_[current]) {
+      if (next == b) return true;
+      if (!visited[next]) {
+        visited[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ddbg

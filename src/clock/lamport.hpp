@@ -1,0 +1,35 @@
+// Lamport scalar clocks (Lamport 1978, the paper's reference [2]).
+//
+// The Halting Algorithm itself needs no clocks, but the analysis layer and
+// the workloads use Lamport timestamps as the cheap "virtual time" the paper
+// talks about: each process halts at the same *virtual* instant even though
+// the physical instants differ.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ddbg {
+
+class LamportClock {
+ public:
+  // Tick for a purely local event; returns the event's timestamp.
+  std::uint64_t tick() { return ++time_; }
+
+  // Timestamp an outgoing message: a send is an event, so tick first.
+  std::uint64_t on_send() { return tick(); }
+
+  // Merge the timestamp of a received message: the receive event is ordered
+  // after both the local past and the send.
+  std::uint64_t on_receive(std::uint64_t message_time) {
+    time_ = std::max(time_, message_time) + 1;
+    return time_;
+  }
+
+  [[nodiscard]] std::uint64_t now() const { return time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,88 @@
+// Strong identifier types used throughout the library.
+//
+// The paper's model (Miller & Choi, ICDCS'88, section 2.1) is a finite set of
+// processes connected by unidirectional FIFO channels.  We give both of
+// those, plus the bookkeeping identifiers the algorithms need (halt waves,
+// breakpoints, timers), distinct C++ types so they cannot be mixed up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace ddbg {
+
+// CRTP base for integer-backed strong id types.  Provides comparison,
+// hashing and printing; derived types add nothing but their identity.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+// A user process of the distributed program.  The debugger process (the `d`
+// of section 2.2.3) also carries a ProcessId, conventionally the largest one
+// in the system; see net/topology.hpp.
+struct ProcessIdTag {};
+using ProcessId = StrongId<ProcessIdTag>;
+
+// A unidirectional channel.  ChannelIds index into Topology's channel table,
+// which stores the (source, destination) pair for each channel.
+struct ChannelIdTag {};
+using ChannelId = StrongId<ChannelIdTag>;
+
+// Identifier of one halting wave.  The paper calls this `halt_id`: each halt
+// marker carries one, and every process tracks the largest it has seen as
+// `last_halt_id` so stale markers from previous waves can be ignored.
+struct HaltIdTag {};
+using HaltId = StrongId<HaltIdTag, std::uint64_t>;
+
+// Identifier of a breakpoint registered with the debugger.
+struct BreakpointIdTag {};
+using BreakpointId = StrongId<BreakpointIdTag>;
+
+// Identifier of a timer registered by a process with its runtime.
+struct TimerIdTag {};
+using TimerId = StrongId<TimerIdTag>;
+
+template <typename Tag, typename Rep>
+[[nodiscard]] inline std::string to_string(StrongId<Tag, Rep> id) {
+  if (!id.valid()) return "<invalid>";
+  return std::to_string(id.value());
+}
+
+[[nodiscard]] inline std::string to_string(ProcessId id) {
+  if (!id.valid()) return "p<invalid>";
+  return "p" + std::to_string(id.value());
+}
+
+[[nodiscard]] inline std::string to_string(ChannelId id) {
+  if (!id.valid()) return "c<invalid>";
+  return "c" + std::to_string(id.value());
+}
+
+}  // namespace ddbg
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<ddbg::StrongId<Tag, Rep>> {
+  size_t operator()(ddbg::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ddbg {
+
+namespace {
+std::mutex g_log_mutex;
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::lock_guard<std::mutex> guard{g_log_mutex};
+    std::fprintf(stderr, "[%s] %.*s\n", to_string(level),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+void Logger::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> guard{g_log_mutex};
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> guard{g_log_mutex};
+    sink = sink_;
+  }
+  if (sink) sink(level, message);
+}
+
+}  // namespace ddbg

@@ -1,0 +1,79 @@
+// Leveled logging with a swappable sink.
+//
+// The default sink writes to stderr; tests install a capturing sink.  The
+// debug shim and the debugger process log at kDebug so an interactive
+// session can be traced end to end when wanted, silently otherwise.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ddbg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] constexpr const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+// Process-wide logger configuration.  Thread-safe for concurrent log calls;
+// set_sink/set_level are meant to be called during single-threaded setup.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void set_sink(LogSink sink);
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  LogSink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ddbg
+
+#define DDBG_LOG(lvl)                                         \
+  if (static_cast<int>(lvl) <                                 \
+      static_cast<int>(::ddbg::Logger::instance().level())) { \
+  } else                                                      \
+    ::ddbg::detail::LogLine(lvl)
+
+#define DDBG_DEBUG() DDBG_LOG(::ddbg::LogLevel::kDebug)
+#define DDBG_INFO() DDBG_LOG(::ddbg::LogLevel::kInfo)
+#define DDBG_WARN() DDBG_LOG(::ddbg::LogLevel::kWarn)
+#define DDBG_ERROR() DDBG_LOG(::ddbg::LogLevel::kError)

@@ -1,0 +1,142 @@
+// Minimal Result<T> / Status types for recoverable errors.
+//
+// Programmer errors (violated preconditions) are handled with DDBG_ASSERT;
+// protocol-level and user-input errors (e.g. an unparsable breakpoint
+// expression, a command for an unknown process) travel through Result<T> so
+// callers must confront them.  C++20 has no std::expected, so this is a
+// small hand-rolled equivalent that covers what the library needs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ddbg {
+
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kParseError,
+  kTimeout,
+  kShutdown,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class [[nodiscard]] Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(ddbg::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from both value and error keeps call sites terse.
+  Result(T value) : state_(std::move(value)) {}          // NOLINT
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) {
+      std::fprintf(stderr, "Result::error() called on ok Result\n");
+      std::abort();
+    }
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  void check_ok() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Error>(state_).to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Error> state_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) {
+      std::fprintf(stderr, "Status::error() called on ok Status\n");
+      std::abort();
+    }
+    return *error_;
+  }
+
+  static Status ok_status() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace ddbg
+
+// Precondition/internal-invariant check that is active in all build types:
+// the algorithms here are the product, so their invariants stay on.
+#define DDBG_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DDBG_ASSERT failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, msg);                                         \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator, the workloads and the benches
+// flows through Rng so that every experiment is reproducible from a seed.
+// The core generator is xoshiro256**, seeded via SplitMix64 (the standard
+// recommendation from the xoshiro authors).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/result.hpp"
+
+namespace ddbg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform over all 64-bit values.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    DDBG_ASSERT(bound > 0, "Rng::next_below bound must be positive");
+    // Debiased multiply-shift (Lemire); the retry loop terminates with
+    // overwhelming probability after one or two iterations.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * bound;
+      const auto low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    DDBG_ASSERT(lo <= hi, "Rng::next_in requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with the given probability.
+  bool next_bool(double probability) { return next_double() < probability; }
+
+  // Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean) {
+    DDBG_ASSERT(mean > 0.0, "Rng::next_exponential mean must be positive");
+    double u = next_double();
+    // Guard the log against u == 0.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Derive an independent child stream (for per-process/per-channel RNGs).
+  Rng fork() { return Rng(next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ddbg

@@ -1,0 +1,182 @@
+#include "core/commands.hpp"
+
+namespace ddbg {
+
+Bytes Command::encode() const {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(kind));
+  writer.u32(breakpoint.valid() ? breakpoint.value() : BreakpointId::kInvalid);
+  writer.bytes(predicate);
+  writer.varint(stage_index);
+  writer.u8(monitor ? 1 : 0);
+  writer.u32(target.valid() ? target.value() : ProcessId::kInvalid);
+  writer.varint(wave_id);
+  writer.u32(reporter.valid() ? reporter.value() : ProcessId::kInvalid);
+  writer.u8(report.has_value() ? 1 : 0);
+  if (report.has_value()) report->encode(writer);
+  writer.str(text);
+  return std::move(writer).take();
+}
+
+Result<Command> Command::decode(std::span<const std::uint8_t> data) {
+  ByteReader reader(data);
+  Command cmd;
+
+  auto kind = reader.u8();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() > static_cast<std::uint8_t>(CommandKind::kStateReport)) {
+    return Error(ErrorCode::kParseError, "unknown command kind");
+  }
+  cmd.kind = static_cast<CommandKind>(kind.value());
+
+  auto bp = reader.u32();
+  if (!bp.ok()) return bp.error();
+  cmd.breakpoint = BreakpointId(bp.value());
+
+  auto predicate = reader.bytes();
+  if (!predicate.ok()) return predicate.error();
+  cmd.predicate = std::move(predicate).value();
+
+  auto stage = reader.varint();
+  if (!stage.ok()) return stage.error();
+  cmd.stage_index = static_cast<std::uint32_t>(stage.value());
+
+  auto monitor = reader.u8();
+  if (!monitor.ok()) return monitor.error();
+  cmd.monitor = monitor.value() != 0;
+
+  auto target = reader.u32();
+  if (!target.ok()) return target.error();
+  cmd.target = ProcessId(target.value());
+
+  auto wave = reader.varint();
+  if (!wave.ok()) return wave.error();
+  cmd.wave_id = wave.value();
+
+  auto reporter = reader.u32();
+  if (!reporter.ok()) return reporter.error();
+  cmd.reporter = ProcessId(reporter.value());
+
+  auto has_report = reader.u8();
+  if (!has_report.ok()) return has_report.error();
+  if (has_report.value() != 0) {
+    auto snapshot = ProcessSnapshot::decode(reader);
+    if (!snapshot.ok()) return snapshot.error();
+    cmd.report = std::move(snapshot).value();
+  }
+
+  auto text = reader.str();
+  if (!text.ok()) return text.error();
+  cmd.text = std::move(text).value();
+
+  if (!reader.exhausted()) {
+    return Error(ErrorCode::kParseError, "trailing bytes after command");
+  }
+  return cmd;
+}
+
+Command Command::arm_predicate(BreakpointId bp, Bytes lp,
+                               std::uint32_t stage_index, bool monitor) {
+  Command cmd;
+  cmd.kind = CommandKind::kArmPredicate;
+  cmd.breakpoint = bp;
+  cmd.predicate = std::move(lp);
+  cmd.stage_index = stage_index;
+  cmd.monitor = monitor;
+  return cmd;
+}
+
+Command Command::arm_notify(BreakpointId bp, Bytes sp,
+                            std::uint32_t term_index) {
+  Command cmd;
+  cmd.kind = CommandKind::kArmNotify;
+  cmd.breakpoint = bp;
+  cmd.predicate = std::move(sp);
+  cmd.stage_index = term_index;
+  return cmd;
+}
+
+Command Command::disarm(BreakpointId bp) {
+  Command cmd;
+  cmd.kind = CommandKind::kDisarmBreakpoint;
+  cmd.breakpoint = bp;
+  return cmd;
+}
+
+Command Command::resume(std::uint64_t halt_id) {
+  Command cmd;
+  cmd.kind = CommandKind::kResume;
+  cmd.wave_id = halt_id;
+  return cmd;
+}
+
+Command Command::query_state() {
+  Command cmd;
+  cmd.kind = CommandKind::kQueryState;
+  return cmd;
+}
+
+Command Command::halt_report(ProcessId reporter, std::uint64_t halt_id,
+                             ProcessSnapshot snapshot) {
+  Command cmd;
+  cmd.kind = CommandKind::kHaltReport;
+  cmd.reporter = reporter;
+  cmd.wave_id = halt_id;
+  cmd.report = std::move(snapshot);
+  return cmd;
+}
+
+Command Command::snapshot_report(ProcessId reporter,
+                                 std::uint64_t snapshot_id,
+                                 ProcessSnapshot snapshot) {
+  Command cmd;
+  cmd.kind = CommandKind::kSnapshotReport;
+  cmd.reporter = reporter;
+  cmd.wave_id = snapshot_id;
+  cmd.report = std::move(snapshot);
+  return cmd;
+}
+
+Command Command::breakpoint_hit(ProcessId reporter, BreakpointId bp,
+                                std::string description) {
+  Command cmd;
+  cmd.kind = CommandKind::kBreakpointHit;
+  cmd.reporter = reporter;
+  cmd.breakpoint = bp;
+  cmd.text = std::move(description);
+  return cmd;
+}
+
+Command Command::notify_satisfied(ProcessId reporter, BreakpointId bp,
+                                  std::uint32_t term_index) {
+  Command cmd;
+  cmd.kind = CommandKind::kNotifySatisfied;
+  cmd.reporter = reporter;
+  cmd.breakpoint = bp;
+  cmd.stage_index = term_index;
+  return cmd;
+}
+
+Command Command::route_marker(ProcessId reporter, ProcessId target,
+                              BreakpointId bp, Bytes lp,
+                              std::uint32_t stage_index, bool monitor) {
+  Command cmd;
+  cmd.kind = CommandKind::kRouteMarker;
+  cmd.reporter = reporter;
+  cmd.target = target;
+  cmd.breakpoint = bp;
+  cmd.predicate = std::move(lp);
+  cmd.stage_index = stage_index;
+  cmd.monitor = monitor;
+  return cmd;
+}
+
+Command Command::state_report(ProcessId reporter, ProcessSnapshot snapshot) {
+  Command cmd;
+  cmd.kind = CommandKind::kStateReport;
+  cmd.reporter = reporter;
+  cmd.report = std::move(snapshot);
+  return cmd;
+}
+
+}  // namespace ddbg

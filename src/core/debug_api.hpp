@@ -1,0 +1,61 @@
+// The instrumentation interface a debugged process uses to expose events
+// and state to the debugger — the source of the paper's Simple Predicates
+// ("entering a particular procedure", variable conditions like "i[j]=7",
+// and EDL-style abstract events, cf. section 4).
+//
+// Application processes derive from Debuggable and call debug().event(...)/
+// set_var(...)/enter_procedure(...) at interesting points.  When the
+// process runs under a DebugShim these calls generate LocalEvents; when it
+// runs bare (the uninstrumented baseline of experiment E7) they are no-ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/process.hpp"
+
+namespace ddbg {
+
+class DebugApi {
+ public:
+  virtual ~DebugApi() = default;
+
+  // Named abstract event with an optional value.
+  virtual void event(std::string_view name, std::int64_t value) = 0;
+  void event(std::string_view name) { event(name, 0); }
+
+  // "Stop when procedure X is entered."
+  virtual void enter_procedure(std::string_view name) = 0;
+
+  // Watched-variable assignment; generates a state-change event carrying
+  // the new value (so predicates like `x == 7` fire on the transition).
+  virtual void set_var(std::string_view name, std::int64_t value) = 0;
+};
+
+namespace detail {
+class NullDebugApi final : public DebugApi {
+ public:
+  void event(std::string_view, std::int64_t) override {}
+  void enter_procedure(std::string_view) override {}
+  void set_var(std::string_view, std::int64_t) override {}
+};
+}  // namespace detail
+
+class Debuggable : public Process {
+ public:
+  // Called by the DebugShim when it wraps this process.
+  void attach_debug(DebugApi* api) { debug_api_ = api; }
+
+ protected:
+  [[nodiscard]] DebugApi& debug() {
+    static detail::NullDebugApi null_api;
+    return debug_api_ != nullptr ? *debug_api_ : null_api;
+  }
+
+ private:
+  DebugApi* debug_api_ = nullptr;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,179 @@
+// DebugShim: the per-process debugging agent.
+//
+// The shim wraps a user Process and interposes on everything that crosses
+// the process boundary:
+//
+//   * outgoing application messages are stamped with Lamport/vector clocks
+//     and generate kMessageSent events;
+//   * incoming traffic is dispatched by kind — halt markers to the
+//     HaltingEngine, snapshot markers to the SnapshotEngine, predicate
+//     markers to the LinkedPredicateDetector, control commands to the
+//     command handler, and application messages to the user process;
+//   * DebugApi calls from the user code generate the remaining local
+//     events.
+//
+// Every local event is offered to the LP detector and to an optional trace
+// sink (analysis).  Detector effects (forwarding predicate markers,
+// initiating halting) are deferred to the end of the current handler so a
+// halting process's halt markers are the *last* messages it sends — the
+// property Lemma 2.2's channel-state argument rests on.
+//
+// While halted the shim consumes only control traffic; application-era
+// messages are buffered by the halting engine as channel state and replayed
+// (re-dispatched through the same paths) on resume.
+//
+// The engines are constructed in on_start, bound to the topology owned by
+// the running Simulation/Runtime (the one ctx.topology() returns), so the
+// shim never holds a pointer into caller-owned temporaries.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/lamport.hpp"
+#include "clock/vector_clock.hpp"
+#include "common/ids.hpp"
+#include "core/commands.hpp"
+#include "core/debug_api.hpp"
+#include "core/halting.hpp"
+#include "core/lp_detector.hpp"
+#include "core/snapshot.hpp"
+#include "net/process.hpp"
+
+namespace ddbg {
+
+class DebugShim final : public Process, public DebugApi {
+ public:
+  struct Options {
+    // Stamp vector clocks on outgoing application messages (instrumentation
+    // used by the analysis layer; off measures the lean configuration).
+    bool stamp_vector_clocks = true;
+    // Always route predicate markers through the debugger process instead
+    // of using direct application channels when they exist.  Ablation knob
+    // for the routing design decision (see DESIGN.md / bench_ablation).
+    bool route_markers_via_debugger = false;
+    // Invoked for every local event (analysis trace).
+    std::function<void(const LocalEvent&)> trace_sink;
+    // Invoked when this process halts / resumes (tests, experiments).
+    std::function<void(HaltId)> on_halted;
+    std::function<void(HaltId)> on_resumed;
+    // Completed local contributions, also delivered locally (used by tests
+    // and by topologies without a debugger process).
+    std::function<void(ProcessId, std::uint64_t wave, const ProcessSnapshot&)>
+        local_halt_report;
+    std::function<void(ProcessId, std::uint64_t wave, const ProcessSnapshot&)>
+        local_snapshot_report;
+  };
+
+  DebugShim(ProcessId self, ProcessPtr user, Options options);
+  DebugShim(ProcessId self, ProcessPtr user);
+  ~DebugShim() override;
+
+  // ---- Process ----
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+  [[nodiscard]] Bytes snapshot_state() const override {
+    return user_->snapshot_state();
+  }
+  [[nodiscard]] std::string describe_state() const override {
+    return user_->describe_state();
+  }
+  bool restore_state(const Bytes& state) override {
+    return user_->restore_state(state);
+  }
+
+  // ---- DebugApi (called by the user process mid-handler) ----
+  void event(std::string_view name, std::int64_t value) override;
+  void enter_procedure(std::string_view name) override;
+  void set_var(std::string_view name, std::int64_t value) override;
+  using DebugApi::event;
+
+  // ---- introspection (tests / debugger queries) ----
+  [[nodiscard]] bool halted() const {
+    return halting_.has_value() && halting_->halted();
+  }
+  [[nodiscard]] const HaltingEngine& halting() const { return *halting_; }
+  [[nodiscard]] const SnapshotEngine& snapshot_engine() const {
+    return *snapshot_;
+  }
+  [[nodiscard]] Process& user() { return *user_; }
+  [[nodiscard]] std::int64_t var(const std::string& name) const;
+  [[nodiscard]] std::size_t armed_watches() const {
+    return detector_.num_watches();
+  }
+
+  // Programmatic halting initiation (a spontaneous decision to halt); used
+  // by tests and by the basic-model experiments without a debugger.
+  void initiate_halt(ProcessContext& ctx);
+  // Programmatic C&L recording initiation.
+  void initiate_snapshot(ProcessContext& ctx);
+
+ private:
+  class ShimContext;
+
+  // Pending detector effects, flushed at end of handler.
+  struct PendingForward {
+    ProcessId target;
+    BreakpointId bp;
+    LinkedPredicate rest;
+    std::uint32_t stage_index;
+    bool monitor;
+  };
+  struct PendingNotify {
+    BreakpointId bp;
+    std::uint32_t term_index;
+  };
+  struct PendingTrigger {
+    BreakpointId bp;
+    std::string description;
+    bool monitor;
+  };
+
+  void dispatch(ProcessContext& ctx, ChannelId in, Message message);
+  void handle_control(ProcessContext& ctx, const Command& command);
+  void emit_event(LocalEvent event);
+  void flush_pending(ProcessContext& ctx);
+  void send_to_debugger(ProcessContext& ctx, const Command& command);
+  [[nodiscard]] ProcessSnapshot capture_state() const;
+  void do_resume(ProcessContext& ctx, std::uint64_t wave);
+  [[nodiscard]] std::uint64_t next_message_id();
+  void bind(ProcessContext& ctx);
+
+  ProcessId self_;
+  const Topology* topology_ = nullptr;  // bound in on_start
+  ProcessPtr user_;
+  Options options_;
+
+  std::optional<HaltingEngine> halting_;
+  std::optional<SnapshotEngine> snapshot_;
+  LinkedPredicateDetector detector_;
+  std::unique_ptr<ShimContext> shim_ctx_;
+
+  LamportClock lamport_;
+  VectorClock vclock_;
+  std::uint64_t local_seq_ = 0;
+  std::uint64_t send_counter_ = 0;
+  std::unordered_map<std::string, std::int64_t> vars_;
+
+  // Valid while inside a handler; used by DebugApi calls and deferred work.
+  ProcessContext* current_ctx_ = nullptr;
+
+  std::vector<PendingForward> pending_forwards_;
+  std::vector<PendingNotify> pending_notifies_;
+  std::vector<PendingTrigger> pending_triggers_;
+};
+
+// Convenience: wrap each user process in a shim.  The debugger process slot
+// (topology.debugger_id(), if any) is not covered; append it separately.
+[[nodiscard]] std::vector<ProcessPtr> wrap_in_shims(
+    const Topology& topology, std::vector<ProcessPtr> users,
+    DebugShim::Options options);
+[[nodiscard]] std::vector<ProcessPtr> wrap_in_shims(
+    const Topology& topology, std::vector<ProcessPtr> users);
+
+}  // namespace ddbg

@@ -1,0 +1,20 @@
+#include "core/event.hpp"
+
+#include <sstream>
+
+namespace ddbg {
+
+std::string LocalEvent::describe() const {
+  std::ostringstream out;
+  out << to_string(process) << '/' << to_string(kind);
+  if (!name.empty()) out << '(' << name << ')';
+  if (kind == LocalEventKind::kStateChange ||
+      kind == LocalEventKind::kUserEvent) {
+    out << '=' << value;
+  }
+  if (channel.valid()) out << " on " << to_string(channel);
+  out << " @L" << lamport << " seq" << local_seq;
+  return out.str();
+}
+
+}  // namespace ddbg

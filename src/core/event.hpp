@@ -1,0 +1,70 @@
+// Local events: the observable occurrences breakpoint predicates range over.
+//
+// Section 3.2 of the paper enumerates the Simple Predicate vocabulary:
+// "entering a particular procedure ... a message sent or received, a channel
+// created or destroyed, or a process created or terminated".  The debug shim
+// turns each such occurrence into a LocalEvent, stamps it with Lamport and
+// vector clocks, feeds it to the Linked-Predicate detector, and (optionally)
+// appends it to an analysis trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "clock/vector_clock.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace ddbg {
+
+enum class LocalEventKind : std::uint8_t {
+  kUserEvent = 0,      // named application event (EDL-style abstract event)
+  kProcedureEntered,   // "stop when procedure X is entered"
+  kStateChange,        // watched variable assigned (carries the new value)
+  kMessageSent,
+  kMessageReceived,
+  kProcessStarted,
+  kProcessTerminated,
+  kChannelCreated,
+  kChannelDestroyed,
+};
+
+[[nodiscard]] constexpr const char* to_string(LocalEventKind kind) {
+  switch (kind) {
+    case LocalEventKind::kUserEvent: return "user_event";
+    case LocalEventKind::kProcedureEntered: return "procedure_entered";
+    case LocalEventKind::kStateChange: return "state_change";
+    case LocalEventKind::kMessageSent: return "message_sent";
+    case LocalEventKind::kMessageReceived: return "message_received";
+    case LocalEventKind::kProcessStarted: return "process_started";
+    case LocalEventKind::kProcessTerminated: return "process_terminated";
+    case LocalEventKind::kChannelCreated: return "channel_created";
+    case LocalEventKind::kChannelDestroyed: return "channel_destroyed";
+  }
+  return "?";
+}
+
+struct LocalEvent {
+  LocalEventKind kind = LocalEventKind::kUserEvent;
+  ProcessId process;
+  // Event/procedure/variable name, depending on kind.  Empty otherwise.
+  std::string name;
+  // Variable value for kStateChange, user value for kUserEvent,
+  // payload size for message events.
+  std::int64_t value = 0;
+  // Channel for message/channel events.
+  ChannelId channel;
+  // message_id of the message for send/receive events (pairs them up).
+  std::uint64_t message_id = 0;
+
+  // Instrumentation stamps (assigned by the debug shim).
+  std::uint64_t lamport = 0;
+  VectorClock vclock;
+  TimePoint when{};
+  // Per-process sequence number: position in this process's local order.
+  std::uint64_t local_seq = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,145 @@
+#include "core/halting.hpp"
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+HaltingEngine::HaltingEngine(ProcessId self, const Topology* topology,
+                             Callbacks callbacks)
+    : self_(self), topology_(topology), callbacks_(std::move(callbacks)) {
+  DDBG_ASSERT(topology_ != nullptr, "HaltingEngine needs a topology");
+  DDBG_ASSERT(callbacks_.capture_state != nullptr,
+              "HaltingEngine needs a capture_state callback");
+}
+
+bool HaltingEngine::is_app_channel(ChannelId c) const {
+  return !topology_->channel(c).is_control;
+}
+
+void HaltingEngine::initiate(ProcessContext& ctx) {
+  if (halted_) return;  // a process can halt only once per wave
+  // Marker-Sending Rule: increment last_halt_id, then Halt Routine.
+  ++last_halt_id_;
+  snapshot_ = callbacks_.capture_state();
+  snapshot_.halt_path.clear();  // spontaneous: nobody halted before us
+  halt_routine(ctx);
+}
+
+void HaltingEngine::on_halt_marker(ProcessContext& ctx, ChannelId in,
+                                   const HaltMarkerData& data) {
+  if (data.halt_id.value() > last_halt_id_) {
+    // New wave: adopt its id and halt.
+    last_halt_id_ = data.halt_id.value();
+    snapshot_ = callbacks_.capture_state();
+    snapshot_.halt_path = data.halt_path;
+    halt_routine(ctx);
+    // The channel the first marker arrived on is empty (the sender halted
+    // immediately after sending it): mark it done with no recorded messages.
+    channels_done_.insert(in);
+    check_complete();
+    return;
+  }
+  if (halted_ && data.halt_id.value() == last_halt_id_) {
+    // Another marker of the current wave: this channel's state is complete.
+    channels_done_.insert(in);
+    check_complete();
+    return;
+  }
+  // Marker for an older wave (or for the current id while running, which
+  // cannot happen with per-wave ids): ignore, per the Marker-Receiving Rule.
+}
+
+void HaltingEngine::halt_routine(ProcessContext& ctx) {
+  DDBG_ASSERT(!halted_, "halt routine entered twice");
+  halted_ = true;
+  completion_reported_ = false;
+  channels_done_.clear();
+  buffered_.clear();
+  buffered_timers_.clear();
+
+  snapshot_.captured_at = ctx.now();
+
+  // Prepare per-incoming-application-channel state slots.
+  snapshot_.in_channels.clear();
+  channel_slot_.assign(topology_->num_channels(), SIZE_MAX);
+  for (const ChannelId c : topology_->in_channels(self_)) {
+    if (!is_app_channel(c)) continue;
+    channel_slot_[c.value()] = snapshot_.in_channels.size();
+    snapshot_.in_channels.push_back(ChannelState{c, {}});
+  }
+
+  // Forward markers on every outgoing channel, appending our own name to
+  // the halt path (section 2.2.4), then halt.
+  std::vector<ProcessId> path = snapshot_.halt_path;
+  path.push_back(self_);
+  for (const ChannelId c : topology_->out_channels(self_)) {
+    ctx.send(c, Message::halt_marker(HaltId(last_halt_id_), path));
+  }
+
+  if (callbacks_.on_halt) {
+    callbacks_.on_halt(HaltId(last_halt_id_), snapshot_.halt_path);
+  }
+  check_complete();  // a process with no incoming app/control channels
+}
+
+bool HaltingEngine::complete() const {
+  if (!halted_) return false;
+  for (const ChannelId c : topology_->in_channels(self_)) {
+    if (!channels_done_.contains(c)) return false;
+  }
+  return true;
+}
+
+void HaltingEngine::check_complete() {
+  if (completion_reported_ || !complete()) return;
+  completion_reported_ = true;
+  if (callbacks_.on_complete) callbacks_.on_complete(snapshot_);
+}
+
+bool HaltingEngine::intercept_message(ChannelId in, const Message& message) {
+  if (!halted_) return false;
+  DDBG_ASSERT(message.kind != MessageKind::kControl,
+              "control messages must bypass the halting engine");
+  // Everything that arrives while halted stays logically in the channel and
+  // is replayed on resume.
+  buffered_.emplace_back(in, message);
+  // Application messages arriving before this channel's marker are part of
+  // the channel's recorded state (Lemma 2.2).
+  if (message.kind == MessageKind::kApplication &&
+      !channels_done_.contains(in)) {
+    const std::size_t slot =
+        in.value() < channel_slot_.size() ? channel_slot_[in.value()]
+                                          : SIZE_MAX;
+    if (slot != SIZE_MAX) {
+      snapshot_.in_channels[slot].messages.push_back(message.payload);
+    }
+  }
+  return true;
+}
+
+bool HaltingEngine::intercept_timer(TimerId timer) {
+  if (!halted_) return false;
+  buffered_timers_.push_back(timer);
+  return true;
+}
+
+HaltingEngine::ResumeData HaltingEngine::resume() {
+  DDBG_ASSERT(halted_, "resume() while running");
+  ResumeData data;
+  data.messages = std::move(buffered_);
+  data.timers = std::move(buffered_timers_);
+  buffered_.clear();
+  buffered_timers_.clear();
+  halted_ = false;
+  completion_reported_ = false;
+  channels_done_.clear();
+  snapshot_ = ProcessSnapshot{};
+  return data;
+}
+
+const ProcessSnapshot& HaltingEngine::snapshot() const {
+  DDBG_ASSERT(halted_, "snapshot() while running");
+  return snapshot_;
+}
+
+}  // namespace ddbg

@@ -1,0 +1,76 @@
+#include "core/lp_detector.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+LinkedPredicateDetector::LinkedPredicateDetector(ProcessId self,
+                                                 Callbacks callbacks)
+    : self_(self), callbacks_(std::move(callbacks)) {}
+
+void LinkedPredicateDetector::arm(BreakpointId bp, LinkedPredicate lp,
+                                  std::uint32_t stage_index, bool monitor) {
+  DDBG_ASSERT(!lp.empty(), "cannot arm an empty LinkedPredicate");
+  DDBG_ASSERT(lp.first().involves(self_),
+              "armed LP's first DP must involve this process");
+  watches_.push_back(Watch{bp, std::move(lp), stage_index, monitor});
+}
+
+void LinkedPredicateDetector::arm_notify(BreakpointId bp, SimplePredicate sp,
+                                         std::uint32_t term_index) {
+  DDBG_ASSERT(sp.process == self_, "notify watch must be local");
+  notify_watches_.push_back(NotifyWatch{bp, std::move(sp), term_index});
+}
+
+std::size_t LinkedPredicateDetector::disarm(BreakpointId bp) {
+  const std::size_t before = num_watches();
+  std::erase_if(watches_, [bp](const Watch& w) { return w.bp == bp; });
+  std::erase_if(notify_watches_,
+                [bp](const NotifyWatch& w) { return w.bp == bp; });
+  return before - num_watches();
+}
+
+void LinkedPredicateDetector::on_local_event(const LocalEvent& event) {
+  // Collect satisfied watches first: callbacks may re-arm (a chain whose
+  // next DP is also local) and must not invalidate the iteration.
+  std::vector<Watch> fired;
+  for (std::size_t i = 0; i < watches_.size();) {
+    if (watches_[i].lp.first().matches(event)) {
+      fired.push_back(std::move(watches_[i]));
+      watches_.erase(watches_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  for (Watch& watch : fired) {
+    const LinkedPredicate rest = watch.lp.rest();
+    if (rest.empty()) {
+      DDBG_DEBUG() << to_string(self_) << " LP of bp "
+                   << watch.bp.value() << " completed on "
+                   << event.describe();
+      if (callbacks_.on_trigger) {
+        callbacks_.on_trigger(watch.bp, event, watch.monitor);
+      }
+      continue;
+    }
+    // The "[Σ - DPj] DPj" semantics need no bookkeeping: each process
+    // simply waits for its own armed DP and ignores everything else.
+    for (const ProcessId target : rest.first().involved_processes()) {
+      if (callbacks_.forward) {
+        callbacks_.forward(target, watch.bp, rest, watch.stage_index + 1,
+                           watch.monitor);
+      }
+    }
+  }
+
+  for (const NotifyWatch& watch : notify_watches_) {
+    if (watch.sp.matches(event) && callbacks_.on_notify) {
+      callbacks_.on_notify(watch.bp, watch.term_index, event);
+    }
+  }
+}
+
+}  // namespace ddbg

@@ -1,0 +1,92 @@
+// Linked-Predicate detection (section 3.6 of the paper), per-process.
+//
+//   Predicate-Marker-Sending Rule for p: send a predicate marker containing
+//   the Linked Predicate to each process involved in the first DP.
+//   Predicate-Marker-Receiving Rule for q: split off the first DP; when it
+//   is met, if the remainder (newLP) is empty initiate the Halting
+//   Algorithm, else forward a new predicate marker per the sending rule.
+//
+// The detector holds the armed "first DPs" for this process and evaluates
+// them against the stream of local events.  The enclosing debug shim
+// supplies the transport effects (forwarding markers, initiating halting)
+// through callbacks, and — because a predicate can be satisfied in the
+// middle of a user handler — *defers* those effects to the end of the
+// handler so that halt markers are still the last thing a halting process
+// sends (Lemma 2.2 depends on that).
+//
+// The LP grammar subsumes SPs and DPs (single-stage LPs), so this is the
+// only detection algorithm needed; it also serves the ordered-conjunctive
+// compilation and the unordered-conjunction notification watches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/event.hpp"
+#include "core/predicate.hpp"
+
+namespace ddbg {
+
+class LinkedPredicateDetector {
+ public:
+  struct Callbacks {
+    // The last DP of an LP was satisfied here: initiate halting — or, for a
+    // monitor-mode chain, just report — and tell the debugger which
+    // breakpoint fired.
+    std::function<void(BreakpointId, const LocalEvent& trigger, bool monitor)>
+        on_trigger;
+    // Forward the remainder LP to `target`, the next DP's involved process.
+    std::function<void(ProcessId target, BreakpointId,
+                       const LinkedPredicate& rest,
+                       std::uint32_t next_stage_index, bool monitor)>
+        forward;
+    // Unordered-CP watch fired: notify the debugger.
+    std::function<void(BreakpointId, std::uint32_t term_index,
+                       const LocalEvent& trigger)>
+        on_notify;
+  };
+
+  explicit LinkedPredicateDetector(ProcessId self, Callbacks callbacks);
+
+  // Arm an LP whose first DP involves this process.  `lp` must be expanded
+  // (no repeat counts).  stage_index counts stages already consumed by the
+  // chain, for diagnostics.  monitor marks an abstract-event chain.
+  void arm(BreakpointId bp, LinkedPredicate lp, std::uint32_t stage_index,
+           bool monitor = false);
+
+  // Arm a persistent unordered-CP notification watch.
+  void arm_notify(BreakpointId bp, SimplePredicate sp,
+                  std::uint32_t term_index);
+
+  // Remove all watches for a breakpoint.  Returns how many were removed.
+  std::size_t disarm(BreakpointId bp);
+
+  // Evaluate all watches against a local event.  Satisfied LP watches are
+  // consumed (one-shot, per the marker semantics); notify watches persist.
+  void on_local_event(const LocalEvent& event);
+
+  [[nodiscard]] std::size_t num_watches() const {
+    return watches_.size() + notify_watches_.size();
+  }
+
+ private:
+  struct Watch {
+    BreakpointId bp;
+    LinkedPredicate lp;  // expanded; first stage is what we wait for
+    std::uint32_t stage_index;
+    bool monitor;
+  };
+  struct NotifyWatch {
+    BreakpointId bp;
+    SimplePredicate sp;
+    std::uint32_t term_index;
+  };
+
+  ProcessId self_;
+  Callbacks callbacks_;
+  std::vector<Watch> watches_;
+  std::vector<NotifyWatch> notify_watches_;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,37 @@
+// Text syntax for breakpoint predicates.
+//
+//   breakpoint  := conjunction | linked
+//   linked      := dpterm ( "->" dpterm )*
+//   dpterm      := "(" dp ")" [ "^" INT ]  |  dp
+//   dp          := atom ( "|" atom )*
+//   conjunction := atom ( "&" atom )+ [ "[ordered]" | "[unordered]" ]
+//   atom        := "p" INT ":" sp
+//   sp          := "event(" IDENT ")" | "enter(" IDENT ")"
+//               |  "sent" | "recv" | "started" | "terminated"
+//               |  IDENT CMP INT                  (watched-variable compare)
+//   CMP         := "==" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Examples:
+//   p0:enter(handle_request)
+//   p0:event(token) | p1:event(token)
+//   p0:event(sent_order) -> (p2:recv)^3 -> p1:balance<0
+//   p0:x==7 & p1:y==9 [unordered]
+//
+// Conjunctions default to the ordered interpretation (the detectable one,
+// section 3.5); append "[unordered]" for the debugger-gathered variant.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "core/predicate.hpp"
+
+namespace ddbg {
+
+[[nodiscard]] Result<BreakpointSpec> parse_breakpoint(std::string_view text);
+
+// Parse just a linked predicate (no conjunction allowed).
+[[nodiscard]] Result<LinkedPredicate> parse_linked_predicate(
+    std::string_view text);
+
+}  // namespace ddbg

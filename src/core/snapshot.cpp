@@ -1,0 +1,88 @@
+#include "core/snapshot.hpp"
+
+namespace ddbg {
+
+SnapshotEngine::SnapshotEngine(ProcessId self, const Topology* topology,
+                               Callbacks callbacks)
+    : self_(self), topology_(topology), callbacks_(std::move(callbacks)) {
+  DDBG_ASSERT(topology_ != nullptr, "SnapshotEngine needs a topology");
+  DDBG_ASSERT(callbacks_.capture_state != nullptr,
+              "SnapshotEngine needs a capture_state callback");
+}
+
+bool SnapshotEngine::is_app_channel(ChannelId c) const {
+  return !topology_->channel(c).is_control;
+}
+
+void SnapshotEngine::initiate(ProcessContext& ctx) {
+  if (recording_) return;
+  ++last_snapshot_id_;
+  record_state(ctx);
+  check_complete();
+}
+
+void SnapshotEngine::on_marker(ProcessContext& ctx, ChannelId in,
+                               const SnapshotMarkerData& data) {
+  if (data.snapshot_id > last_snapshot_id_) {
+    // First marker of a new wave: record state; this channel is empty.
+    last_snapshot_id_ = data.snapshot_id;
+    record_state(ctx);
+    channels_done_.insert(in);
+    check_complete();
+    return;
+  }
+  if (recording_ && data.snapshot_id == last_snapshot_id_) {
+    channels_done_.insert(in);
+    check_complete();
+    return;
+  }
+  // Stale marker from a completed wave: ignore.
+}
+
+void SnapshotEngine::record_state(ProcessContext& ctx) {
+  DDBG_ASSERT(!recording_, "record_state entered twice");
+  recording_ = true;
+  channels_done_.clear();
+
+  snapshot_ = callbacks_.capture_state();
+  snapshot_.halt_path.clear();  // recordings carry no halt path
+  snapshot_.captured_at = ctx.now();
+
+  snapshot_.in_channels.clear();
+  channel_slot_.assign(topology_->num_channels(), SIZE_MAX);
+  for (const ChannelId c : topology_->in_channels(self_)) {
+    if (!is_app_channel(c)) continue;
+    channel_slot_[c.value()] = snapshot_.in_channels.size();
+    snapshot_.in_channels.push_back(ChannelState{c, {}});
+  }
+
+  // Marker-Sending Rule: one marker per outgoing channel, before any
+  // further message.  (This handler sends them immediately, so nothing can
+  // be interleaved.)
+  for (const ChannelId c : topology_->out_channels(self_)) {
+    ctx.send(c, Message::snapshot_marker(last_snapshot_id_));
+  }
+}
+
+void SnapshotEngine::observe_app_message(ChannelId in,
+                                         const Message& message) {
+  if (!recording_) return;
+  if (message.kind != MessageKind::kApplication) return;
+  if (channels_done_.contains(in)) return;
+  const std::size_t slot =
+      in.value() < channel_slot_.size() ? channel_slot_[in.value()] : SIZE_MAX;
+  if (slot != SIZE_MAX) {
+    snapshot_.in_channels[slot].messages.push_back(message.payload);
+  }
+}
+
+void SnapshotEngine::check_complete() {
+  if (!recording_) return;
+  for (const ChannelId c : topology_->in_channels(self_)) {
+    if (!channels_done_.contains(c)) return;
+  }
+  recording_ = false;
+  if (callbacks_.on_complete) callbacks_.on_complete(snapshot_);
+}
+
+}  // namespace ddbg

@@ -1,0 +1,426 @@
+#include "debugger/debugger_process.hpp"
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+void DebuggerProcess::on_start(ProcessContext& ctx) {
+  topology_ = &ctx.topology();
+  self_ = ctx.self();
+  DDBG_ASSERT(topology_->has_debugger() && topology_->is_debugger(self_),
+              "DebuggerProcess must occupy the topology's debugger slot");
+}
+
+void DebuggerProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
+                                 Message message) {
+  switch (message.kind) {
+    case MessageKind::kHaltMarker:
+      DDBG_ASSERT(message.halt.has_value(), "halt marker without data");
+      handle_halt_marker(ctx, *message.halt);
+      return;
+    case MessageKind::kSnapshotMarker:
+      DDBG_ASSERT(message.snapshot.has_value(), "snapshot marker w/o data");
+      handle_snapshot_marker(ctx, *message.snapshot);
+      return;
+    case MessageKind::kControl: {
+      auto command = Command::decode(message.payload);
+      if (!command.ok()) {
+        DDBG_ERROR() << "debugger: bad control message: "
+                     << command.error().to_string();
+        return;
+      }
+      handle_command(ctx, command.value());
+      return;
+    }
+    default:
+      DDBG_WARN() << "debugger: unexpected " << to_string(message.kind);
+  }
+}
+
+void DebuggerProcess::send_control(ProcessContext& ctx, ProcessId target,
+                                   const Command& command) {
+  ctx.send(topology_->control_to(target), Message::control(command.encode()));
+}
+
+void DebuggerProcess::broadcast_control(ProcessContext& ctx,
+                                        const Command& command) {
+  for (const ProcessId p : topology_->user_process_ids()) {
+    send_control(ctx, p, command);
+  }
+}
+
+DebuggerProcess::WaveInfo& DebuggerProcess::wave_entry(
+    std::map<std::uint64_t, WaveInfo>& waves, std::uint64_t id,
+    ProcessContext& ctx) {
+  auto [it, inserted] = waves.try_emplace(id);
+  if (inserted) {
+    it->second.id = id;
+    it->second.started_at = ctx.now();
+    it->second.state = GlobalState(HaltId(id));
+  }
+  return it->second;
+}
+
+void DebuggerProcess::handle_halt_marker(ProcessContext& ctx,
+                                         const HaltMarkerData& data) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  if (data.halt_id.value() > last_halt_id_) {
+    // New wave: adopt it and run the forwarding half of the Halt Routine —
+    // but never halt (section 2.2.3: "the debugger process d never really
+    // halts").  Forwarding on every control channel is what reaches the
+    // processes the application topology cannot.
+    last_halt_id_ = data.halt_id.value();
+    wave_entry(halt_waves_, last_halt_id_, ctx);
+    std::vector<ProcessId> path = data.halt_path;
+    path.push_back(self_);
+    for (const ProcessId p : topology_->user_process_ids()) {
+      ctx.send(topology_->control_to(p),
+               Message::halt_marker(data.halt_id, path));
+      ++markers_forwarded_;
+    }
+  }
+  // Markers of the current or older waves need no action here; the
+  // per-process halt paths are collected from the halt reports.
+}
+
+void DebuggerProcess::handle_snapshot_marker(ProcessContext& ctx,
+                                             const SnapshotMarkerData& data) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  if (data.snapshot_id > last_snapshot_id_) {
+    last_snapshot_id_ = data.snapshot_id;
+    wave_entry(snapshot_waves_, last_snapshot_id_, ctx);
+    for (const ProcessId p : topology_->user_process_ids()) {
+      ctx.send(topology_->control_to(p),
+               Message::snapshot_marker(data.snapshot_id));
+      ++markers_forwarded_;
+    }
+  }
+}
+
+void DebuggerProcess::handle_command(ProcessContext& ctx,
+                                     const Command& command) {
+  switch (command.kind) {
+    case CommandKind::kHaltReport: {
+      std::lock_guard<std::mutex> guard{mutex_};
+      WaveInfo& wave = wave_entry(halt_waves_, command.wave_id, ctx);
+      DDBG_ASSERT(command.report.has_value(), "halt report without snapshot");
+      wave.halt_paths[command.reporter] = command.report->halt_path;
+      wave.state.add(*command.report);
+      if (wave.state.size() == topology_->num_user_processes() &&
+          !wave.complete) {
+        wave.complete = true;
+        wave.completed_at = ctx.now();
+        DDBG_INFO() << "debugger: halt wave " << wave.id << " complete at "
+                    << to_string(wave.completed_at);
+      }
+      return;
+    }
+    case CommandKind::kSnapshotReport: {
+      std::lock_guard<std::mutex> guard{mutex_};
+      WaveInfo& wave = wave_entry(snapshot_waves_, command.wave_id, ctx);
+      DDBG_ASSERT(command.report.has_value(),
+                  "snapshot report without snapshot");
+      wave.state.add(*command.report);
+      if (wave.state.size() == topology_->num_user_processes() &&
+          !wave.complete) {
+        wave.complete = true;
+        wave.completed_at = ctx.now();
+      }
+      return;
+    }
+    case CommandKind::kBreakpointHit: {
+      bool rearm = false;
+      BreakpointSpec spec;
+      {
+        std::lock_guard<std::mutex> guard{mutex_};
+        hits_.push_back(BreakpointHit{command.breakpoint, command.reporter,
+                                      command.text, ctx.now()});
+        auto it = breakpoints_.find(command.breakpoint);
+        if (it != breakpoints_.end() &&
+            it->second.action == BreakpointAction::kMonitor) {
+          // EDL-style abstract event (section 4): record the occurrence and
+          // re-arm the chain so the recognizer keeps running.
+          rearm = true;
+          spec = it->second;
+        }
+      }
+      if (rearm) arm_spec(ctx, command.breakpoint, spec);
+      return;
+    }
+    case CommandKind::kNotifySatisfied: {
+      bool all_satisfied = false;
+      bool monitor = false;
+      {
+        std::lock_guard<std::mutex> guard{mutex_};
+        auto spec = breakpoints_.find(command.breakpoint);
+        if (spec == breakpoints_.end()) return;  // fired already or cleared
+        monitor = spec->second.action == BreakpointAction::kMonitor;
+        auto& satisfied = satisfied_terms_[command.breakpoint];
+        satisfied.insert(command.stage_index);
+        all_satisfied =
+            satisfied.size() == spec->second.conjunctive.terms.size();
+        if (all_satisfied) {
+          hits_.push_back(BreakpointHit{
+              command.breakpoint, command.reporter,
+              "unordered conjunction gathered at debugger", ctx.now()});
+          if (monitor) {
+            // Abstract event: reset the gather; the notify watches persist.
+            satisfied_terms_[command.breakpoint].clear();
+          } else {
+            // One-shot: drop the breakpoint so the notifications still in
+            // flight cannot re-trigger a second wave on top of this one.
+            breakpoints_.erase(spec);
+            satisfied_terms_.erase(command.breakpoint);
+          }
+        }
+      }
+      // The unordered-CP interpretation: once every term has been reported
+      // satisfied, halt.  The gather is inherently late — experiment E8
+      // measures by how much.
+      if (all_satisfied && !monitor) {
+        broadcast_control(ctx, Command::disarm(command.breakpoint));
+        initiate_halt(ctx);
+      }
+      return;
+    }
+    case CommandKind::kRouteMarker: {
+      // Predicate-marker routing for process pairs with no direct channel.
+      send_control(ctx, command.target,
+                   Command::arm_predicate(command.breakpoint,
+                                          command.predicate,
+                                          command.stage_index,
+                                          command.monitor));
+      return;
+    }
+    case CommandKind::kStateReport: {
+      std::lock_guard<std::mutex> guard{mutex_};
+      DDBG_ASSERT(command.report.has_value(), "state report without snapshot");
+      state_reports_[command.reporter] = *command.report;
+      return;
+    }
+    default:
+      DDBG_WARN() << "debugger: unexpected command "
+                  << to_string(command.kind);
+  }
+}
+
+namespace {
+
+// Every process a spec names must exist as a user process; otherwise the
+// arm commands would target nonexistent control channels.
+bool spec_targets_valid(const BreakpointSpec& spec,
+                        std::uint32_t num_user_processes) {
+  auto all_valid = [num_user_processes](const std::vector<ProcessId>& ids) {
+    for (const ProcessId p : ids) {
+      if (p.value() >= num_user_processes) return false;
+    }
+    return true;
+  };
+  if (spec.kind == BreakpointSpec::Kind::kLinked) {
+    if (spec.linked.empty()) return false;
+    for (const auto& stage : spec.linked.stages) {
+      if (stage.dp.alternatives.empty()) return false;
+      if (!all_valid(stage.dp.involved_processes())) return false;
+    }
+    return true;
+  }
+  return !spec.conjunctive.terms.empty() &&
+         all_valid(spec.conjunctive.involved_processes());
+}
+
+}  // namespace
+
+BreakpointId DebuggerProcess::set_breakpoint(ProcessContext& ctx,
+                                             const BreakpointSpec& spec) {
+  if (!spec_targets_valid(spec, topology_->num_user_processes())) {
+    DDBG_WARN() << "debugger: breakpoint names a process outside the "
+                   "topology or is empty: "
+                << spec.describe();
+    return BreakpointId();  // invalid
+  }
+  BreakpointId bp;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    bp = BreakpointId(next_breakpoint_++);
+    breakpoints_[bp] = spec;
+  }
+  arm_spec(ctx, bp, spec);
+  return bp;
+}
+
+void DebuggerProcess::arm_spec(ProcessContext& ctx, BreakpointId bp,
+                               const BreakpointSpec& spec) {
+  const bool monitor = spec.action == BreakpointAction::kMonitor;
+  if (spec.kind == BreakpointSpec::Kind::kLinked) {
+    // The Predicate-Marker-Sending Rule: ship the LP to every process
+    // involved in the first DP.
+    const LinkedPredicate lp = spec.linked.expanded();
+    const Bytes encoded = lp.encode_to_bytes();
+    for (const ProcessId p : lp.first().involved_processes()) {
+      send_control(ctx, p, Command::arm_predicate(bp, encoded, 0, monitor));
+    }
+    return;
+  }
+  if (spec.mode == ConjunctionMode::kOrdered) {
+    // Ordered interpretation: every permutation chain is armed; whichever
+    // interleaving the execution produces, some chain walks it.
+    auto chains = spec.conjunctive.compile_ordered();
+    if (!chains.ok()) {
+      DDBG_ERROR() << "debugger: " << chains.error().to_string();
+      return;
+    }
+    for (const LinkedPredicate& lp : chains.value()) {
+      const Bytes encoded = lp.encode_to_bytes();
+      for (const ProcessId p : lp.first().involved_processes()) {
+        send_control(ctx, p, Command::arm_predicate(bp, encoded, 0, monitor));
+      }
+    }
+    return;
+  }
+  // Unordered interpretation: persistent notify watches, gathered here.
+  for (std::uint32_t i = 0; i < spec.conjunctive.terms.size(); ++i) {
+    const SimplePredicate& sp = spec.conjunctive.terms[i];
+    ByteWriter writer;
+    sp.encode(writer);
+    send_control(ctx, sp.process,
+                 Command::arm_notify(bp, std::move(writer).take(), i));
+  }
+}
+
+void DebuggerProcess::clear_breakpoint(ProcessContext& ctx, BreakpointId bp) {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    breakpoints_.erase(bp);
+    satisfied_terms_.erase(bp);
+  }
+  broadcast_control(ctx, Command::disarm(bp));
+}
+
+std::uint64_t DebuggerProcess::initiate_halt(ProcessContext& ctx) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  ++last_halt_id_;
+  wave_entry(halt_waves_, last_halt_id_, ctx);
+  for (const ProcessId p : topology_->user_process_ids()) {
+    ctx.send(topology_->control_to(p),
+             Message::halt_marker(HaltId(last_halt_id_), {self_}));
+    ++markers_forwarded_;
+  }
+  return last_halt_id_;
+}
+
+std::uint64_t DebuggerProcess::initiate_snapshot(ProcessContext& ctx) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  ++last_snapshot_id_;
+  wave_entry(snapshot_waves_, last_snapshot_id_, ctx);
+  for (const ProcessId p : topology_->user_process_ids()) {
+    ctx.send(topology_->control_to(p),
+             Message::snapshot_marker(last_snapshot_id_));
+    ++markers_forwarded_;
+  }
+  return last_snapshot_id_;
+}
+
+void DebuggerProcess::resume_all(ProcessContext& ctx) {
+  std::uint64_t wave = 0;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    wave = last_halt_id_;
+    // Waves up to here are over: latest_halt_complete() now refers to the
+    // *next* wave, so a session can wait for a fresh halt after resuming.
+    resumed_through_ = wave;
+  }
+  if (wave == 0) return;
+  broadcast_control(ctx, Command::resume(wave));
+}
+
+void DebuggerProcess::query_state(ProcessContext& ctx, ProcessId target) {
+  {
+    // Drop any previous report so a waiter sees only the fresh answer.
+    std::lock_guard<std::mutex> guard{mutex_};
+    state_reports_.erase(target);
+  }
+  send_control(ctx, target, Command::query_state());
+}
+
+std::uint64_t DebuggerProcess::last_halt_id() const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  return last_halt_id_;
+}
+
+bool DebuggerProcess::halt_complete(std::uint64_t wave) const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  auto it = halt_waves_.find(wave);
+  return it != halt_waves_.end() && it->second.complete;
+}
+
+bool DebuggerProcess::latest_halt_complete() const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  if (last_halt_id_ == 0 || last_halt_id_ <= resumed_through_) return false;
+  auto it = halt_waves_.find(last_halt_id_);
+  return it != halt_waves_.end() && it->second.complete;
+}
+
+std::optional<DebuggerProcess::WaveInfo> DebuggerProcess::halt_wave(
+    std::uint64_t wave) const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  auto it = halt_waves_.find(wave);
+  if (it == halt_waves_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<DebuggerProcess::WaveInfo> DebuggerProcess::latest_halt_wave()
+    const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  if (last_halt_id_ == 0) return std::nullopt;
+  auto it = halt_waves_.find(last_halt_id_);
+  if (it == halt_waves_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t DebuggerProcess::last_snapshot_id() const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  return last_snapshot_id_;
+}
+
+bool DebuggerProcess::snapshot_complete(std::uint64_t wave) const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  auto it = snapshot_waves_.find(wave);
+  return it != snapshot_waves_.end() && it->second.complete;
+}
+
+std::optional<DebuggerProcess::WaveInfo> DebuggerProcess::snapshot_wave(
+    std::uint64_t wave) const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  auto it = snapshot_waves_.find(wave);
+  if (it == snapshot_waves_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<DebuggerProcess::BreakpointHit> DebuggerProcess::hits() const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  return hits_;
+}
+
+std::size_t DebuggerProcess::hit_count(BreakpointId bp) const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  std::size_t count = 0;
+  for (const BreakpointHit& hit : hits_) {
+    if (hit.breakpoint == bp) ++count;
+  }
+  return count;
+}
+
+std::optional<ProcessSnapshot> DebuggerProcess::state_report(
+    ProcessId process) const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  auto it = state_reports_.find(process);
+  if (it == state_reports_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t DebuggerProcess::markers_forwarded() const {
+  std::lock_guard<std::mutex> guard{mutex_};
+  return markers_forwarded_;
+}
+
+}  // namespace ddbg

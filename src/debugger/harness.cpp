@@ -1,0 +1,78 @@
+#include "debugger/harness.hpp"
+
+namespace ddbg {
+
+namespace {
+
+struct WiredSystem {
+  Topology topology;  // with debugger
+  std::vector<ProcessPtr> processes;
+  DebuggerProcess* debugger = nullptr;
+};
+
+WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
+                 const DebugShim::Options& shim_options) {
+  WiredSystem wired;
+  wired.topology = user_topology.with_debugger();
+  wired.processes =
+      wrap_in_shims(wired.topology, std::move(users), shim_options);
+  auto debugger = std::make_unique<DebuggerProcess>();
+  wired.debugger = debugger.get();
+  wired.processes.push_back(std::move(debugger));
+  return wired;
+}
+
+}  // namespace
+
+SimDebugHarness::SimDebugHarness(const Topology& user_topology,
+                                 std::vector<ProcessPtr> users,
+                                 HarnessConfig config) {
+  WiredSystem wired =
+      wire(user_topology, std::move(users), config.shim_options);
+  debugger_ = wired.debugger;
+  debugger_id_ = wired.topology.debugger_id();
+
+  SimulationConfig sim_config;
+  sim_config.seed = config.seed;
+  sim_config.latency = std::move(config.latency);
+  sim_ = std::make_unique<Simulation>(std::move(wired.topology),
+                                      std::move(wired.processes),
+                                      std::move(sim_config));
+  host_ = std::make_unique<SimHost>(*sim_);
+  session_ =
+      std::make_unique<DebuggerSession>(*host_, *debugger_, debugger_id_);
+}
+
+DebugShim& SimDebugHarness::shim(ProcessId p) {
+  auto* shim = dynamic_cast<DebugShim*>(&sim_->process(p));
+  DDBG_ASSERT(shim != nullptr, "process is not wrapped in a DebugShim");
+  return *shim;
+}
+
+RuntimeDebugHarness::RuntimeDebugHarness(const Topology& user_topology,
+                                         std::vector<ProcessPtr> users,
+                                         HarnessConfig config) {
+  WiredSystem wired =
+      wire(user_topology, std::move(users), config.shim_options);
+  debugger_ = wired.debugger;
+  debugger_id_ = wired.topology.debugger_id();
+
+  RuntimeConfig runtime_config;
+  runtime_config.seed = config.seed;
+  runtime_ = std::make_unique<Runtime>(std::move(wired.topology),
+                                       std::move(wired.processes),
+                                       runtime_config);
+  host_ = std::make_unique<RuntimeHost>(*runtime_);
+  session_ =
+      std::make_unique<DebuggerSession>(*host_, *debugger_, debugger_id_);
+}
+
+RuntimeDebugHarness::~RuntimeDebugHarness() { shutdown(); }
+
+DebugShim& RuntimeDebugHarness::shim(ProcessId p) {
+  auto* shim = dynamic_cast<DebugShim*>(&runtime_->process(p));
+  DDBG_ASSERT(shim != nullptr, "process is not wrapped in a DebugShim");
+  return *shim;
+}
+
+}  // namespace ddbg

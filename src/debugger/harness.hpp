@@ -1,0 +1,115 @@
+// Hosts and harnesses: one-call wiring of (topology, user processes) into a
+// debuggable system on either substrate.
+//
+//   SimDebugHarness harness(Topology::ring(4), make_ring_processes(...));
+//   harness.session().set_breakpoint("p0:event(token)");
+//   harness.sim().run_for(Duration::seconds(1));
+//
+// The harness extends the topology with the debugger process (section
+// 2.2.3), wraps every user process in a DebugShim, appends a
+// DebuggerProcess, and exposes a DebuggerSession bound to the right host.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/debug_shim.hpp"
+#include "debugger/debugger_process.hpp"
+#include "debugger/session.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/simulation.hpp"
+
+namespace ddbg {
+
+class SimHost final : public SessionHost {
+ public:
+  explicit SimHost(Simulation& sim) : sim_(sim) {}
+
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action) override {
+    sim_.post(target, std::move(action));
+  }
+
+  bool wait(const std::function<bool()>& condition,
+            Duration timeout) override {
+    return sim_.run_until_condition(condition, sim_.now() + timeout);
+  }
+
+ private:
+  Simulation& sim_;
+};
+
+class RuntimeHost final : public SessionHost {
+ public:
+  explicit RuntimeHost(Runtime& runtime) : runtime_(runtime) {}
+
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action) override {
+    runtime_.post(target, std::move(action));
+  }
+
+  bool wait(const std::function<bool()>& condition,
+            Duration timeout) override {
+    return Runtime::wait_until(condition, timeout);
+  }
+
+ private:
+  Runtime& runtime_;
+};
+
+struct HarnessConfig {
+  std::uint64_t seed = 1;
+  std::unique_ptr<LatencyModel> latency;  // simulator only
+  DebugShim::Options shim_options;
+};
+
+// Deterministic-simulator harness.
+class SimDebugHarness {
+ public:
+  SimDebugHarness(const Topology& user_topology,
+                  std::vector<ProcessPtr> users, HarnessConfig config = {});
+
+  [[nodiscard]] Simulation& sim() { return *sim_; }
+  [[nodiscard]] DebuggerSession& session() { return *session_; }
+  [[nodiscard]] DebuggerProcess& debugger() { return *debugger_; }
+  [[nodiscard]] const Topology& topology() const {
+    return sim_->topology();
+  }
+  [[nodiscard]] ProcessId debugger_id() const { return debugger_id_; }
+  // The shim wrapping user process p.
+  [[nodiscard]] DebugShim& shim(ProcessId p);
+
+ private:
+  std::unique_ptr<Simulation> sim_;
+  DebuggerProcess* debugger_ = nullptr;  // owned by sim_
+  ProcessId debugger_id_;
+  std::unique_ptr<SimHost> host_;
+  std::unique_ptr<DebuggerSession> session_;
+};
+
+// Multithreaded-runtime harness.
+class RuntimeDebugHarness {
+ public:
+  RuntimeDebugHarness(const Topology& user_topology,
+                      std::vector<ProcessPtr> users,
+                      HarnessConfig config = {});
+  ~RuntimeDebugHarness();
+
+  void start() { runtime_->start(); }
+  void shutdown() { runtime_->shutdown(); }
+
+  [[nodiscard]] Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] DebuggerSession& session() { return *session_; }
+  [[nodiscard]] DebuggerProcess& debugger() { return *debugger_; }
+  [[nodiscard]] ProcessId debugger_id() const { return debugger_id_; }
+  [[nodiscard]] DebugShim& shim(ProcessId p);
+
+ private:
+  std::unique_ptr<Runtime> runtime_;
+  DebuggerProcess* debugger_ = nullptr;  // owned by runtime_
+  ProcessId debugger_id_;
+  std::unique_ptr<RuntimeHost> host_;
+  std::unique_ptr<DebuggerSession> session_;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,44 @@
+#include "debugger/restore.hpp"
+
+namespace ddbg {
+
+Status restore_into(SimDebugHarness& harness, const GlobalState& state) {
+  if (harness.sim().events_processed() != 0) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "restore_into requires a harness that has not run yet");
+  }
+  const std::uint32_t users = harness.topology().num_user_processes();
+  if (state.size() != users) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "global state covers " + std::to_string(state.size()) +
+                     " processes but the topology has " +
+                     std::to_string(users));
+  }
+  for (const auto& [process, snapshot] : state.snapshots()) {
+    if (process.value() >= users) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "snapshot for unknown process " + to_string(process));
+    }
+    if (!harness.shim(process).restore_state(snapshot.state)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "process " + to_string(process) +
+                       " does not support state restoration");
+    }
+  }
+  // Re-materialize the in-flight messages.  Per-channel order is the
+  // recorded order; the simulator delivers them before any new traffic.
+  for (const auto& [process, snapshot] : state.snapshots()) {
+    for (const ChannelState& channel : snapshot.in_channels) {
+      if (channel.channel.value() >= harness.topology().num_channels()) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "recorded channel does not exist in this topology");
+      }
+      for (const Bytes& payload : channel.messages) {
+        harness.sim().preload_channel(channel.channel, payload);
+      }
+    }
+  }
+  return Status::ok_status();
+}
+
+}  // namespace ddbg

@@ -1,0 +1,30 @@
+// Time-travel restore: re-materialize a halted global state S_h into a
+// fresh, runnable system.
+//
+// The Halting Algorithm's guarantee — S_h contains the complete process
+// states *and* the complete in-flight channel contents — is exactly what
+// makes this possible: restore each process from its snapshot and preload
+// each recorded channel message, and the restored system continues as the
+// halted one would have.  (The naive-halt baseline of experiment E10 cannot
+// do this: its channel contents are lost.)
+//
+//   auto wave = session.wait_for_halt(...);
+//   SimDebugHarness fresh(topology, make_bank(n, config));
+//   ASSERT_TRUE(restore_into(fresh, wave->state).ok());
+//   fresh.sim().run_for(...);   // picks up where the halted run stopped
+#pragma once
+
+#include "common/result.hpp"
+#include "core/global_state.hpp"
+#include "debugger/harness.hpp"
+
+namespace ddbg {
+
+// Restore `state` into a freshly constructed (not yet run) harness whose
+// topology and workload types match the one `state` was captured from.
+// Process states are restored via Process::restore_state and recorded
+// channel contents are preloaded into the simulator's channels.
+[[nodiscard]] Status restore_into(SimDebugHarness& harness,
+                                  const GlobalState& state);
+
+}  // namespace ddbg

@@ -1,0 +1,97 @@
+#include "debugger/session.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace ddbg {
+
+bool DebuggerSession::call(std::function<void(ProcessContext&)> action,
+                           Duration timeout) {
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  host_.post(debugger_id_,
+             [action = std::move(action), done](ProcessContext& ctx,
+                                                Process&) {
+               action(ctx);
+               done->store(true);
+             });
+  return host_.wait([done] { return done->load(); }, timeout);
+}
+
+Result<BreakpointId> DebuggerSession::set_breakpoint(
+    std::string_view expression, Duration timeout) {
+  auto spec = parse_breakpoint(expression);
+  if (!spec.ok()) return spec.error();
+  const BreakpointId bp = set_breakpoint(spec.value(), timeout);
+  if (!bp.valid()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "breakpoint names a process outside the topology");
+  }
+  return bp;
+}
+
+BreakpointId DebuggerSession::set_breakpoint(const BreakpointSpec& spec,
+                                             Duration timeout) {
+  auto id = std::make_shared<BreakpointId>();
+  call(
+      [this, spec, id](ProcessContext& ctx) {
+        *id = debugger_.set_breakpoint(ctx, spec);
+      },
+      timeout);
+  return *id;
+}
+
+void DebuggerSession::clear_breakpoint(BreakpointId bp) {
+  host_.post(debugger_id_, [this, bp](ProcessContext& ctx, Process&) {
+    debugger_.clear_breakpoint(ctx, bp);
+  });
+}
+
+void DebuggerSession::halt() {
+  host_.post(debugger_id_, [this](ProcessContext& ctx, Process&) {
+    debugger_.initiate_halt(ctx);
+  });
+}
+
+std::optional<DebuggerProcess::WaveInfo> DebuggerSession::wait_for_halt(
+    Duration timeout) {
+  const bool complete = host_.wait(
+      [this] { return debugger_.latest_halt_complete(); }, timeout);
+  if (!complete) return std::nullopt;
+  return debugger_.latest_halt_wave();
+}
+
+void DebuggerSession::resume(Duration timeout) {
+  call([this](ProcessContext& ctx) { debugger_.resume_all(ctx); }, timeout);
+}
+
+std::optional<DebuggerProcess::WaveInfo> DebuggerSession::take_snapshot(
+    Duration timeout) {
+  auto wave = std::make_shared<std::uint64_t>(0);
+  call(
+      [this, wave](ProcessContext& ctx) {
+        *wave = debugger_.initiate_snapshot(ctx);
+      },
+      timeout);
+  const bool complete = host_.wait(
+      [this, wave] { return debugger_.snapshot_complete(*wave); }, timeout);
+  if (!complete) return std::nullopt;
+  return debugger_.snapshot_wave(*wave);
+}
+
+std::optional<ProcessSnapshot> DebuggerSession::inspect(ProcessId process,
+                                                        Duration timeout) {
+  // Synchronously: query_state drops any stale report before the request
+  // goes out, so the wait below can only observe the fresh answer.
+  if (!call([this, process](
+                ProcessContext& ctx) { debugger_.query_state(ctx, process); },
+            timeout)) {
+    return std::nullopt;
+  }
+  const bool arrived = host_.wait(
+      [this, process] { return debugger_.state_report(process).has_value(); },
+      timeout);
+  if (!arrived) return std::nullopt;
+  return debugger_.state_report(process);
+}
+
+}  // namespace ddbg

@@ -1,0 +1,292 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ddbg {
+
+Topology::Topology(std::uint32_t num_processes) {
+  for (std::uint32_t i = 0; i < num_processes; ++i) add_process();
+}
+
+ProcessId Topology::add_process() {
+  const ProcessId id(static_cast<std::uint32_t>(out_channels_.size()));
+  out_channels_.emplace_back();
+  in_channels_.emplace_back();
+  return id;
+}
+
+ChannelId Topology::add_channel(ProcessId source, ProcessId destination,
+                                bool is_control) {
+  DDBG_ASSERT(source.value() < num_processes(), "channel source must exist");
+  DDBG_ASSERT(destination.value() < num_processes(),
+              "channel destination must exist");
+  DDBG_ASSERT(source != destination, "self-channels are not modeled");
+  const ChannelId id(static_cast<std::uint32_t>(channels_.size()));
+  channels_.push_back(ChannelSpec{id, source, destination, is_control});
+  out_channels_[source.value()].push_back(id);
+  in_channels_[destination.value()].push_back(id);
+  return id;
+}
+
+Topology Topology::with_debugger() const {
+  DDBG_ASSERT(!has_debugger(), "topology already has a debugger process");
+  Topology extended = *this;
+  const ProcessId d = extended.add_process();
+  extended.debugger_ = d;
+  const std::uint32_t users = num_processes();
+  extended.control_to_.resize(users);
+  extended.control_from_.resize(users);
+  for (std::uint32_t i = 0; i < users; ++i) {
+    const ProcessId p(i);
+    extended.control_to_[i] = extended.add_channel(d, p, /*is_control=*/true);
+    extended.control_from_[i] =
+        extended.add_channel(p, d, /*is_control=*/true);
+  }
+  return extended;
+}
+
+std::uint32_t Topology::num_user_processes() const {
+  return has_debugger() ? num_processes() - 1 : num_processes();
+}
+
+const ChannelSpec& Topology::channel(ChannelId id) const {
+  DDBG_ASSERT(id.value() < channels_.size(), "unknown channel id");
+  return channels_[id.value()];
+}
+
+std::span<const ChannelId> Topology::out_channels(ProcessId p) const {
+  DDBG_ASSERT(p.value() < num_processes(), "unknown process id");
+  return out_channels_[p.value()];
+}
+
+std::span<const ChannelId> Topology::in_channels(ProcessId p) const {
+  DDBG_ASSERT(p.value() < num_processes(), "unknown process id");
+  return in_channels_[p.value()];
+}
+
+std::optional<ChannelId> Topology::channel_between(
+    ProcessId source, ProcessId destination) const {
+  for (const ChannelId c : out_channels(source)) {
+    const ChannelSpec& spec = channel(c);
+    if (spec.destination == destination && !spec.is_control) return c;
+  }
+  return std::nullopt;
+}
+
+ChannelId Topology::control_to(ProcessId p) const {
+  DDBG_ASSERT(has_debugger(), "no debugger in this topology");
+  DDBG_ASSERT(p.value() < control_to_.size(), "not a user process");
+  return control_to_[p.value()];
+}
+
+ChannelId Topology::control_from(ProcessId p) const {
+  DDBG_ASSERT(has_debugger(), "no debugger in this topology");
+  DDBG_ASSERT(p.value() < control_from_.size(), "not a user process");
+  return control_from_[p.value()];
+}
+
+std::vector<ProcessId> Topology::process_ids() const {
+  std::vector<ProcessId> ids;
+  ids.reserve(num_processes());
+  for (std::uint32_t i = 0; i < num_processes(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<ProcessId> Topology::user_process_ids() const {
+  std::vector<ProcessId> ids;
+  ids.reserve(num_user_processes());
+  for (std::uint32_t i = 0; i < num_user_processes(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+namespace {
+
+// Iterative Tarjan SCC.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const Topology& topology) : topology_(topology) {
+    const std::uint32_t n = topology.num_processes();
+    index_.assign(n, kUnvisited);
+    lowlink_.assign(n, 0);
+    on_stack_.assign(n, false);
+  }
+
+  std::size_t count_components() {
+    for (std::uint32_t v = 0; v < topology_.num_processes(); ++v) {
+      if (index_[v] == kUnvisited) strong_connect(v);
+    }
+    return components_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  void strong_connect(std::uint32_t root) {
+    // Explicit stack frames to avoid deep recursion on long pipelines.
+    struct Frame {
+      std::uint32_t vertex;
+      std::size_t next_edge = 0;
+    };
+    std::vector<Frame> call_stack{{root}};
+    visit(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto out = topology_.out_channels(ProcessId(frame.vertex));
+      if (frame.next_edge < out.size()) {
+        const std::uint32_t w =
+            topology_.channel(out[frame.next_edge]).destination.value();
+        ++frame.next_edge;
+        if (index_[w] == kUnvisited) {
+          visit(w);
+          call_stack.push_back(Frame{w});
+        } else if (on_stack_[w]) {
+          lowlink_[frame.vertex] =
+              std::min(lowlink_[frame.vertex], index_[w]);
+        }
+      } else {
+        const std::uint32_t v = frame.vertex;
+        if (lowlink_[v] == index_[v]) {
+          ++components_;
+          while (true) {
+            const std::uint32_t w = scc_stack_.back();
+            scc_stack_.pop_back();
+            on_stack_[w] = false;
+            if (w == v) break;
+          }
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const std::uint32_t parent = call_stack.back().vertex;
+          lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+        }
+      }
+    }
+  }
+
+  void visit(std::uint32_t v) {
+    index_[v] = next_index_;
+    lowlink_[v] = next_index_;
+    ++next_index_;
+    scc_stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const Topology& topology_;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<std::uint32_t> scc_stack_;
+  std::uint32_t next_index_ = 0;
+  std::size_t components_ = 0;
+};
+
+}  // namespace
+
+bool Topology::strongly_connected() const {
+  if (num_processes() == 0) return true;
+  return num_strongly_connected_components() == 1;
+}
+
+std::size_t Topology::num_strongly_connected_components() const {
+  return TarjanScc(*this).count_components();
+}
+
+std::string Topology::describe() const {
+  std::ostringstream out;
+  out << num_processes() << " processes";
+  if (has_debugger()) out << " (incl. debugger " << to_string(debugger_) << ")";
+  out << ", " << num_channels() << " channels";
+  return out.str();
+}
+
+Topology Topology::ring(std::uint32_t n) {
+  DDBG_ASSERT(n >= 2, "ring needs at least 2 processes");
+  Topology t(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.add_channel(ProcessId(i), ProcessId((i + 1) % n));
+  }
+  return t;
+}
+
+Topology Topology::star(std::uint32_t n) {
+  DDBG_ASSERT(n >= 2, "star needs at least 2 processes");
+  Topology t(n);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    t.add_channel(ProcessId(0), ProcessId(i));
+    t.add_channel(ProcessId(i), ProcessId(0));
+  }
+  return t;
+}
+
+Topology Topology::pipeline(std::uint32_t n) {
+  DDBG_ASSERT(n >= 2, "pipeline needs at least 2 processes");
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.add_channel(ProcessId(i), ProcessId(i + 1));
+  }
+  return t;
+}
+
+Topology Topology::complete(std::uint32_t n) {
+  DDBG_ASSERT(n >= 2, "complete graph needs at least 2 processes");
+  Topology t(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i != j) t.add_channel(ProcessId(i), ProcessId(j));
+    }
+  }
+  return t;
+}
+
+Topology Topology::random_strongly_connected(std::uint32_t n,
+                                             std::uint32_t extra_edges,
+                                             Rng& rng) {
+  DDBG_ASSERT(n >= 2, "need at least 2 processes");
+  Topology t(n);
+  // Random permutation ring guarantees strong connectivity.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t a = order[i];
+    const std::uint32_t b = order[(i + 1) % n];
+    t.add_channel(ProcessId(a), ProcessId(b));
+    used.insert({a, b});
+  }
+  const std::uint64_t max_extra =
+      static_cast<std::uint64_t>(n) * (n - 1) - used.size();
+  std::uint32_t added = 0;
+  const auto target = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(extra_edges, max_extra));
+  while (added < target) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (a == b || used.contains({a, b})) continue;
+    t.add_channel(ProcessId(a), ProcessId(b));
+    used.insert({a, b});
+    ++added;
+  }
+  return t;
+}
+
+Topology Topology::random(std::uint32_t n, double edge_probability, Rng& rng) {
+  DDBG_ASSERT(n >= 1, "need at least 1 process");
+  Topology t(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i != j && rng.next_bool(edge_probability)) {
+        t.add_channel(ProcessId(i), ProcessId(j));
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace ddbg

@@ -1,0 +1,114 @@
+// Process/channel graphs (the paper's figure 1), generators for the shapes
+// used in the experiments, and the strong-connectivity check on which the
+// *basic* halting algorithm depends (section 2.2.2: "The C&L Algorithm
+// avoids this problem by assuming that the processes are strongly
+// connected").
+//
+// with_debugger() realizes the extended model of section 2.2.3 / figure 3:
+// an extra debugger process `d` with a control channel to and from every
+// user process, which makes any topology strongly connected.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace ddbg {
+
+struct ChannelSpec {
+  ChannelId id;
+  ProcessId source;
+  ProcessId destination;
+  // Control channels connect the debugger process with user processes and
+  // carry only debugger traffic; see section 2.2.3.
+  bool is_control = false;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::uint32_t num_processes);
+
+  // ---- construction ----
+  ProcessId add_process();
+  ChannelId add_channel(ProcessId source, ProcessId destination,
+                        bool is_control = false);
+
+  // Returns a copy of this topology extended with a debugger process that
+  // has one control channel to and one from every existing process.
+  [[nodiscard]] Topology with_debugger() const;
+
+  // ---- queries ----
+  [[nodiscard]] std::uint32_t num_processes() const {
+    return static_cast<std::uint32_t>(out_channels_.size());
+  }
+  // Number of processes excluding the debugger (== num_processes() when
+  // there is no debugger).
+  [[nodiscard]] std::uint32_t num_user_processes() const;
+
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+  [[nodiscard]] const ChannelSpec& channel(ChannelId id) const;
+  [[nodiscard]] std::span<const ChannelSpec> channels() const {
+    return channels_;
+  }
+
+  [[nodiscard]] std::span<const ChannelId> out_channels(ProcessId p) const;
+  [[nodiscard]] std::span<const ChannelId> in_channels(ProcessId p) const;
+
+  // First (non-control) channel from source to destination, if any.
+  [[nodiscard]] std::optional<ChannelId> channel_between(
+      ProcessId source, ProcessId destination) const;
+
+  [[nodiscard]] bool has_debugger() const { return debugger_.valid(); }
+  [[nodiscard]] ProcessId debugger_id() const { return debugger_; }
+  [[nodiscard]] bool is_debugger(ProcessId p) const {
+    return has_debugger() && p == debugger_;
+  }
+  // Control channel from the debugger to p / from p to the debugger.
+  [[nodiscard]] ChannelId control_to(ProcessId p) const;
+  [[nodiscard]] ChannelId control_from(ProcessId p) const;
+
+  [[nodiscard]] std::vector<ProcessId> process_ids() const;
+  [[nodiscard]] std::vector<ProcessId> user_process_ids() const;
+
+  // Tarjan's strongly-connected-components algorithm over all channels.
+  [[nodiscard]] bool strongly_connected() const;
+  [[nodiscard]] std::size_t num_strongly_connected_components() const;
+
+  [[nodiscard]] std::string describe() const;
+
+  // ---- generators (user processes only; call with_debugger() to extend) ----
+  // Unidirectional ring p0 -> p1 -> ... -> p(n-1) -> p0.
+  [[nodiscard]] static Topology ring(std::uint32_t n);
+  // Bidirectional star centered on p0.
+  [[nodiscard]] static Topology star(std::uint32_t n);
+  // Acyclic pipeline p0 -> p1 -> ... -> p(n-1): the paper's figure 2
+  // producer-consumer shape generalized.
+  [[nodiscard]] static Topology pipeline(std::uint32_t n);
+  // All ordered pairs connected.
+  [[nodiscard]] static Topology complete(std::uint32_t n);
+  // Random strongly-connected digraph: a random ring through all processes
+  // plus `extra_edges` distinct random edges.
+  [[nodiscard]] static Topology random_strongly_connected(
+      std::uint32_t n, std::uint32_t extra_edges, Rng& rng);
+  // Random digraph where each ordered pair gets a channel with probability
+  // `edge_probability` (may be disconnected; used for SCC tests).
+  [[nodiscard]] static Topology random(std::uint32_t n,
+                                       double edge_probability, Rng& rng);
+
+ private:
+  std::vector<ChannelSpec> channels_;
+  std::vector<std::vector<ChannelId>> out_channels_;
+  std::vector<std::vector<ChannelId>> in_channels_;
+  ProcessId debugger_;
+  // For each user process: control channels to/from the debugger.
+  std::vector<ChannelId> control_to_;
+  std::vector<ChannelId> control_from_;
+};
+
+}  // namespace ddbg

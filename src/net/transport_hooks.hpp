@@ -1,0 +1,51 @@
+// Observation hooks shared by the runtimes.
+//
+// Both the simulator and the threaded runtime report message sends and
+// deliveries through a TransportObserver so the analysis layer (traces,
+// statistics, in-flight accounting for the naive-halt experiment) works
+// identically on either substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "net/message.hpp"
+
+namespace ddbg {
+
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+
+  virtual void on_send(TimePoint when, ChannelId channel,
+                       const Message& message) = 0;
+  virtual void on_deliver(TimePoint when, ChannelId channel,
+                          const Message& message) = 0;
+};
+
+// Cumulative transport statistics, cheap enough to collect always.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;  // wire-encoded sizes
+  std::uint64_t app_messages_sent = 0;
+  std::uint64_t halt_markers_sent = 0;
+  std::uint64_t snapshot_markers_sent = 0;
+  std::uint64_t predicate_markers_sent = 0;
+  std::uint64_t control_messages_sent = 0;
+
+  void note_send(const Message& message) {
+    ++messages_sent;
+    bytes_sent += message.encoded_size();
+    switch (message.kind) {
+      case MessageKind::kApplication: ++app_messages_sent; break;
+      case MessageKind::kHaltMarker: ++halt_markers_sent; break;
+      case MessageKind::kSnapshotMarker: ++snapshot_markers_sent; break;
+      case MessageKind::kPredicateMarker: ++predicate_markers_sent; break;
+      case MessageKind::kControl: ++control_messages_sent; break;
+    }
+  }
+};
+
+}  // namespace ddbg

@@ -1,0 +1,319 @@
+#include "runtime/runtime.hpp"
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <map>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker: one process, its inbox, its timers and its thread.
+// ---------------------------------------------------------------------------
+
+class ThreadProcessContext;
+
+class Runtime::Worker {
+ public:
+  Worker(Runtime& runtime, ProcessId id, ProcessPtr process, Rng rng);
+  ~Worker();
+
+  void start();
+  void stop();
+
+  void push_delivery(ChannelId channel, Message message);
+  void push_closure(std::function<void(ProcessContext&, Process&)> action);
+
+  TimerId add_timer(Duration delay);
+  void cancel_timer(TimerId timer);
+
+  [[nodiscard]] Process& process() { return *process_; }
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct Item {
+    enum class Kind { kDeliver, kClosure, kTimer } kind;
+    ChannelId channel;
+    Message message;
+    std::function<void(ProcessContext&, Process&)> closure;
+    TimerId timer;
+  };
+
+  void thread_main();
+  // Pops the next runnable item, waiting for messages or timer deadlines.
+  // Returns false when the worker is stopping.
+  bool next_item(Item& out);
+
+  Runtime& runtime_;
+  ProcessId id_;
+  ProcessPtr process_;
+  Rng rng_;
+  std::unique_ptr<ThreadProcessContext> context_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> inbox_;
+  // Pending timers ordered by deadline; TimerId breaks ties.
+  std::map<std::pair<SteadyClock::time_point, std::uint32_t>, TimerId>
+      timers_;
+  bool stopping_ = false;
+
+  std::thread thread_;
+};
+
+class ThreadProcessContext final : public ProcessContext {
+ public:
+  explicit ThreadProcessContext(Runtime::Worker& worker) : worker_(worker) {}
+
+  [[nodiscard]] ProcessId self() const override { return worker_.id(); }
+  [[nodiscard]] TimePoint now() const override {
+    return worker_.runtime().now();
+  }
+  [[nodiscard]] const Topology& topology() const override {
+    return worker_.runtime().topology();
+  }
+
+  void send(ChannelId channel, Message message) override {
+    worker_.runtime().do_send(worker_.id(), channel, std::move(message));
+  }
+
+  TimerId set_timer(Duration delay) override {
+    return worker_.add_timer(delay);
+  }
+  void cancel_timer(TimerId timer) override { worker_.cancel_timer(timer); }
+
+  [[nodiscard]] Rng& rng() override { return worker_.rng(); }
+
+  void stop_self() override {
+    // No dedicated bookkeeping: a "stopped" process simply schedules no
+    // further timers; its thread keeps serving messages so markers flow.
+  }
+
+ private:
+  Runtime::Worker& worker_;
+};
+
+Runtime::Worker::Worker(Runtime& runtime, ProcessId id, ProcessPtr process,
+                        Rng rng)
+    : runtime_(runtime), id_(id), process_(std::move(process)), rng_(rng) {
+  context_ = std::make_unique<ThreadProcessContext>(*this);
+}
+
+Runtime::Worker::~Worker() { stop(); }
+
+void Runtime::Worker::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Runtime::Worker::stop() {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (stopping_) {
+      // Already stopping; still need to join below if joinable.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Runtime::Worker::push_delivery(ChannelId channel, Message message) {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (stopping_) return;
+    Item item;
+    item.kind = Item::Kind::kDeliver;
+    item.channel = channel;
+    item.message = std::move(message);
+    inbox_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+void Runtime::Worker::push_closure(
+    std::function<void(ProcessContext&, Process&)> action) {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (stopping_) return;
+    Item item;
+    item.kind = Item::Kind::kClosure;
+    item.closure = std::move(action);
+    inbox_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+TimerId Runtime::Worker::add_timer(Duration delay) {
+  static std::atomic<std::uint32_t> next_timer{1};
+  const TimerId id(next_timer.fetch_add(1));
+  const auto deadline =
+      SteadyClock::now() + std::chrono::nanoseconds(delay.ns);
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    timers_.emplace(std::make_pair(deadline, id.value()), id);
+  }
+  cv_.notify_one();
+  return id;
+}
+
+void Runtime::Worker::cancel_timer(TimerId timer) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second == timer) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Runtime::Worker::next_item(Item& out) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  while (true) {
+    if (stopping_) return false;
+    if (!inbox_.empty()) {
+      out = std::move(inbox_.front());
+      inbox_.pop_front();
+      return true;
+    }
+    if (!timers_.empty()) {
+      const auto deadline = timers_.begin()->first.first;
+      if (SteadyClock::now() >= deadline) {
+        out.kind = Item::Kind::kTimer;
+        out.timer = timers_.begin()->second;
+        timers_.erase(timers_.begin());
+        return true;
+      }
+      cv_.wait_until(lock, deadline);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void Runtime::Worker::thread_main() {
+  process_->on_start(*context_);
+  Item item;
+  while (next_item(item)) {
+    switch (item.kind) {
+      case Item::Kind::kDeliver: {
+        {
+          std::lock_guard<std::mutex> guard{runtime_.stats_mutex_};
+          ++runtime_.stats_.messages_delivered;
+        }
+        process_->on_message(*context_, item.channel, std::move(item.message));
+        break;
+      }
+      case Item::Kind::kClosure:
+        item.closure(*context_, *process_);
+        break;
+      case Item::Kind::kTimer:
+        process_->on_timer(*context_, item.timer);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Topology topology, std::vector<ProcessPtr> processes,
+                 RuntimeConfig config)
+    : topology_(std::move(topology)), config_(config) {
+  DDBG_ASSERT(processes.size() == topology_.num_processes(),
+              "one Process per topology process required");
+  Rng root(config_.seed);
+  workers_.reserve(processes.size());
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        *this, ProcessId(static_cast<std::uint32_t>(i)),
+        std::move(processes[i]), root.fork()));
+  }
+  epoch_ = SteadyClock::now();
+}
+
+Runtime::~Runtime() { shutdown(); }
+
+void Runtime::start() {
+  DDBG_ASSERT(!started_.exchange(true), "Runtime::start called twice");
+  epoch_ = SteadyClock::now();
+  for (auto& worker : workers_) worker->start();
+}
+
+void Runtime::shutdown() {
+  if (stopped_.exchange(true)) return;
+  for (auto& worker : workers_) worker->stop();
+}
+
+void Runtime::post(ProcessId target,
+                   std::function<void(ProcessContext&, Process&)> action) {
+  DDBG_ASSERT(target.value() < workers_.size(), "unknown process");
+  workers_[target.value()]->push_closure(std::move(action));
+}
+
+bool Runtime::call(ProcessId target,
+                   std::function<void(ProcessContext&, Process&)> action,
+                   Duration timeout) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  post(target, [action = std::move(action), done](ProcessContext& ctx,
+                                                  Process& process) {
+    action(ctx, process);
+    done->set_value();
+  });
+  return future.wait_for(std::chrono::nanoseconds(timeout.ns)) ==
+         std::future_status::ready;
+}
+
+bool Runtime::wait_until(const std::function<bool()>& condition,
+                         Duration timeout) {
+  const auto deadline =
+      SteadyClock::now() + std::chrono::nanoseconds(timeout.ns);
+  while (!condition()) {
+    if (SteadyClock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+Process& Runtime::process(ProcessId id) {
+  DDBG_ASSERT(id.value() < workers_.size(), "unknown process");
+  return workers_[id.value()]->process();
+}
+
+TransportStats Runtime::stats() const {
+  std::lock_guard<std::mutex> guard{stats_mutex_};
+  return stats_;
+}
+
+TimePoint Runtime::now() const {
+  const auto elapsed = SteadyClock::now() - epoch_;
+  return TimePoint{
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()};
+}
+
+void Runtime::do_send(ProcessId sender, ChannelId channel, Message message) {
+  const ChannelSpec& spec = topology_.channel(channel);
+  DDBG_ASSERT(spec.source == sender,
+              "process may only send on its own outgoing channels");
+  if (message.message_id == 0) {
+    message.message_id = next_message_id_.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> guard{stats_mutex_};
+    stats_.note_send(message);
+  }
+  workers_[spec.destination.value()]->push_delivery(channel,
+                                                    std::move(message));
+}
+
+}  // namespace ddbg

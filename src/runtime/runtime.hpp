@@ -1,0 +1,91 @@
+// Multithreaded runtime: one OS thread per process, blocking inboxes,
+// immediate (in-memory) channel delivery.
+//
+// This runtime exists to demonstrate the algorithms under real concurrency
+// and real (scheduler-induced) communication delay: handlers race across
+// processes exactly as they would across machines, while each process's
+// handlers stay serialized on its own thread.  Process implementations run
+// unchanged on this runtime and on the deterministic simulator.
+//
+// Channel model: send() pushes the message into the destination process's
+// inbox under a lock, so channels are reliable, unbounded and FIFO
+// (section 2.1's assumptions).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/process.hpp"
+#include "net/topology.hpp"
+#include "net/transport_hooks.hpp"
+
+namespace ddbg {
+
+struct RuntimeConfig {
+  std::uint64_t seed = 1;
+};
+
+class Runtime {
+ public:
+  Runtime(Topology topology, std::vector<ProcessPtr> processes,
+          RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Launch all process threads (calls on_start on each thread).
+  void start();
+  // Stop all process threads; idempotent.  Pending inbox items are dropped.
+  void shutdown();
+
+  // Post a closure to run on `target`'s thread, in process context,
+  // serialized with its handlers.  The cross-thread injection point used by
+  // the debugger session.
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action);
+
+  // Post a closure and wait for it to run; returns false on timeout or if
+  // the runtime is shut down first.  Must not be called from a process
+  // thread.
+  bool call(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action,
+            Duration timeout);
+
+  // Spin-poll `condition` (evaluated on the caller's thread) until it holds
+  // or `timeout` elapses.
+  static bool wait_until(const std::function<bool()>& condition,
+                         Duration timeout);
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] Process& process(ProcessId id);
+  [[nodiscard]] TransportStats stats() const;
+  [[nodiscard]] TimePoint now() const;
+
+ private:
+  friend class ThreadProcessContext;
+  class Worker;
+
+  void do_send(ProcessId sender, ChannelId channel, Message message);
+
+  Topology topology_;
+  RuntimeConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> next_message_id_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace ddbg

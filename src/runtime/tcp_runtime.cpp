@@ -1,0 +1,506 @@
+#include "runtime/tcp_runtime.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "common/serialization.hpp"
+
+namespace ddbg {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Write the whole buffer, retrying on short writes.  Loopback writes of
+// debugger-sized frames essentially never block for long.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+class TcpProcessContext;
+
+class TcpRuntime::Worker {
+ public:
+  Worker(TcpRuntime& runtime, ProcessId id, ProcessPtr process, Rng rng);
+  ~Worker();
+
+  bool init_sockets();           // create listener
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int listen_fd() const { return listen_fd_; }
+  // Accept all expected inbound connections and map them to channels.
+  bool accept_inbound();
+
+  void start();
+  void stop_and_join();
+  void request_stop();
+
+  void push_closure(std::function<void(ProcessContext&, Process&)> action);
+  TimerId add_timer(Duration delay);
+  void cancel_timer(TimerId timer);
+
+  [[nodiscard]] Process& process() { return *process_; }
+  [[nodiscard]] TcpRuntime& runtime() { return runtime_; }
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  void thread_main();
+  void wake();
+  void drain_fd(std::size_t slot);
+  void parse_frames(std::size_t slot);
+  void fire_due_timers();
+  [[nodiscard]] int poll_timeout_ms();
+
+  TcpRuntime& runtime_;
+  ProcessId id_;
+  ProcessPtr process_;
+  Rng rng_;
+  std::unique_ptr<TcpProcessContext> context_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int pipe_read_ = -1;
+  int pipe_write_ = -1;
+
+  // Inbound connections, parallel arrays: fd, channel, receive buffer.
+  std::vector<int> in_fds_;
+  std::vector<ChannelId> in_channels_;
+  std::vector<Bytes> in_buffers_;
+
+  std::mutex mutex_;
+  std::deque<std::function<void(ProcessContext&, Process&)>> closures_;
+  std::map<std::pair<SteadyClock::time_point, std::uint32_t>, TimerId>
+      timers_;
+  std::atomic<bool> stopping_{false};
+
+  std::thread thread_;
+};
+
+class TcpProcessContext final : public ProcessContext {
+ public:
+  explicit TcpProcessContext(TcpRuntime::Worker& worker) : worker_(worker) {}
+
+  [[nodiscard]] ProcessId self() const override { return worker_.id(); }
+  [[nodiscard]] TimePoint now() const override {
+    return worker_.runtime().now();
+  }
+  [[nodiscard]] const Topology& topology() const override {
+    return worker_.runtime().topology();
+  }
+  void send(ChannelId channel, Message message) override {
+    worker_.runtime().do_send(worker_.id(), channel, std::move(message));
+  }
+  TimerId set_timer(Duration delay) override {
+    return worker_.add_timer(delay);
+  }
+  void cancel_timer(TimerId timer) override { worker_.cancel_timer(timer); }
+  [[nodiscard]] Rng& rng() override { return worker_.rng(); }
+  void stop_self() override {}
+
+ private:
+  TcpRuntime::Worker& worker_;
+};
+
+TcpRuntime::Worker::Worker(TcpRuntime& runtime, ProcessId id,
+                           ProcessPtr process, Rng rng)
+    : runtime_(runtime), id_(id), process_(std::move(process)), rng_(rng) {
+  context_ = std::make_unique<TcpProcessContext>(*this);
+}
+
+TcpRuntime::Worker::~Worker() {
+  stop_and_join();
+  for (int& fd : in_fds_) close_fd(fd);
+  close_fd(listen_fd_);
+  close_fd(pipe_read_);
+  close_fd(pipe_write_);
+}
+
+bool TcpRuntime::Worker::init_sockets() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return false;
+  pipe_read_ = pipe_fds[0];
+  pipe_write_ = pipe_fds[1];
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) return false;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+bool TcpRuntime::Worker::accept_inbound() {
+  const std::size_t expected =
+      runtime_.topology().in_channels(id_).size();
+  for (std::size_t i = 0; i < expected; ++i) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return false;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Hello frame: the 4-byte channel id this connection realizes.
+    std::uint8_t hello[4];
+    std::size_t got = 0;
+    while (got < sizeof(hello)) {
+      const ssize_t n = ::read(fd, hello + got, sizeof(hello) - got);
+      if (n <= 0) {
+        ::close(fd);
+        return false;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t channel_id = 0;
+    std::memcpy(&channel_id, hello, sizeof(channel_id));
+    in_fds_.push_back(fd);
+    in_channels_.push_back(ChannelId(channel_id));
+    in_buffers_.emplace_back();
+  }
+  return true;
+}
+
+void TcpRuntime::Worker::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void TcpRuntime::Worker::request_stop() {
+  stopping_.store(true);
+  wake();
+}
+
+void TcpRuntime::Worker::stop_and_join() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpRuntime::Worker::wake() {
+  if (pipe_write_ >= 0) {
+    const std::uint8_t byte = 1;
+    (void)!::write(pipe_write_, &byte, 1);
+  }
+}
+
+void TcpRuntime::Worker::push_closure(
+    std::function<void(ProcessContext&, Process&)> action) {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    closures_.push_back(std::move(action));
+  }
+  wake();
+}
+
+TimerId TcpRuntime::Worker::add_timer(Duration delay) {
+  static std::atomic<std::uint32_t> next_timer{1};
+  const TimerId id(next_timer.fetch_add(1));
+  const auto deadline =
+      SteadyClock::now() + std::chrono::nanoseconds(delay.ns);
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    timers_.emplace(std::make_pair(deadline, id.value()), id);
+  }
+  wake();
+  return id;
+}
+
+void TcpRuntime::Worker::cancel_timer(TimerId timer) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second == timer) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+int TcpRuntime::Worker::poll_timeout_ms() {
+  std::lock_guard<std::mutex> guard{mutex_};
+  if (!closures_.empty()) return 0;
+  if (timers_.empty()) return -1;
+  const auto deadline = timers_.begin()->first.first;
+  const auto now = SteadyClock::now();
+  if (deadline <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count();
+  return static_cast<int>(std::min<long long>(ms + 1, 1000));
+}
+
+void TcpRuntime::Worker::fire_due_timers() {
+  while (true) {
+    TimerId due;
+    {
+      std::lock_guard<std::mutex> guard{mutex_};
+      if (timers_.empty() ||
+          timers_.begin()->first.first > SteadyClock::now()) {
+        return;
+      }
+      due = timers_.begin()->second;
+      timers_.erase(timers_.begin());
+    }
+    process_->on_timer(*context_, due);
+  }
+}
+
+void TcpRuntime::Worker::parse_frames(std::size_t slot) {
+  Bytes& buffer = in_buffers_[slot];
+  std::size_t offset = 0;
+  while (buffer.size() - offset >= 4) {
+    std::uint32_t frame_len = 0;
+    std::memcpy(&frame_len, buffer.data() + offset, sizeof(frame_len));
+    if (buffer.size() - offset - 4 < frame_len) break;
+    ByteReader reader(
+        std::span<const std::uint8_t>(buffer.data() + offset + 4, frame_len));
+    auto message = Message::decode(reader);
+    offset += 4 + frame_len;
+    if (!message.ok()) {
+      DDBG_ERROR() << "tcp: bad frame on " << to_string(in_channels_[slot])
+                   << ": " << message.error().to_string();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> guard{runtime_.stats_mutex_};
+      ++runtime_.stats_.messages_delivered;
+    }
+    process_->on_message(*context_, in_channels_[slot],
+                         std::move(message).value());
+  }
+  if (offset > 0) {
+    buffer.erase(buffer.begin(),
+                 buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+void TcpRuntime::Worker::drain_fd(std::size_t slot) {
+  std::uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n =
+        ::recv(in_fds_[slot], chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      in_buffers_[slot].insert(in_buffers_[slot].end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer closed (or error): nothing more will arrive on this channel.
+    break;
+  }
+  parse_frames(slot);
+}
+
+void TcpRuntime::Worker::thread_main() {
+  process_->on_start(*context_);
+
+  std::vector<pollfd> fds;
+  fds.push_back(pollfd{pipe_read_, POLLIN, 0});
+  for (const int fd : in_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
+
+  while (!stopping_.load()) {
+    const int timeout = poll_timeout_ms();
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) break;
+
+    // Drain the wake pipe (blocking fd: one read takes whatever poll saw).
+    if (fds[0].revents & POLLIN) {
+      std::uint8_t sink[256];
+      (void)!::read(pipe_read_, sink, sizeof(sink));
+    }
+
+    // Run queued closures.
+    while (true) {
+      std::function<void(ProcessContext&, Process&)> closure;
+      {
+        std::lock_guard<std::mutex> guard{mutex_};
+        if (closures_.empty()) break;
+        closure = std::move(closures_.front());
+        closures_.pop_front();
+      }
+      closure(*context_, *process_);
+    }
+
+    fire_due_timers();
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLHUP)) drain_fd(i - 1);
+      fds[i].revents = 0;
+    }
+    fds[0].revents = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpRuntime
+// ---------------------------------------------------------------------------
+
+TcpRuntime::TcpRuntime(Topology topology, std::vector<ProcessPtr> processes,
+                       TcpRuntimeConfig config)
+    : topology_(std::move(topology)), config_(config) {
+  DDBG_ASSERT(processes.size() == topology_.num_processes(),
+              "one Process per topology process required");
+  Rng root(config_.seed);
+  workers_.reserve(processes.size());
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        *this, ProcessId(static_cast<std::uint32_t>(i)),
+        std::move(processes[i]), root.fork()));
+  }
+  channel_fd_.assign(topology_.num_channels(), -1);
+  epoch_ = SteadyClock::now();
+}
+
+TcpRuntime::~TcpRuntime() {
+  shutdown();
+  for (int& fd : channel_fd_) close_fd(fd);
+}
+
+bool TcpRuntime::start() {
+  DDBG_ASSERT(!started_.exchange(true), "TcpRuntime::start called twice");
+  for (auto& worker : workers_) {
+    if (!worker->init_sockets()) return false;
+  }
+  // Connect every channel: source dials destination's listener and sends
+  // the channel-id hello.  Backlogs hold the pending connections until the
+  // destinations accept below.
+  for (const ChannelSpec& spec : topology_.channels()) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(workers_[spec.destination.value()]->port());
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint32_t channel_id = spec.id.value();
+    std::uint8_t hello[4];
+    std::memcpy(hello, &channel_id, sizeof(channel_id));
+    if (!write_all(fd, hello, sizeof(hello))) {
+      ::close(fd);
+      return false;
+    }
+    channel_fd_[spec.id.value()] = fd;
+  }
+  for (auto& worker : workers_) {
+    if (!worker->accept_inbound()) return false;
+  }
+  epoch_ = SteadyClock::now();
+  for (auto& worker : workers_) worker->start();
+  return true;
+}
+
+void TcpRuntime::shutdown() {
+  if (stopped_.exchange(true)) return;
+  for (auto& worker : workers_) worker->request_stop();
+  for (auto& worker : workers_) worker->stop_and_join();
+}
+
+void TcpRuntime::post(ProcessId target,
+                      std::function<void(ProcessContext&, Process&)> action) {
+  DDBG_ASSERT(target.value() < workers_.size(), "unknown process");
+  workers_[target.value()]->push_closure(std::move(action));
+}
+
+bool TcpRuntime::wait_until(const std::function<bool()>& condition,
+                            Duration timeout) {
+  const auto deadline =
+      SteadyClock::now() + std::chrono::nanoseconds(timeout.ns);
+  while (!condition()) {
+    if (SteadyClock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  return true;
+}
+
+Process& TcpRuntime::process(ProcessId id) {
+  DDBG_ASSERT(id.value() < workers_.size(), "unknown process");
+  return workers_[id.value()]->process();
+}
+
+TransportStats TcpRuntime::stats() const {
+  std::lock_guard<std::mutex> guard{stats_mutex_};
+  return stats_;
+}
+
+TimePoint TcpRuntime::now() const {
+  const auto elapsed = SteadyClock::now() - epoch_;
+  return TimePoint{
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()};
+}
+
+void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
+                         Message message) {
+  const ChannelSpec& spec = topology_.channel(channel);
+  DDBG_ASSERT(spec.source == sender,
+              "process may only send on its own outgoing channels");
+  if (message.message_id == 0) {
+    message.message_id = next_message_id_.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> guard{stats_mutex_};
+    stats_.note_send(message);
+  }
+  ByteWriter writer;
+  message.encode(writer);
+  const Bytes& body = writer.buffer();
+  const auto frame_len = static_cast<std::uint32_t>(body.size());
+  Bytes frame;
+  frame.reserve(4 + body.size());
+  frame.resize(4);
+  std::memcpy(frame.data(), &frame_len, sizeof(frame_len));
+  frame.insert(frame.end(), body.begin(), body.end());
+  const int fd = channel_fd_[channel.value()];
+  DDBG_ASSERT(fd >= 0, "channel not connected");
+  // Only the source process's thread writes to this fd, so frames are
+  // never interleaved.
+  if (!write_all(fd, frame.data(), frame.size())) {
+    DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
+  }
+}
+
+}  // namespace ddbg

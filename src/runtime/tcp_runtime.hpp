@@ -1,0 +1,80 @@
+// TcpRuntime: the distributed deployment substrate.
+//
+// One OS thread per process, and — unlike Runtime's in-memory inboxes —
+// every channel is a real TCP connection over loopback: messages are
+// wire-encoded (net/message.hpp), framed with a 4-byte length prefix,
+// written by the sender's thread and read by the receiver's poll loop.
+// TCP gives exactly the paper's channel model: reliable, FIFO, unbounded
+// (in the kernel's and our userspace buffers).
+//
+// Process implementations, debug shims and the debugger process run on
+// this runtime unchanged; tests drive a full halting wave across sockets.
+// Single-host by construction (loopback), but nothing in the protocol
+// assumes it — the address table is the only thing to change.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "net/process.hpp"
+#include "net/topology.hpp"
+#include "net/transport_hooks.hpp"
+
+namespace ddbg {
+
+struct TcpRuntimeConfig {
+  std::uint64_t seed = 1;
+};
+
+class TcpRuntime {
+ public:
+  TcpRuntime(Topology topology, std::vector<ProcessPtr> processes,
+             TcpRuntimeConfig config = {});
+  ~TcpRuntime();
+
+  TcpRuntime(const TcpRuntime&) = delete;
+  TcpRuntime& operator=(const TcpRuntime&) = delete;
+
+  // Bind/listen/connect all channels, then launch the process threads.
+  // Returns false (with everything torn down) if socket setup fails.
+  bool start();
+  void shutdown();
+
+  // Post a closure to run on `target`'s thread, in process context.
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action);
+
+  static bool wait_until(const std::function<bool()>& condition,
+                         Duration timeout);
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] Process& process(ProcessId id);
+  [[nodiscard]] TransportStats stats() const;
+  [[nodiscard]] TimePoint now() const;
+
+ private:
+  friend class TcpProcessContext;
+  class Worker;
+
+  void do_send(ProcessId sender, ChannelId channel, Message message);
+
+  Topology topology_;
+  TcpRuntimeConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  // fd of the sending end of each channel (owned by the source's worker).
+  std::vector<int> channel_fd_;
+  std::atomic<std::uint64_t> next_message_id_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,267 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+// ProcessContext implementation bound to one simulated process.
+class SimProcessContext final : public ProcessContext {
+ public:
+  SimProcessContext(Simulation& sim, ProcessId self, Rng& rng)
+      : sim_(sim), self_(self), rng_(rng) {}
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  [[nodiscard]] TimePoint now() const override { return sim_.now(); }
+  [[nodiscard]] const Topology& topology() const override {
+    return sim_.topology();
+  }
+
+  void send(ChannelId channel, Message message) override {
+    sim_.do_send(self_, channel, std::move(message));
+  }
+
+  TimerId set_timer(Duration delay) override {
+    return sim_.do_set_timer(self_, delay);
+  }
+
+  void cancel_timer(TimerId timer) override {
+    sim_.cancelled_timers_.insert(timer);
+  }
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  void stop_self() override { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+ private:
+  Simulation& sim_;
+  ProcessId self_;
+  Rng& rng_;
+  bool stopped_ = false;
+};
+
+Simulation::Simulation(Topology topology, std::vector<ProcessPtr> processes,
+                       SimulationConfig config)
+    : topology_(std::move(topology)),
+      processes_(std::move(processes)),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  DDBG_ASSERT(processes_.size() == topology_.num_processes(),
+              "one Process per topology process required");
+  if (!config_.latency) {
+    config_.latency = uniform_latency(Duration::millis(1), Duration::millis(5));
+  }
+  process_rngs_.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    process_rngs_.push_back(rng_.fork());
+  }
+  contexts_.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    contexts_.push_back(std::make_unique<SimProcessContext>(
+        *this, ProcessId(static_cast<std::uint32_t>(i)), process_rngs_[i]));
+  }
+  channel_clear_time_.assign(topology_.num_channels(), TimePoint{0});
+  channel_in_flight_.assign(topology_.num_channels(), 0);
+  channel_send_seq_.assign(topology_.num_channels(), 0);
+
+  // Schedule on_start for every process at t=0, in id order.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    auto event = std::make_unique<Event>();
+    event->when = TimePoint{0};
+    event->kind = Event::Kind::kStart;
+    event->target = ProcessId(static_cast<std::uint32_t>(i));
+    push_event(std::move(event));
+  }
+}
+
+Simulation::~Simulation() = default;
+
+Process& Simulation::process(ProcessId id) {
+  DDBG_ASSERT(id.value() < processes_.size(), "unknown process");
+  return *processes_[id.value()];
+}
+
+std::size_t Simulation::in_flight(ChannelId channel) const {
+  DDBG_ASSERT(channel.value() < channel_in_flight_.size(), "unknown channel");
+  return channel_in_flight_[channel.value()];
+}
+
+std::size_t Simulation::total_in_flight() const {
+  std::size_t total = 0;
+  for (const std::size_t n : channel_in_flight_) total += n;
+  return total;
+}
+
+void Simulation::push_event(std::unique_ptr<Event> event) {
+  event->seq = next_seq_++;
+  queue_.push(std::move(event));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is removed before dispatch.
+  auto event = std::move(const_cast<std::unique_ptr<Event>&>(queue_.top()));
+  queue_.pop();
+  DDBG_ASSERT(event->when >= now_, "simulation time went backwards");
+  now_ = event->when;
+  dispatch(*event);
+  ++events_processed_;
+  return true;
+}
+
+bool Simulation::run_until_quiescent() {
+  while (!queue_.empty()) {
+    if (queue_.top()->when > config_.max_time) return false;
+    step();
+  }
+  return true;
+}
+
+void Simulation::run_until(TimePoint until) {
+  while (!queue_.empty() && queue_.top()->when <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+bool Simulation::run_until_condition(const std::function<bool()>& condition,
+                                     TimePoint deadline) {
+  if (condition()) return true;
+  while (!queue_.empty() && queue_.top()->when <= deadline) {
+    step();
+    if (condition()) return true;
+  }
+  return false;
+}
+
+void Simulation::preload_channel(ChannelId channel, Bytes payload) {
+  DDBG_ASSERT(events_processed_ == 0,
+              "preload_channel must run before the simulation starts");
+  DDBG_ASSERT(channel.value() < topology_.num_channels(), "unknown channel");
+  const ChannelSpec& spec = topology_.channel(channel);
+  Message message = Message::application(std::move(payload));
+  message.message_id = next_message_id_++;
+  ++channel_in_flight_[channel.value()];
+
+  auto event = std::make_unique<Event>();
+  // Delivered at t=0 after the on_start events (which were queued first),
+  // in preload order.
+  event->when = TimePoint{0};
+  event->kind = Event::Kind::kDeliver;
+  event->target = spec.destination;
+  event->channel = channel;
+  event->message = std::move(message);
+  push_event(std::move(event));
+}
+
+void Simulation::schedule_call(TimePoint when, std::function<void()> action) {
+  DDBG_ASSERT(when >= now_, "cannot schedule in the past");
+  auto event = std::make_unique<Event>();
+  event->when = when;
+  event->kind = Event::Kind::kCall;
+  event->call = std::move(action);
+  push_event(std::move(event));
+}
+
+void Simulation::post(ProcessId target,
+                      std::function<void(ProcessContext&, Process&)> action) {
+  auto event = std::make_unique<Event>();
+  event->when = now_;
+  event->kind = Event::Kind::kClosure;
+  event->target = target;
+  event->closure = std::move(action);
+  push_event(std::move(event));
+}
+
+void Simulation::dispatch(Event& event) {
+  switch (event.kind) {
+    case Event::Kind::kStart: {
+      auto& ctx = *contexts_[event.target.value()];
+      processes_[event.target.value()]->on_start(ctx);
+      break;
+    }
+    case Event::Kind::kDeliver: {
+      const std::size_t c = event.channel.value();
+      DDBG_ASSERT(channel_in_flight_[c] > 0, "delivery without a send");
+      --channel_in_flight_[c];
+      ++stats_.messages_delivered;
+      if (observer_ != nullptr) {
+        observer_->on_deliver(now_, event.channel, event.message);
+      }
+      auto& ctx = *contexts_[event.target.value()];
+      processes_[event.target.value()]->on_message(ctx, event.channel,
+                                                   std::move(event.message));
+      break;
+    }
+    case Event::Kind::kTimer: {
+      if (cancelled_timers_.erase(event.timer) > 0) break;
+      auto& ctx = *contexts_[event.target.value()];
+      processes_[event.target.value()]->on_timer(ctx, event.timer);
+      break;
+    }
+    case Event::Kind::kCall:
+      event.call();
+      break;
+    case Event::Kind::kClosure: {
+      auto& ctx = *contexts_[event.target.value()];
+      event.closure(ctx, *processes_[event.target.value()]);
+      break;
+    }
+  }
+}
+
+void Simulation::do_send(ProcessId sender, ChannelId channel,
+                         Message message) {
+  const ChannelSpec& spec = topology_.channel(channel);
+  DDBG_ASSERT(spec.source == sender,
+              "process may only send on its own outgoing channels");
+  // Debug shims pre-assign globally unique ids so traces can pair sends
+  // with receives; everything else (markers, control) gets a transport id.
+  if (message.message_id == 0) message.message_id = next_message_id_++;
+
+  stats_.note_send(message);
+  if (observer_ != nullptr) observer_->on_send(now_, channel, message);
+
+  // Latency is drawn from a stateless per-message stream keyed by
+  // (seed, channel, per-channel sequence number) rather than a shared
+  // generator.  Two runs that execute identical prefixes therefore see
+  // identical delays for the shared prefix even if they diverge later —
+  // the property the S_h == S_r equivalence experiment rests on.
+  const std::uint64_t seq = channel_send_seq_[channel.value()]++;
+  Rng latency_rng(config_.seed ^
+                  (static_cast<std::uint64_t>(channel.value()) + 1) *
+                      0x9e3779b97f4a7c15ULL ^
+                  (seq + 1) * 0xc2b2ae3d27d4eb4fULL);
+  const Duration delay = config_.latency->sample(channel, latency_rng);
+  DDBG_ASSERT(delay.ns >= 0, "latency must be non-negative");
+  TimePoint deliver_at = now_ + delay;
+  // FIFO enforcement: never deliver before a previously sent message on the
+  // same channel.
+  TimePoint& clear_time = channel_clear_time_[channel.value()];
+  if (deliver_at < clear_time) deliver_at = clear_time;
+  clear_time = deliver_at;
+
+  ++channel_in_flight_[channel.value()];
+
+  auto event = std::make_unique<Event>();
+  event->when = deliver_at;
+  event->kind = Event::Kind::kDeliver;
+  event->target = spec.destination;
+  event->channel = channel;
+  event->message = std::move(message);
+  push_event(std::move(event));
+}
+
+TimerId Simulation::do_set_timer(ProcessId owner, Duration delay) {
+  DDBG_ASSERT(delay.ns >= 0, "timer delay must be non-negative");
+  const TimerId id(next_timer_id_++);
+  auto event = std::make_unique<Event>();
+  event->when = now_ + delay;
+  event->kind = Event::Kind::kTimer;
+  event->target = owner;
+  event->timer = id;
+  push_event(std::move(event));
+  return id;
+}
+
+}  // namespace ddbg

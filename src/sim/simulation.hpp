@@ -1,0 +1,146 @@
+// Deterministic discrete-event simulation of a distributed program.
+//
+// Processes, channels and delays from the paper's model (section 2.1):
+// reliable, in-order, unbounded channels with unpredictable per-message
+// latency.  Everything is driven from a single event queue ordered by
+// (virtual time, sequence number), so a run is a pure function of
+// (topology, processes, latency model, seed) — which is what lets the
+// equivalence experiment (E1) execute the *same* computation once under the
+// C&L recorder and once under the Halting Algorithm and compare states.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/process.hpp"
+#include "net/topology.hpp"
+#include "net/transport_hooks.hpp"
+#include "sim/latency_model.hpp"
+
+namespace ddbg {
+
+struct SimulationConfig {
+  std::uint64_t seed = 1;
+  // Applied to every channel; defaults to uniform 1..5ms.
+  std::unique_ptr<LatencyModel> latency;
+  // Hard stop for run_until_quiescent, to bound runaway programs.
+  TimePoint max_time{Duration::seconds(3600).ns};
+};
+
+class Simulation {
+ public:
+  // One Process per Topology process id, in id order.
+  Simulation(Topology topology, std::vector<ProcessPtr> processes,
+             SimulationConfig config = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // ---- execution ----
+  // Process events until the queue is empty or max_time is reached.
+  // Returns true if the run quiesced (queue drained).
+  bool run_until_quiescent();
+  // Process events with time <= until.
+  void run_until(TimePoint until);
+  void run_for(Duration d) { run_until(now() + d); }
+  // Process a single event; returns false if the queue is empty.
+  bool step();
+
+  // Run until `condition()` holds (checked after every event) or
+  // `deadline`; returns whether the condition held.
+  bool run_until_condition(const std::function<bool()>& condition,
+                           TimePoint deadline);
+
+  // ---- external injection ----
+  // Place an application message into a channel before the run starts, as
+  // if it had been sent earlier and were still in flight — how a restored
+  // global state's recorded channel contents are re-materialized.  Must be
+  // called before any events are processed; preserves call order per
+  // channel.
+  void preload_channel(ChannelId channel, Bytes payload);
+  // Execute `action` at virtual time `when` (>= now) in the simulation
+  // loop.  This is how test harnesses and the debugger session script
+  // interactions with a deterministic run.
+  void schedule_call(TimePoint when, std::function<void()> action);
+  // Post a closure to run as a process-context event for `target`.
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action);
+
+  // ---- queries ----
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] Process& process(ProcessId id);
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight(ChannelId channel) const;
+  [[nodiscard]] std::size_t total_in_flight() const;
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+  void set_observer(TransportObserver* observer) { observer_ = observer; }
+
+ private:
+  friend class SimProcessContext;
+
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    enum class Kind { kStart, kDeliver, kTimer, kCall, kClosure } kind;
+    ProcessId target;
+    ChannelId channel;
+    Message message;
+    TimerId timer;
+    std::function<void()> call;
+    std::function<void(ProcessContext&, Process&)> closure;
+  };
+
+  struct EventOrder {
+    bool operator()(const std::unique_ptr<Event>& a,
+                    const std::unique_ptr<Event>& b) const {
+      if (a->when != b->when) return a->when > b->when;  // min-heap
+      return a->seq > b->seq;
+    }
+  };
+
+  void push_event(std::unique_ptr<Event> event);
+  void dispatch(Event& event);
+  void do_send(ProcessId sender, ChannelId channel, Message message);
+  TimerId do_set_timer(ProcessId owner, Duration delay);
+
+  Topology topology_;
+  std::vector<ProcessPtr> processes_;
+  std::vector<std::unique_ptr<ProcessContext>> contexts_;
+  SimulationConfig config_;
+  Rng rng_;
+  std::vector<Rng> process_rngs_;
+
+  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>,
+                      EventOrder>
+      queue_;
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_message_id_ = 1;
+  std::uint32_t next_timer_id_ = 1;
+  std::unordered_set<TimerId> cancelled_timers_;
+
+  // Per-channel bookkeeping: last scheduled delivery time (FIFO enforcement)
+  // and current in-flight count.
+  std::vector<TimePoint> channel_clear_time_;
+  std::vector<std::size_t> channel_in_flight_;
+  // Per-channel send counts, keying the stateless latency streams.
+  std::vector<std::uint64_t> channel_send_seq_;
+
+  TransportStats stats_;
+  TransportObserver* observer_ = nullptr;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace ddbg

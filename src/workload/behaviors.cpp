@@ -1,0 +1,386 @@
+#include "workload/behaviors.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+namespace {
+
+// First non-control outgoing channel, or all of them.
+std::vector<ChannelId> app_out_channels(const ProcessContext& ctx) {
+  std::vector<ChannelId> channels;
+  for (const ChannelId c : ctx.topology().out_channels(ctx.self())) {
+    if (!ctx.topology().channel(c).is_control) channels.push_back(c);
+  }
+  return channels;
+}
+
+bool has_app_in_channels(const ProcessContext& ctx) {
+  for (const ChannelId c : ctx.topology().in_channels(ctx.self())) {
+    if (!ctx.topology().channel(c).is_control) return true;
+  }
+  return false;
+}
+
+Bytes encode_u64(std::uint64_t value) {
+  ByteWriter writer;
+  writer.u64(value);
+  return std::move(writer).take();
+}
+
+Result<std::uint64_t> decode_u64(const Bytes& payload) {
+  ByteReader reader(payload);
+  return reader.u64();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TokenRingProcess
+// ---------------------------------------------------------------------------
+
+void TokenRingProcess::on_start(ProcessContext& ctx) {
+  if (restored_) {
+    // Resume from the restored state: re-arm the forward timer if we held
+    // the token at the halt; a token in flight arrives as a normal message.
+    if (holding_token_) ctx.set_timer(config_.hop_delay);
+    return;
+  }
+  if (ctx.self() == ProcessId(0)) {
+    holding_token_ = true;
+    pending_value_ = 0;
+    ctx.set_timer(config_.hop_delay);
+  }
+}
+
+bool TokenRingProcess::restore_state(const Bytes& state) {
+  ByteReader reader(state);
+  auto tokens = reader.u32();
+  auto pending = reader.u32();
+  auto holding = reader.u8();
+  if (!tokens.ok() || !pending.ok() || !holding.ok()) return false;
+  tokens_seen_ = tokens.value();
+  pending_value_ = pending.value();
+  holding_token_ = holding.value() != 0;
+  restored_ = true;
+  return true;
+}
+
+void TokenRingProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
+  if (holding_token_) forward_token(ctx);
+}
+
+void TokenRingProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
+                                  Message message) {
+  auto value = decode_u64(message.payload);
+  if (!value.ok()) {
+    DDBG_WARN() << "token ring: bad token payload";
+    return;
+  }
+  ++tokens_seen_;
+  pending_value_ = static_cast<std::uint32_t>(value.value());
+  debug().event("token", pending_value_);
+  debug().set_var("tokens_seen", tokens_seen_);
+
+  const std::uint32_t ring_size = [&] {
+    std::uint32_t users = ctx.topology().num_user_processes();
+    return users > 0 ? users : ctx.topology().num_processes();
+  }();
+  if (pending_value_ < config_.rounds * ring_size) {
+    holding_token_ = true;
+    ctx.set_timer(config_.hop_delay);
+  } else {
+    debug().event("token_retired", pending_value_);
+    ctx.stop_self();
+  }
+}
+
+void TokenRingProcess::forward_token(ProcessContext& ctx) {
+  holding_token_ = false;
+  const auto out = app_out_channels(ctx);
+  DDBG_ASSERT(!out.empty(), "token ring process needs an outgoing channel");
+  debug().enter_procedure("forward_token");
+  ctx.send(out.front(), Message::application(encode_u64(pending_value_ + 1)));
+}
+
+Bytes TokenRingProcess::snapshot_state() const {
+  ByteWriter writer;
+  writer.u32(tokens_seen_);
+  writer.u32(pending_value_);
+  writer.u8(holding_token_ ? 1 : 0);
+  return std::move(writer).take();
+}
+
+std::string TokenRingProcess::describe_state() const {
+  std::ostringstream out;
+  out << "tokens_seen=" << tokens_seen_
+      << (holding_token_ ? " (holding)" : "");
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// PipelineProcess
+// ---------------------------------------------------------------------------
+
+bool PipelineProcess::is_producer(const ProcessContext& ctx) {
+  return !has_app_in_channels(ctx);
+}
+
+void PipelineProcess::on_start(ProcessContext& ctx) {
+  if (is_producer(ctx)) ctx.set_timer(config_.production_interval);
+}
+
+void PipelineProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
+  if (!is_producer(ctx)) return;
+  if (config_.items != 0 && items_seen_ >= config_.items) return;
+  ++items_seen_;
+  checksum_ += items_seen_;
+  debug().enter_procedure("produce");
+  for (const ChannelId c : app_out_channels(ctx)) {
+    ctx.send(c, Message::application(encode_u64(items_seen_)));
+  }
+  debug().event("produced", static_cast<std::int64_t>(items_seen_));
+  debug().set_var("produced", static_cast<std::int64_t>(items_seen_));
+  if (config_.items == 0 || items_seen_ < config_.items) {
+    ctx.set_timer(config_.production_interval);
+  }
+}
+
+void PipelineProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
+                                 Message message) {
+  auto value = decode_u64(message.payload);
+  if (!value.ok()) {
+    DDBG_WARN() << "pipeline: bad item payload";
+    return;
+  }
+  ++items_seen_;
+  checksum_ += value.value();
+  const auto out = app_out_channels(ctx);
+  if (out.empty()) {
+    debug().event("consumed", static_cast<std::int64_t>(value.value()));
+    debug().set_var("consumed", static_cast<std::int64_t>(items_seen_));
+  } else {
+    for (const ChannelId c : out) {
+      ctx.send(c, Message::application(encode_u64(value.value())));
+    }
+    debug().event("forwarded", static_cast<std::int64_t>(value.value()));
+  }
+}
+
+bool PipelineProcess::restore_state(const Bytes& state) {
+  ByteReader reader(state);
+  auto items = reader.u64();
+  auto checksum = reader.u64();
+  if (!items.ok() || !checksum.ok()) return false;
+  items_seen_ = items.value();
+  checksum_ = checksum.value();
+  return true;
+}
+
+Bytes PipelineProcess::snapshot_state() const {
+  ByteWriter writer;
+  writer.u64(items_seen_);
+  writer.u64(checksum_);
+  return std::move(writer).take();
+}
+
+std::string PipelineProcess::describe_state() const {
+  std::ostringstream out;
+  out << "items=" << items_seen_ << " checksum=" << checksum_;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// GossipProcess
+// ---------------------------------------------------------------------------
+
+void GossipProcess::schedule_next(ProcessContext& ctx) {
+  if (config_.max_sends != 0 && sent_ >= config_.max_sends) return;
+  ctx.set_timer(config_.send_interval);
+}
+
+void GossipProcess::on_start(ProcessContext& ctx) {
+  if (!app_out_channels(ctx).empty()) schedule_next(ctx);
+}
+
+void GossipProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
+  const auto out = app_out_channels(ctx);
+  if (out.empty()) return;
+  if (config_.max_sends != 0 && sent_ >= config_.max_sends) return;
+  const std::size_t pick = ctx.rng().next_below(out.size());
+
+  Bytes payload(config_.payload_bytes, 0);
+  ByteWriter writer;
+  writer.u64(sent_);
+  const Bytes header = std::move(writer).take();
+  for (std::size_t i = 0; i < header.size() && i < payload.size(); ++i) {
+    payload[i] = header[i];
+  }
+  ++sent_;
+  ctx.send(out[pick], Message::application(std::move(payload)));
+  debug().set_var("sent", static_cast<std::int64_t>(sent_));
+  schedule_next(ctx);
+}
+
+void GossipProcess::on_message(ProcessContext& /*ctx*/, ChannelId /*in*/,
+                               Message /*message*/) {
+  ++received_;
+  debug().set_var("received", static_cast<std::int64_t>(received_));
+}
+
+bool GossipProcess::restore_state(const Bytes& state) {
+  ByteReader reader(state);
+  auto sent = reader.u64();
+  auto received = reader.u64();
+  if (!sent.ok() || !received.ok()) return false;
+  sent_ = sent.value();
+  received_ = received.value();
+  return true;
+}
+
+Bytes GossipProcess::snapshot_state() const {
+  ByteWriter writer;
+  writer.u64(sent_);
+  writer.u64(received_);
+  return std::move(writer).take();
+}
+
+std::string GossipProcess::describe_state() const {
+  std::ostringstream out;
+  out << "sent=" << sent_ << " received=" << received_;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// BankProcess
+// ---------------------------------------------------------------------------
+
+void BankProcess::schedule_next(ProcessContext& ctx) {
+  if (config_.max_transfers != 0 && transfers_made_ >= config_.max_transfers) {
+    return;
+  }
+  ctx.set_timer(config_.transfer_interval);
+}
+
+void BankProcess::on_start(ProcessContext& ctx) {
+  debug().set_var("balance", balance_);
+  if (!app_out_channels(ctx).empty()) schedule_next(ctx);
+}
+
+void BankProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
+  const auto out = app_out_channels(ctx);
+  if (out.empty()) return;
+  if (config_.max_transfers != 0 && transfers_made_ >= config_.max_transfers) {
+    return;
+  }
+  const std::int64_t amount = ctx.rng().next_in(1, config_.max_transfer);
+  if (balance_ >= amount) {
+    const std::size_t pick = ctx.rng().next_below(out.size());
+    debug().enter_procedure("transfer");
+    balance_ -= amount;
+    ++transfers_made_;
+    ctx.send(out[pick],
+             Message::application(encode_u64(static_cast<std::uint64_t>(
+                 amount))));
+    debug().set_var("balance", balance_);
+  }
+  schedule_next(ctx);
+}
+
+void BankProcess::on_message(ProcessContext& /*ctx*/, ChannelId /*in*/,
+                             Message message) {
+  auto amount = decode_transfer(message.payload);
+  if (!amount.ok()) {
+    DDBG_WARN() << "bank: bad transfer payload";
+    return;
+  }
+  balance_ += amount.value();
+  debug().event("deposit", amount.value());
+  debug().set_var("balance", balance_);
+}
+
+bool BankProcess::restore_state(const Bytes& state) {
+  ByteReader reader(state);
+  auto balance = reader.i64();
+  auto transfers = reader.u32();
+  if (!balance.ok() || !transfers.ok()) return false;
+  balance_ = balance.value();
+  transfers_made_ = transfers.value();
+  return true;
+}
+
+Bytes BankProcess::snapshot_state() const {
+  ByteWriter writer;
+  writer.i64(balance_);
+  writer.u32(transfers_made_);
+  return std::move(writer).take();
+}
+
+std::string BankProcess::describe_state() const {
+  std::ostringstream out;
+  out << "balance=" << balance_;
+  return out.str();
+}
+
+Result<std::int64_t> BankProcess::decode_balance(const Bytes& state) {
+  ByteReader reader(state);
+  return reader.i64();
+}
+
+Result<std::int64_t> BankProcess::decode_transfer(const Bytes& payload) {
+  ByteReader reader(payload);
+  auto amount = reader.u64();
+  if (!amount.ok()) return amount.error();
+  return static_cast<std::int64_t>(amount.value());
+}
+
+Result<std::int64_t> BankProcess::total_money(const GlobalState& state) {
+  std::int64_t total = 0;
+  for (const auto& [process, snapshot] : state.snapshots()) {
+    auto balance = decode_balance(snapshot.state);
+    if (!balance.ok()) return balance.error();
+    total += balance.value();
+    for (const ChannelState& channel : snapshot.in_channels) {
+      for (const Bytes& payload : channel.messages) {
+        auto amount = decode_transfer(payload);
+        if (!amount.ok()) return amount.error();
+        total += amount.value();
+      }
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename P, typename C>
+std::vector<ProcessPtr> make_n(std::uint32_t n, const C& config) {
+  std::vector<ProcessPtr> processes;
+  processes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    processes.push_back(std::make_unique<P>(config));
+  }
+  return processes;
+}
+}  // namespace
+
+std::vector<ProcessPtr> make_token_ring(std::uint32_t n,
+                                        TokenRingConfig config) {
+  return make_n<TokenRingProcess>(n, config);
+}
+std::vector<ProcessPtr> make_pipeline(std::uint32_t n, PipelineConfig config) {
+  return make_n<PipelineProcess>(n, config);
+}
+std::vector<ProcessPtr> make_gossip(std::uint32_t n, GossipConfig config) {
+  return make_n<GossipProcess>(n, config);
+}
+std::vector<ProcessPtr> make_bank(std::uint32_t n, BankConfig config) {
+  return make_n<BankProcess>(n, config);
+}
+
+}  // namespace ddbg

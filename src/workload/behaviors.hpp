@@ -1,0 +1,190 @@
+// Application workloads used by examples, tests and experiments.
+//
+// All of them derive from Debuggable and expose events/variables through
+// the DebugApi, so breakpoints can be set on them; all of them run
+// unchanged on the simulator and the threaded runtime.
+//
+//   TokenRingProcess — a token circulates a ring; event "token" fires per
+//       hop (the canonical Linked-Predicate workload).
+//   PipelineProcess  — producer -> stages -> consumer on an acyclic
+//       pipeline (the paper's figure-2 shape; used to show the basic
+//       halting algorithm failing and the extended model succeeding).
+//   GossipProcess    — each process periodically sends to random outgoing
+//       channels (background traffic for snapshot/halting experiments).
+//   BankProcess      — processes hold balances and transfer money; the sum
+//       of balances plus in-flight transfers is invariant, so a consistent
+//       global state must conserve it (the classic snapshot correctness
+//       witness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialization.hpp"
+#include "core/debug_api.hpp"
+#include "core/global_state.hpp"
+#include "net/process.hpp"
+
+namespace ddbg {
+
+// ---------------------------------------------------------------------------
+// Token ring
+// ---------------------------------------------------------------------------
+
+struct TokenRingConfig {
+  // The token makes this many full rounds, then the ring goes quiet.
+  std::uint32_t rounds = 10;
+  Duration hop_delay = Duration::millis(1);
+};
+
+class TokenRingProcess final : public Debuggable {
+ public:
+  explicit TokenRingProcess(TokenRingConfig config) : config_(config) {}
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+
+  [[nodiscard]] Bytes snapshot_state() const override;
+  bool restore_state(const Bytes& state) override;
+  [[nodiscard]] std::string describe_state() const override;
+
+  [[nodiscard]] std::uint32_t tokens_seen() const { return tokens_seen_; }
+
+ private:
+  void forward_token(ProcessContext& ctx);
+
+  TokenRingConfig config_;
+  std::uint32_t tokens_seen_ = 0;
+  std::uint32_t pending_value_ = 0;
+  bool holding_token_ = false;
+  bool restored_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline (producer -> stages -> consumer)
+// ---------------------------------------------------------------------------
+
+struct PipelineConfig {
+  // Items the producer emits; 0 = unbounded.
+  std::uint32_t items = 100;
+  Duration production_interval = Duration::millis(2);
+};
+
+class PipelineProcess final : public Debuggable {
+ public:
+  explicit PipelineProcess(PipelineConfig config) : config_(config) {}
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+
+  [[nodiscard]] Bytes snapshot_state() const override;
+  bool restore_state(const Bytes& state) override;
+  [[nodiscard]] std::string describe_state() const override;
+
+  [[nodiscard]] std::uint64_t items_seen() const { return items_seen_; }
+
+ private:
+  [[nodiscard]] static bool is_producer(const ProcessContext& ctx);
+
+  PipelineConfig config_;
+  std::uint64_t items_seen_ = 0;   // produced (producer) / received (others)
+  std::uint64_t checksum_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Gossip
+// ---------------------------------------------------------------------------
+
+struct GossipConfig {
+  Duration send_interval = Duration::millis(2);
+  // Stop after this many sends per process; 0 = unbounded.
+  std::uint32_t max_sends = 0;
+  std::uint32_t payload_bytes = 16;
+};
+
+class GossipProcess final : public Debuggable {
+ public:
+  explicit GossipProcess(GossipConfig config) : config_(config) {}
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+
+  [[nodiscard]] Bytes snapshot_state() const override;
+  bool restore_state(const Bytes& state) override;
+  [[nodiscard]] std::string describe_state() const override;
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  void schedule_next(ProcessContext& ctx);
+
+  GossipConfig config_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Bank
+// ---------------------------------------------------------------------------
+
+struct BankConfig {
+  std::int64_t initial_balance = 1000;
+  Duration transfer_interval = Duration::millis(2);
+  std::int64_t max_transfer = 50;
+  // Stop after this many transfers per process; 0 = unbounded.
+  std::uint32_t max_transfers = 0;
+};
+
+class BankProcess final : public Debuggable {
+ public:
+  explicit BankProcess(BankConfig config)
+      : config_(config), balance_(config.initial_balance) {}
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+
+  [[nodiscard]] Bytes snapshot_state() const override;
+  bool restore_state(const Bytes& state) override;
+  [[nodiscard]] std::string describe_state() const override;
+
+  [[nodiscard]] std::int64_t balance() const { return balance_; }
+
+  // Decode a BankProcess state snapshot back to a balance.
+  [[nodiscard]] static Result<std::int64_t> decode_balance(const Bytes& state);
+  // Decode a transfer payload back to an amount.
+  [[nodiscard]] static Result<std::int64_t> decode_transfer(
+      const Bytes& payload);
+  // Conservation check: sum of balances plus in-flight transfer amounts in
+  // a global state.  A consistent cut of an n-process bank must total
+  // n * initial_balance.
+  [[nodiscard]] static Result<std::int64_t> total_money(
+      const GlobalState& state);
+
+ private:
+  void schedule_next(ProcessContext& ctx);
+
+  BankConfig config_;
+  std::int64_t balance_;
+  std::uint32_t transfers_made_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<ProcessPtr> make_token_ring(std::uint32_t n,
+                                                      TokenRingConfig config);
+[[nodiscard]] std::vector<ProcessPtr> make_pipeline(std::uint32_t n,
+                                                    PipelineConfig config);
+[[nodiscard]] std::vector<ProcessPtr> make_gossip(std::uint32_t n,
+                                                  GossipConfig config);
+[[nodiscard]] std::vector<ProcessPtr> make_bank(std::uint32_t n,
+                                                BankConfig config);
+
+}  // namespace ddbg

@@ -1,0 +1,78 @@
+// LazyProcess: models a process with *infrequent interactions* (the first
+// problem of section 2.2.2).
+//
+// The paper: "how to halt a process that has only infrequent interactions
+// with the other processes of the computation.  The process would
+// eventually halt, potentially long after all other processes have halted."
+//
+// A LazyProcess wraps another process (typically a DebugShim) and services
+// its application channels only at its own interaction points — a periodic
+// poll — so a peer's halt marker sits unread until the next poll.  Control
+// channels are exempt: "user processes are always willing to accept a
+// message from the debugger process" (section 2.2.3), which is exactly why
+// the extended model fixes the problem.  Experiment E5 sweeps the poll
+// interval and shows basic-algorithm halt latency growing with it while the
+// extended model stays flat.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "net/process.hpp"
+
+namespace ddbg {
+
+class LazyProcess final : public Process {
+ public:
+  LazyProcess(ProcessPtr inner, Duration poll_interval)
+      : inner_(std::move(inner)), poll_interval_(poll_interval) {}
+
+  void on_start(ProcessContext& ctx) override {
+    topology_ = &ctx.topology();
+    inner_->on_start(ctx);
+    poll_timer_ = ctx.set_timer(poll_interval_);
+  }
+
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override {
+    if (topology_->channel(in).is_control) {
+      // Debugger traffic is always serviced immediately.
+      inner_->on_message(ctx, in, std::move(message));
+      return;
+    }
+    stash_.emplace_back(in, std::move(message));
+  }
+
+  void on_timer(ProcessContext& ctx, TimerId timer) override {
+    if (timer == poll_timer_) {
+      // An interaction point: service everything that accumulated.
+      while (!stash_.empty()) {
+        auto [channel, message] = std::move(stash_.front());
+        stash_.pop_front();
+        inner_->on_message(ctx, channel, std::move(message));
+      }
+      poll_timer_ = ctx.set_timer(poll_interval_);
+      return;
+    }
+    inner_->on_timer(ctx, timer);
+  }
+
+  [[nodiscard]] Bytes snapshot_state() const override {
+    return inner_->snapshot_state();
+  }
+  [[nodiscard]] std::string describe_state() const override {
+    return inner_->describe_state();
+  }
+
+  [[nodiscard]] Process& inner() { return *inner_; }
+  [[nodiscard]] std::size_t stashed() const { return stash_.size(); }
+
+ private:
+  ProcessPtr inner_;
+  Duration poll_interval_;
+  const Topology* topology_ = nullptr;
+  TimerId poll_timer_;
+  std::deque<std::pair<ChannelId, Message>> stash_;
+};
+
+}  // namespace ddbg

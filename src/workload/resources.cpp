@@ -1,0 +1,248 @@
+#include "workload/resources.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+namespace {
+
+ProcessId ring_successor(const ProcessContext& ctx) {
+  const std::uint32_t n = ctx.topology().num_user_processes();
+  return ProcessId((ctx.self().value() + 1) % n);
+}
+
+ProcessId ring_predecessor(const ProcessContext& ctx) {
+  const std::uint32_t n = ctx.topology().num_user_processes();
+  return ProcessId((ctx.self().value() + n - 1) % n);
+}
+
+ChannelId channel_to(const ProcessContext& ctx, ProcessId target) {
+  auto channel = ctx.topology().channel_between(ctx.self(), target);
+  DDBG_ASSERT(channel.has_value(), "resource ring needs both directions");
+  return *channel;
+}
+
+}  // namespace
+
+Bytes ResourceRingProcess::encode_message(ResourceMessage kind) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(kind));
+  return std::move(writer).take();
+}
+
+Result<ResourceMessage> ResourceRingProcess::decode_message(
+    const Bytes& payload) {
+  ByteReader reader(payload);
+  auto kind = reader.u8();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() > static_cast<std::uint8_t>(ResourceMessage::kRelease)) {
+    return Error(ErrorCode::kParseError, "bad resource message");
+  }
+  return static_cast<ResourceMessage>(kind.value());
+}
+
+bool ResourceRingProcess::is_polite(const ProcessContext& ctx) const {
+  return config_.strategy == ResourceStrategy::kPolite &&
+         ctx.self() == ProcessId(0);
+}
+
+void ResourceRingProcess::on_start(ProcessContext& ctx) {
+  debug().set_var("work_done", 0);
+  ctx.set_timer(config_.think_time);
+}
+
+void ResourceRingProcess::begin_acquisition(ProcessContext& ctx) {
+  debug().enter_procedure("acquire");
+  if (is_polite(ctx)) {
+    // The symmetry breaker: request the successor's resource *before*
+    // taking our own, so our own stays grantable while we wait.
+    phase_ = Phase::kWaitingForGrant;
+    ctx.send(channel_to(ctx, ring_successor(ctx)),
+             Message::application(encode_message(ResourceMessage::kRequest)));
+    return;
+  }
+  // Greedy: own first.
+  if (own_lent_out_) {
+    phase_ = Phase::kWantOwn;
+    return;
+  }
+  holding_own_ = true;
+  phase_ = Phase::kWaitingForGrant;
+  ctx.send(channel_to(ctx, ring_successor(ctx)),
+           Message::application(encode_message(ResourceMessage::kRequest)));
+}
+
+void ResourceRingProcess::try_advance(ProcessContext& ctx) {
+  if (phase_ == Phase::kWantOwn && !own_lent_out_) {
+    holding_own_ = true;
+    if (holding_neighbor_) {
+      start_work(ctx);
+    } else {
+      phase_ = Phase::kWaitingForGrant;
+      ctx.send(channel_to(ctx, ring_successor(ctx)),
+               Message::application(
+                   encode_message(ResourceMessage::kRequest)));
+    }
+  }
+}
+
+void ResourceRingProcess::start_work(ProcessContext& ctx) {
+  DDBG_ASSERT(holding_own_ && holding_neighbor_,
+              "work needs both resources");
+  phase_ = Phase::kWorking;
+  debug().event("working", work_done_);
+  work_timer_ = ctx.set_timer(config_.work_time);
+}
+
+void ResourceRingProcess::finish_work(ProcessContext& ctx) {
+  ++work_done_;
+  debug().set_var("work_done", work_done_);
+
+  // Return the successor's resource.
+  holding_neighbor_ = false;
+  ctx.send(channel_to(ctx, ring_successor(ctx)),
+           Message::application(encode_message(ResourceMessage::kRelease)));
+  // Free our own; serve a queued request from the predecessor.
+  holding_own_ = false;
+  if (pending_request_) {
+    pending_request_ = false;
+    own_lent_out_ = true;
+    ctx.send(channel_to(ctx, ring_predecessor(ctx)),
+             Message::application(encode_message(ResourceMessage::kGrant)));
+  }
+
+  phase_ = Phase::kThinking;
+  if (config_.max_work_units == 0 || work_done_ < config_.max_work_units) {
+    ctx.set_timer(config_.think_time);
+  } else {
+    ctx.stop_self();
+  }
+}
+
+void ResourceRingProcess::on_timer(ProcessContext& ctx, TimerId timer) {
+  if (phase_ == Phase::kWorking && timer == work_timer_) {
+    finish_work(ctx);
+    return;
+  }
+  if (phase_ == Phase::kThinking) begin_acquisition(ctx);
+}
+
+void ResourceRingProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
+                                     Message message) {
+  auto kind = decode_message(message.payload);
+  if (!kind.ok()) {
+    DDBG_WARN() << "resource ring: bad payload";
+    return;
+  }
+  switch (kind.value()) {
+    case ResourceMessage::kRequest:
+      // The predecessor wants our resource.
+      if (!holding_own_ && !own_lent_out_) {
+        own_lent_out_ = true;
+        ctx.send(channel_to(ctx, ring_predecessor(ctx)),
+                 Message::application(
+                     encode_message(ResourceMessage::kGrant)));
+      } else {
+        pending_request_ = true;
+      }
+      return;
+    case ResourceMessage::kGrant:
+      // The successor granted us its resource.
+      holding_neighbor_ = true;
+      debug().event("granted");
+      if (holding_own_) {
+        start_work(ctx);
+      } else if (own_lent_out_) {
+        phase_ = Phase::kWantOwn;  // polite path: still need our own back
+      } else {
+        holding_own_ = true;
+        start_work(ctx);
+      }
+      return;
+    case ResourceMessage::kRelease:
+      // The predecessor returned our resource.
+      own_lent_out_ = false;
+      try_advance(ctx);
+      return;
+  }
+}
+
+Bytes ResourceRingProcess::snapshot_state() const {
+  ByteWriter writer;
+  std::uint8_t flags = 0;
+  if (holding_own_) flags |= 1u << 0;
+  if (holding_neighbor_) flags |= 1u << 1;
+  if (own_lent_out_) flags |= 1u << 2;
+  if (pending_request_) flags |= 1u << 3;
+  writer.u8(flags);
+  writer.u8(static_cast<std::uint8_t>(phase_));
+  writer.u32(work_done_);
+  return std::move(writer).take();
+}
+
+Result<ResourceRingProcess::DecodedState> ResourceRingProcess::decode_state(
+    const Bytes& state) {
+  ByteReader reader(state);
+  auto flags = reader.u8();
+  if (!flags.ok()) return flags.error();
+  auto phase = reader.u8();
+  if (!phase.ok()) return phase.error();
+  auto work = reader.u32();
+  if (!work.ok()) return work.error();
+
+  DecodedState decoded;
+  decoded.holding_own = (flags.value() & (1u << 0)) != 0;
+  decoded.holding_neighbor = (flags.value() & (1u << 1)) != 0;
+  decoded.work_done = work.value();
+  switch (static_cast<Phase>(phase.value())) {
+    case Phase::kWaitingForGrant:
+      decoded.wait_kind = WaitKind::kGrant;
+      break;
+    case Phase::kWantOwn:
+      decoded.wait_kind = WaitKind::kRelease;
+      break;
+    default:
+      decoded.wait_kind = WaitKind::kNone;
+      break;
+  }
+  // waiting_for (ring successor/predecessor) is filled by the analysis
+  // layer, which knows the process's position in the ring.
+  return decoded;
+}
+
+std::string ResourceRingProcess::describe_state() const {
+  std::ostringstream out;
+  out << "work=" << work_done_;
+  switch (phase_) {
+    case Phase::kThinking: out << " thinking"; break;
+    case Phase::kWantOwn: out << " BLOCKED(own)"; break;
+    case Phase::kWaitingForGrant: out << " BLOCKED(grant)"; break;
+    case Phase::kWorking: out << " working"; break;
+  }
+  if (own_lent_out_) out << " lent";
+  return out.str();
+}
+
+std::vector<ProcessPtr> make_resource_ring(std::uint32_t n,
+                                           ResourceRingConfig config) {
+  std::vector<ProcessPtr> processes;
+  processes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    processes.push_back(std::make_unique<ResourceRingProcess>(config));
+  }
+  return processes;
+}
+
+Topology resource_ring_topology(std::uint32_t n) {
+  DDBG_ASSERT(n >= 2, "resource ring needs at least 2 processes");
+  Topology topology(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    topology.add_channel(ProcessId(i), ProcessId((i + 1) % n));  // forward
+    topology.add_channel(ProcessId((i + 1) % n), ProcessId(i));  // backward
+  }
+  return topology;
+}
+
+}  // namespace ddbg

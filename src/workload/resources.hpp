@@ -1,0 +1,113 @@
+// A deadlockable resource workload: each process owns one resource and
+// needs its own plus its ring-successor's to do a unit of work.
+//
+//   grab own -> REQUEST successor's -> (GRANT) -> work -> RELEASE -> repeat
+//
+// In the kGreedy strategy every process grabs its own resource before
+// requesting — the textbook circular wait: with all processes greedy the
+// ring deadlocks almost immediately.  kPolite breaks the symmetry the
+// classic way: process 0 acquires in the opposite order, so no cycle can
+// close and the ring runs forever.
+//
+// Why it is here: detecting the deadlock *soundly* needs a consistent
+// global state.  Inspecting processes one by one can report a phantom
+// deadlock (a GRANT may be in flight), and the naive halt of E10 loses
+// exactly that message.  S_h contains the channel contents, so
+// find_deadlock (analysis/deadlock.hpp) can tell a real cycle from a
+// phantom one — the canonical "what do I do with a halted state" debugging
+// story.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/serialization.hpp"
+#include "core/debug_api.hpp"
+#include "net/process.hpp"
+
+namespace ddbg {
+
+enum class ResourceStrategy : std::uint8_t {
+  kGreedy = 0,  // grab own, then request successor's (deadlock-prone)
+  kPolite = 1,  // process 0 reverses its acquisition order (deadlock-free)
+};
+
+enum class ResourceMessage : std::uint8_t {
+  kRequest = 0,
+  kGrant = 1,
+  kRelease = 2,
+};
+
+struct ResourceRingConfig {
+  ResourceStrategy strategy = ResourceStrategy::kGreedy;
+  Duration think_time = Duration::millis(2);  // between work units
+  Duration work_time = Duration::millis(1);   // holding both resources
+  std::uint32_t max_work_units = 0;           // 0 = unbounded
+};
+
+class ResourceRingProcess final : public Debuggable {
+ public:
+  explicit ResourceRingProcess(ResourceRingConfig config) : config_(config) {}
+
+  void on_start(ProcessContext& ctx) override;
+  void on_message(ProcessContext& ctx, ChannelId in, Message message) override;
+  void on_timer(ProcessContext& ctx, TimerId timer) override;
+
+  [[nodiscard]] Bytes snapshot_state() const override;
+  [[nodiscard]] std::string describe_state() const override;
+
+  [[nodiscard]] std::uint32_t work_done() const { return work_done_; }
+
+  // ---- wire/state codecs shared with the analysis layer ----
+  enum class WaitKind : std::uint8_t {
+    kNone = 0,
+    kGrant = 1,    // blocked until the successor's GRANT arrives
+    kRelease = 2,  // blocked until the predecessor RELEASEs our resource
+  };
+  struct DecodedState {
+    bool holding_own = false;
+    bool holding_neighbor = false;
+    WaitKind wait_kind = WaitKind::kNone;
+    // The process whose action we are blocked on (valid iff wait_kind !=
+    // kNone).
+    ProcessId waiting_for;
+    std::uint32_t work_done = 0;
+  };
+  [[nodiscard]] static Result<DecodedState> decode_state(const Bytes& state);
+  [[nodiscard]] static Result<ResourceMessage> decode_message(
+      const Bytes& payload);
+  [[nodiscard]] static Bytes encode_message(ResourceMessage kind);
+
+ private:
+  enum class Phase : std::uint8_t {
+    kThinking,         // timer running until the next work unit
+    kWantOwn,          // own resource lent out; waiting for its RELEASE
+    kWaitingForGrant,  // REQUEST sent, successor's GRANT pending
+    kWorking,          // both resources held, work timer running
+  };
+
+  void begin_acquisition(ProcessContext& ctx);
+  void try_advance(ProcessContext& ctx);
+  void start_work(ProcessContext& ctx);
+  void finish_work(ProcessContext& ctx);
+  [[nodiscard]] bool is_polite(const ProcessContext& ctx) const;
+
+  ResourceRingConfig config_;
+  Phase phase_ = Phase::kThinking;
+  bool holding_own_ = false;        // own resource in our hands
+  bool holding_neighbor_ = false;   // successor's resource granted to us
+  bool own_lent_out_ = false;       // own resource granted to predecessor
+  bool pending_request_ = false;    // predecessor waits for our resource
+  std::uint32_t work_done_ = 0;
+  TimerId work_timer_;
+};
+
+[[nodiscard]] std::vector<ProcessPtr> make_resource_ring(
+    std::uint32_t n, ResourceRingConfig config);
+
+// The ring topology this workload requires: forward channels p->p+1 for
+// requests/releases and backward channels p+1->p for grants.
+[[nodiscard]] Topology resource_ring_topology(std::uint32_t n);
+
+}  // namespace ddbg

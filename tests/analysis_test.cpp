@@ -1,0 +1,270 @@
+// Unit tests for the analysis layer: traces, consistency checking, message
+// accounting, SCP classification and summary statistics.
+#include <gtest/gtest.h>
+
+#include "analysis/consistency.hpp"
+#include "analysis/scp.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/trace.hpp"
+
+namespace ddbg {
+namespace {
+
+LocalEvent event_at(ProcessId p, std::uint64_t seq, LocalEventKind kind,
+                    VectorClock vclock, std::uint64_t message_id = 0,
+                    ChannelId channel = ChannelId()) {
+  LocalEvent event;
+  event.process = p;
+  event.local_seq = seq;
+  event.kind = kind;
+  event.vclock = std::move(vclock);
+  event.message_id = message_id;
+  event.channel = channel;
+  return event;
+}
+
+VectorClock vc(std::initializer_list<std::uint64_t> counts) {
+  VectorClock clock(counts.size());
+  std::uint32_t i = 0;
+  for (const std::uint64_t c : counts) {
+    for (std::uint64_t k = 0; k < c; ++k) clock.tick(ProcessId(i));
+    ++i;
+  }
+  return clock;
+}
+
+ProcessSnapshot snap(ProcessId p, VectorClock clock) {
+  ProcessSnapshot snapshot;
+  snapshot.process = p;
+  snapshot.vclock = std::move(clock);
+  return snapshot;
+}
+
+TEST(Trace, RecordsAndMatches) {
+  Trace trace;
+  auto sink = trace.sink();
+  sink(event_at(ProcessId(0), 0, LocalEventKind::kUserEvent, vc({1, 0})));
+  sink(event_at(ProcessId(1), 0, LocalEventKind::kUserEvent, vc({0, 1})));
+  EXPECT_EQ(trace.size(), 2u);
+
+  SimplePredicate sp;
+  sp.process = ProcessId(0);
+  sp.kind = LocalEventKind::kUserEvent;
+  EXPECT_EQ(trace.matching(sp).size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, GraphHasProgramAndMessageEdges) {
+  Trace trace;
+  // p0: send(m1); p1: recv(m1) then a local event.
+  trace.record(event_at(ProcessId(0), 0, LocalEventKind::kMessageSent,
+                        vc({1, 0}), 42, ChannelId(0)));
+  trace.record(event_at(ProcessId(1), 0, LocalEventKind::kMessageReceived,
+                        vc({1, 1}), 42, ChannelId(0)));
+  trace.record(event_at(ProcessId(1), 1, LocalEventKind::kUserEvent,
+                        vc({1, 2})));
+  const Trace::Graph graph = trace.build_graph();
+  ASSERT_EQ(graph.events.size(), 3u);
+  // Find indices by (process, seq).
+  auto find = [&](ProcessId p, std::uint64_t seq) {
+    for (EventIndex i = 0; i < graph.events.size(); ++i) {
+      if (graph.events[i].process == p && graph.events[i].local_seq == seq) {
+        return i;
+      }
+    }
+    return EventIndex(999);
+  };
+  const EventIndex send = find(ProcessId(0), 0);
+  const EventIndex recv = find(ProcessId(1), 0);
+  const EventIndex local = find(ProcessId(1), 1);
+  EXPECT_TRUE(graph.graph.happened_before(send, recv));
+  EXPECT_TRUE(graph.graph.happened_before(recv, local));
+  EXPECT_TRUE(graph.graph.happened_before(send, local));
+  EXPECT_FALSE(graph.graph.happened_before(local, send));
+}
+
+TEST(Consistency, ConsistentCutAccepted) {
+  GlobalState state{HaltId(1)};
+  state.add(snap(ProcessId(0), vc({3, 1})));
+  state.add(snap(ProcessId(1), vc({2, 5})));
+  EXPECT_TRUE(consistent_cut(state));
+}
+
+TEST(Consistency, InconsistentCutDetected) {
+  // p1 observed p0 at 4, but p0's own cut point is 3: p1 "saw the future".
+  GlobalState state{HaltId(1)};
+  state.add(snap(ProcessId(0), vc({3, 0})));
+  state.add(snap(ProcessId(1), vc({4, 2})));
+  const auto violation = find_cut_inconsistency(state);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("p1 observed p0"), std::string::npos);
+}
+
+TEST(Consistency, SingleProcessAlwaysConsistent) {
+  GlobalState state{HaltId(1)};
+  state.add(snap(ProcessId(0), vc({7})));
+  EXPECT_TRUE(consistent_cut(state));
+}
+
+TEST(Accounting, CleanWhenChannelStateMatches) {
+  Trace trace;
+  // m1 sent in cut, received in cut.  m2 sent in cut, in flight, recorded.
+  trace.record(event_at(ProcessId(0), 0, LocalEventKind::kMessageSent,
+                        vc({1, 0}), 1, ChannelId(0)));
+  trace.record(event_at(ProcessId(1), 0, LocalEventKind::kMessageReceived,
+                        vc({1, 1}), 1, ChannelId(0)));
+  trace.record(event_at(ProcessId(0), 1, LocalEventKind::kMessageSent,
+                        vc({2, 0}), 2, ChannelId(0)));
+
+  GlobalState state{HaltId(1)};
+  auto s0 = snap(ProcessId(0), vc({2, 0}));
+  auto s1 = snap(ProcessId(1), vc({1, 1}));
+  s1.in_channels.push_back(ChannelState{ChannelId(0), {Bytes{0}}});
+  state.add(s0);
+  state.add(s1);
+
+  const MessageAccounting accounting = account_messages(trace, state);
+  EXPECT_EQ(accounting.orphan_receives, 0u);
+  EXPECT_EQ(accounting.in_flight_per_trace, 1u);
+  EXPECT_EQ(accounting.recorded_in_channels, 1u);
+  EXPECT_EQ(accounting.lost_messages, 0u);
+  EXPECT_TRUE(accounting.clean());
+}
+
+TEST(Accounting, LostMessageDetected) {
+  Trace trace;
+  trace.record(event_at(ProcessId(0), 0, LocalEventKind::kMessageSent,
+                        vc({1, 0}), 1, ChannelId(0)));
+  GlobalState state{HaltId(1)};
+  state.add(snap(ProcessId(0), vc({1, 0})));
+  state.add(snap(ProcessId(1), vc({0, 0})));  // no channel state recorded
+  const MessageAccounting accounting = account_messages(trace, state);
+  EXPECT_EQ(accounting.in_flight_per_trace, 1u);
+  EXPECT_EQ(accounting.lost_messages, 1u);
+  EXPECT_FALSE(accounting.clean());
+}
+
+TEST(Accounting, OrphanReceiveDetected) {
+  Trace trace;
+  // Receive inside the cut whose send is outside the cut.
+  trace.record(event_at(ProcessId(0), 0, LocalEventKind::kMessageSent,
+                        vc({5, 0}), 1, ChannelId(0)));
+  trace.record(event_at(ProcessId(1), 0, LocalEventKind::kMessageReceived,
+                        vc({5, 1}), 1, ChannelId(0)));
+  GlobalState state{HaltId(1)};
+  state.add(snap(ProcessId(0), vc({4, 0})));  // send (seq 5) outside
+  state.add(snap(ProcessId(1), vc({5, 1})));  // receive inside
+  const MessageAccounting accounting = account_messages(trace, state);
+  EXPECT_EQ(accounting.orphan_receives, 1u);
+}
+
+TEST(Scp, ClassifiesOrderedAndUnordered) {
+  Trace trace;
+  // p0 event at vc(1,0); p1 events at vc(0,1) [concurrent] and vc(2,3)
+  // [after a message from p0's vc(2,0)].
+  trace.record(event_at(ProcessId(0), 0, LocalEventKind::kUserEvent,
+                        vc({1, 0})));
+  trace.record(event_at(ProcessId(1), 0, LocalEventKind::kUserEvent,
+                        vc({0, 1})));
+  trace.record(event_at(ProcessId(1), 1, LocalEventKind::kUserEvent,
+                        vc({2, 3})));
+  SimplePredicate sp0;
+  sp0.process = ProcessId(0);
+  sp0.kind = LocalEventKind::kUserEvent;
+  SimplePredicate sp1;
+  sp1.process = ProcessId(1);
+  sp1.kind = LocalEventKind::kUserEvent;
+
+  const ScpAnalysis analysis = analyze_scp(trace, sp0, sp1, true);
+  EXPECT_EQ(analysis.satisfactions_sp1, 1u);
+  EXPECT_EQ(analysis.satisfactions_sp2, 2u);
+  EXPECT_EQ(analysis.ordered_pairs, 1u);
+  EXPECT_EQ(analysis.unordered_pairs, 1u);
+  EXPECT_DOUBLE_EQ(analysis.ordered_fraction(), 0.5);
+  ASSERT_EQ(analysis.pairs.size(), 2u);
+}
+
+TEST(Scp, EmptyTraceYieldsNoPairs) {
+  Trace trace;
+  SimplePredicate sp0;
+  sp0.process = ProcessId(0);
+  const ScpAnalysis analysis = analyze_scp(trace, sp0, sp0);
+  EXPECT_EQ(analysis.total_pairs(), 0u);
+  EXPECT_DOUBLE_EQ(analysis.ordered_fraction(), 0.0);
+}
+
+TEST(Trace, TimelineRendersCausalOrder) {
+  Trace trace;
+  trace.record(event_at(ProcessId(1), 0, LocalEventKind::kUserEvent,
+                        vc({0, 3})));
+  trace.record(event_at(ProcessId(0), 0, LocalEventKind::kMessageSent,
+                        vc({1, 0}), 42, ChannelId(0)));
+  trace.record(event_at(ProcessId(1), 1, LocalEventKind::kMessageReceived,
+                        vc({1, 4}), 42, ChannelId(0)));
+  auto with_lamport = [&](LocalEvent event, std::uint64_t lamport) {
+    event.lamport = lamport;
+    return event;
+  };
+  Trace stamped;
+  auto events = trace.events();
+  stamped.record(with_lamport(events[0], 5));
+  stamped.record(with_lamport(events[1], 1));
+  stamped.record(with_lamport(events[2], 2));
+
+  const std::string timeline = stamped.render_timeline();
+  // Lamport order: the send (L1) precedes the receive (L2) precedes L5.
+  const auto send_pos = timeline.find("send #42 -> p1");
+  const auto recv_pos = timeline.find("recv #42 <- p0");
+  const auto user_pos = timeline.find("[L5]");
+  ASSERT_NE(send_pos, std::string::npos) << timeline;
+  ASSERT_NE(recv_pos, std::string::npos) << timeline;
+  ASSERT_NE(user_pos, std::string::npos) << timeline;
+  EXPECT_LT(send_pos, recv_pos);
+  EXPECT_LT(recv_pos, user_pos);
+}
+
+TEST(Trace, TimelineMarksUnreceivedAsInFlight) {
+  Trace trace;
+  auto event = event_at(ProcessId(0), 0, LocalEventKind::kMessageSent,
+                        vc({1, 0}), 7, ChannelId(0));
+  event.lamport = 1;
+  trace.record(event);
+  EXPECT_NE(trace.render_timeline().find("(in flight)"), std::string::npos);
+}
+
+TEST(Trace, TimelineTruncates) {
+  Trace trace;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auto event =
+        event_at(ProcessId(0), i, LocalEventKind::kUserEvent, vc({i + 1}));
+    event.lamport = i + 1;
+    trace.record(event);
+  }
+  const std::string timeline = trace.render_timeline(3);
+  EXPECT_NE(timeline.find("7 more events"), std::string::npos);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, EmptySummary) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const Summary s = summarize({42.0});
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+}
+
+}  // namespace
+}  // namespace ddbg

@@ -1,0 +1,101 @@
+// Decode robustness: random and mutated byte strings must never crash the
+// decoders — they either parse or return a kParseError.  (Wire input is
+// attacker-ish data by definition: another machine produced it.)
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/commands.hpp"
+#include "core/predicate.hpp"
+#include "net/message.hpp"
+
+namespace ddbg {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes bytes(rng.next_below(max_len + 1));
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return bytes;
+}
+
+class FuzzDecode : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDecode, RandomBytesNeverCrashMessageDecode) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes bytes = random_bytes(rng, 64);
+    ByteReader reader(bytes);
+    auto result = Message::decode(reader);
+    if (result.ok()) {
+      // Whatever decoded must re-encode without crashing.
+      ByteWriter writer;
+      result.value().encode(writer);
+    }
+  }
+}
+
+TEST_P(FuzzDecode, RandomBytesNeverCrashCommandDecode) {
+  Rng rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes bytes = random_bytes(rng, 96);
+    auto result = Command::decode(bytes);
+    if (result.ok()) {
+      (void)result.value().encode();
+    }
+  }
+}
+
+TEST_P(FuzzDecode, RandomBytesNeverCrashPredicateDecode) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes bytes = random_bytes(rng, 64);
+    auto lp = LinkedPredicate::decode_from_bytes(bytes);
+    if (lp.ok()) (void)lp.value().describe();
+    ByteReader reader(bytes);
+    auto spec = BreakpointSpec::decode(reader);
+    if (spec.ok()) (void)spec.value().describe();
+  }
+}
+
+TEST_P(FuzzDecode, TruncationsOfValidMessagesFailCleanly) {
+  Rng rng(GetParam() ^ 0x3333);
+  Message valid = Message::halt_marker(HaltId(7), {ProcessId(1), ProcessId(2)});
+  valid.vclock = VectorClock(4);
+  valid.vclock.tick(ProcessId(3));
+  valid.payload = Bytes{1, 2, 3, 4, 5};
+  ByteWriter writer;
+  valid.encode(writer);
+  const Bytes& encoded = writer.buffer();
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Bytes truncated(encoded.begin(),
+                    encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+    ByteReader reader(truncated);
+    auto result = Message::decode(reader);
+    // Truncations must never "succeed" into garbage beyond the buffer.
+    if (result.ok()) {
+      EXPECT_TRUE(reader.exhausted() || cut < encoded.size());
+    }
+  }
+}
+
+TEST_P(FuzzDecode, BitFlipsOfValidCommandsFailCleanlyOrRoundTrip) {
+  Rng rng(GetParam() ^ 0x4444);
+  ProcessSnapshot snapshot;
+  snapshot.process = ProcessId(1);
+  snapshot.state = Bytes{9, 9};
+  snapshot.in_channels.push_back(ChannelState{ChannelId(0), {Bytes{1}}});
+  const Bytes encoded =
+      Command::halt_report(ProcessId(1), 3, snapshot).encode();
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = encoded;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    auto result = Command::decode(mutated);
+    if (result.ok()) (void)result.value().encode();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace ddbg

@@ -1,0 +1,334 @@
+// Direct unit tests of the HaltingEngine and SnapshotEngine state machines
+// (marker rules, wave ids, channel-state assembly, resume) using a fake
+// context — no runtime involved.
+#include <gtest/gtest.h>
+
+#include "core/halting.hpp"
+#include "core/snapshot.hpp"
+#include "tests/test_util.hpp"
+
+namespace ddbg {
+namespace {
+
+using testing::FakeContext;
+
+// p0 <-> p1 <-> p2 ring: each process one in, one out.
+struct RingFixture {
+  Topology topology = Topology::ring(3);
+  ProcessId self{1};
+  FakeContext ctx{ProcessId(1), &topology};
+
+  std::vector<HaltId> halts;
+  std::vector<ProcessSnapshot> completions;
+  int captures = 0;
+
+  HaltingEngine make_engine() {
+    return HaltingEngine(
+        self, &topology,
+        HaltingEngine::Callbacks{
+            [this] {
+              ++captures;
+              ProcessSnapshot snapshot;
+              snapshot.process = self;
+              snapshot.state = Bytes{static_cast<std::uint8_t>(captures)};
+              snapshot.description = "capture" + std::to_string(captures);
+              return snapshot;
+            },
+            [this](HaltId id, const std::vector<ProcessId>&) {
+              halts.push_back(id);
+            },
+            [this](const ProcessSnapshot& snapshot) {
+              completions.push_back(snapshot);
+            }});
+  }
+
+  [[nodiscard]] ChannelId in_channel() const {
+    return topology.in_channels(self)[0];  // from p0
+  }
+  [[nodiscard]] ChannelId out_channel() const {
+    return topology.out_channels(self)[0];  // to p2
+  }
+};
+
+TEST(HaltingEngine, SpontaneousInitiationSendsMarkersAndHalts) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  EXPECT_FALSE(engine.halted());
+  EXPECT_EQ(engine.last_halt_id(), 0u);
+
+  engine.initiate(fx.ctx);
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(engine.last_halt_id(), 1u);
+  const auto markers = fx.ctx.halt_markers();
+  ASSERT_EQ(markers.size(), 1u);  // one outgoing channel
+  EXPECT_EQ(markers[0].first, fx.out_channel());
+  EXPECT_EQ(markers[0].second.halt_id, HaltId(1));
+  // Section 2.2.4: the marker carries the initiator's name.
+  ASSERT_EQ(markers[0].second.halt_path.size(), 1u);
+  EXPECT_EQ(markers[0].second.halt_path[0], fx.self);
+  ASSERT_EQ(fx.halts.size(), 1u);
+  EXPECT_EQ(fx.halts[0], HaltId(1));
+}
+
+TEST(HaltingEngine, InitiateTwiceIsIdempotent) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);
+  engine.initiate(fx.ctx);
+  EXPECT_EQ(engine.last_halt_id(), 1u);
+  EXPECT_EQ(fx.ctx.halt_markers().size(), 1u);
+  EXPECT_EQ(fx.captures, 1);
+}
+
+TEST(HaltingEngine, MarkerReceiptAdoptsWaveAndForwards) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.on_halt_marker(fx.ctx, fx.in_channel(),
+                        HaltMarkerData{HaltId(3), {ProcessId(0)}});
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(engine.last_halt_id(), 3u);
+  const auto markers = fx.ctx.halt_markers();
+  ASSERT_EQ(markers.size(), 1u);
+  EXPECT_EQ(markers[0].second.halt_id, HaltId(3));
+  // Path extended with our own name.
+  ASSERT_EQ(markers[0].second.halt_path.size(), 2u);
+  EXPECT_EQ(markers[0].second.halt_path[0], ProcessId(0));
+  EXPECT_EQ(markers[0].second.halt_path[1], fx.self);
+  // The first marker's channel is empty; with one in-channel the local
+  // snapshot is immediately complete.
+  ASSERT_EQ(fx.completions.size(), 1u);
+  EXPECT_TRUE(fx.completions[0].in_channels[0].messages.empty());
+  EXPECT_EQ(fx.completions[0].halt_path.size(), 1u);
+}
+
+TEST(HaltingEngine, StaleMarkerIgnored) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.on_halt_marker(fx.ctx, fx.in_channel(), HaltMarkerData{HaltId(2), {}});
+  const auto resume = engine.resume();
+  EXPECT_FALSE(engine.halted());
+  fx.ctx.sent.clear();
+  // A marker for an old wave must be ignored entirely.
+  engine.on_halt_marker(fx.ctx, fx.in_channel(), HaltMarkerData{HaltId(1), {}});
+  engine.on_halt_marker(fx.ctx, fx.in_channel(), HaltMarkerData{HaltId(2), {}});
+  EXPECT_FALSE(engine.halted());
+  EXPECT_TRUE(fx.ctx.sent.empty());
+}
+
+TEST(HaltingEngine, ChannelStateRecordsPreMarkerMessages) {
+  // Two in-channels: p0->p1 (ring) plus an extra p2->p1 channel.
+  Topology topology = Topology::ring(3);
+  const ChannelId extra = topology.add_channel(ProcessId(2), ProcessId(1));
+  FakeContext ctx(ProcessId(1), &topology);
+  std::vector<ProcessSnapshot> completions;
+  HaltingEngine engine(
+      ProcessId(1), &topology,
+      HaltingEngine::Callbacks{[] { return ProcessSnapshot{}; },
+                               nullptr,
+                               [&](const ProcessSnapshot& snapshot) {
+                                 completions.push_back(snapshot);
+                               }});
+  const ChannelId ring_in = topology.in_channels(ProcessId(1))[0];
+
+  engine.initiate(ctx);
+  // Messages arriving before each channel's marker belong to the channel
+  // state (Lemma 2.2).
+  EXPECT_TRUE(engine.intercept_message(ring_in,
+                                       Message::application(Bytes{1})));
+  EXPECT_TRUE(engine.intercept_message(extra, Message::application(Bytes{2})));
+  EXPECT_TRUE(engine.intercept_message(extra, Message::application(Bytes{3})));
+  EXPECT_TRUE(completions.empty());
+
+  engine.on_halt_marker(ctx, ring_in, HaltMarkerData{HaltId(1), {}});
+  EXPECT_TRUE(completions.empty());  // extra channel still open
+  // Post-marker traffic on ring_in is NOT channel state.
+  EXPECT_TRUE(engine.intercept_message(ring_in,
+                                       Message::application(Bytes{9})));
+
+  engine.on_halt_marker(ctx, extra, HaltMarkerData{HaltId(1), {}});
+  ASSERT_EQ(completions.size(), 1u);
+  const ProcessSnapshot& snapshot = completions[0];
+  ASSERT_EQ(snapshot.in_channels.size(), 2u);
+  std::size_t ring_slot =
+      snapshot.in_channels[0].channel == ring_in ? 0 : 1;
+  EXPECT_EQ(snapshot.in_channels[ring_slot].messages,
+            (std::vector<Bytes>{{1}}));
+  EXPECT_EQ(snapshot.in_channels[1 - ring_slot].messages,
+            (std::vector<Bytes>{{2}, {3}}));
+}
+
+TEST(HaltingEngine, ResumeReturnsBufferedInArrivalOrder) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);
+  EXPECT_TRUE(
+      engine.intercept_message(fx.in_channel(), Message::application(Bytes{1})));
+  EXPECT_TRUE(
+      engine.intercept_message(fx.in_channel(), Message::application(Bytes{2})));
+  EXPECT_TRUE(engine.intercept_timer(TimerId(7)));
+
+  const auto resume = engine.resume();
+  EXPECT_FALSE(engine.halted());
+  ASSERT_EQ(resume.messages.size(), 2u);
+  EXPECT_EQ(resume.messages[0].second.payload, Bytes{1});
+  EXPECT_EQ(resume.messages[1].second.payload, Bytes{2});
+  ASSERT_EQ(resume.timers.size(), 1u);
+  EXPECT_EQ(resume.timers[0], TimerId(7));
+  // After resume the engine intercepts nothing.
+  EXPECT_FALSE(
+      engine.intercept_message(fx.in_channel(), Message::application(Bytes{3})));
+  EXPECT_FALSE(engine.intercept_timer(TimerId(8)));
+}
+
+TEST(HaltingEngine, NewWaveAfterResumeGetsHigherId) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);
+  (void)engine.resume();
+  engine.initiate(fx.ctx);
+  EXPECT_EQ(engine.last_halt_id(), 2u);
+  const auto markers = fx.ctx.halt_markers();
+  ASSERT_EQ(markers.size(), 2u);
+  EXPECT_EQ(markers[1].second.halt_id, HaltId(2));
+}
+
+TEST(HaltingEngine, RunningProcessInterceptsNothing) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  EXPECT_FALSE(
+      engine.intercept_message(fx.in_channel(), Message::application({})));
+  EXPECT_FALSE(engine.intercept_timer(TimerId(1)));
+}
+
+TEST(HaltingEngine, LaterWaveMarkerBufferedWhileHalted) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);  // wave 1
+  // A wave-2 marker arriving while halted stays "in the channel" (the shim
+  // routes it through intercept_message).
+  Message marker = Message::halt_marker(HaltId(2), {ProcessId(0)});
+  EXPECT_TRUE(engine.intercept_message(fx.in_channel(), marker));
+  const auto resume = engine.resume();
+  ASSERT_EQ(resume.messages.size(), 1u);
+  EXPECT_EQ(resume.messages[0].second.kind, MessageKind::kHaltMarker);
+}
+
+TEST(HaltingEngine, CompletionReportedOnce) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.on_halt_marker(fx.ctx, fx.in_channel(), HaltMarkerData{HaltId(1), {}});
+  EXPECT_EQ(fx.completions.size(), 1u);
+  // Duplicate same-wave marker does not re-report.
+  engine.on_halt_marker(fx.ctx, fx.in_channel(), HaltMarkerData{HaltId(1), {}});
+  EXPECT_EQ(fx.completions.size(), 1u);
+}
+
+TEST(HaltingEngine, ProcessWithNoChannelsCompletesImmediately) {
+  Topology topology(2);
+  topology.add_channel(ProcessId(0), ProcessId(1));
+  FakeContext ctx(ProcessId(0), &topology);  // p0: out only, no in
+  std::vector<ProcessSnapshot> completions;
+  HaltingEngine engine(
+      ProcessId(0), &topology,
+      HaltingEngine::Callbacks{[] { return ProcessSnapshot{}; },
+                               nullptr,
+                               [&](const ProcessSnapshot& snapshot) {
+                                 completions.push_back(snapshot);
+                               }});
+  engine.initiate(ctx);
+  EXPECT_EQ(completions.size(), 1u);
+}
+
+// ---- SnapshotEngine ----
+
+struct SnapshotFixture {
+  Topology topology = Topology::ring(3);
+  ProcessId self{1};
+  FakeContext ctx{ProcessId(1), &topology};
+  std::vector<ProcessSnapshot> completions;
+  int captures = 0;
+
+  SnapshotEngine make_engine() {
+    return SnapshotEngine(
+        self, &topology,
+        SnapshotEngine::Callbacks{
+            [this] {
+              ++captures;
+              ProcessSnapshot snapshot;
+              snapshot.process = self;
+              return snapshot;
+            },
+            [this](const ProcessSnapshot& snapshot) {
+              completions.push_back(snapshot);
+            }});
+  }
+
+  [[nodiscard]] ChannelId in_channel() const {
+    return topology.in_channels(self)[0];
+  }
+};
+
+TEST(SnapshotEngine, InitiateRecordsAndSendsMarkers) {
+  SnapshotFixture fx;
+  SnapshotEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);
+  EXPECT_TRUE(engine.recording());
+  EXPECT_EQ(fx.captures, 1);
+  ASSERT_EQ(fx.ctx.sent.size(), 1u);
+  EXPECT_EQ(fx.ctx.sent[0].second.kind, MessageKind::kSnapshotMarker);
+  EXPECT_EQ(fx.ctx.sent[0].second.snapshot->snapshot_id, 1u);
+}
+
+TEST(SnapshotEngine, RecordsChannelUntilMarker) {
+  SnapshotFixture fx;
+  SnapshotEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);
+  engine.observe_app_message(fx.in_channel(), Message::application(Bytes{5}));
+  engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{1});
+  ASSERT_EQ(fx.completions.size(), 1u);
+  ASSERT_EQ(fx.completions[0].in_channels.size(), 1u);
+  EXPECT_EQ(fx.completions[0].in_channels[0].messages,
+            (std::vector<Bytes>{{5}}));
+  EXPECT_FALSE(engine.recording());
+}
+
+TEST(SnapshotEngine, FirstMarkerMeansEmptyChannel) {
+  SnapshotFixture fx;
+  SnapshotEngine engine = fx.make_engine();
+  engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{4});
+  ASSERT_EQ(fx.completions.size(), 1u);
+  EXPECT_TRUE(fx.completions[0].in_channels[0].messages.empty());
+  EXPECT_EQ(engine.last_snapshot_id(), 4u);
+}
+
+TEST(SnapshotEngine, PostMarkerTrafficNotRecorded) {
+  SnapshotFixture fx;
+  SnapshotEngine engine = fx.make_engine();
+  engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{1});
+  engine.observe_app_message(fx.in_channel(), Message::application(Bytes{9}));
+  ASSERT_EQ(fx.completions.size(), 1u);
+  EXPECT_TRUE(fx.completions[0].in_channels[0].messages.empty());
+}
+
+TEST(SnapshotEngine, SequentialWaves) {
+  SnapshotFixture fx;
+  SnapshotEngine engine = fx.make_engine();
+  engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{1});
+  engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{2});
+  EXPECT_EQ(fx.completions.size(), 2u);
+  EXPECT_EQ(engine.last_snapshot_id(), 2u);
+  // Stale wave ignored.
+  engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{1});
+  EXPECT_EQ(fx.completions.size(), 2u);
+}
+
+TEST(SnapshotEngine, ObserveWhileIdleIsNoop) {
+  SnapshotFixture fx;
+  SnapshotEngine engine = fx.make_engine();
+  engine.observe_app_message(fx.in_channel(), Message::application(Bytes{1}));
+  EXPECT_FALSE(engine.recording());
+  EXPECT_TRUE(fx.completions.empty());
+}
+
+}  // namespace
+}  // namespace ddbg

@@ -1,0 +1,159 @@
+// Odds and ends: logging, simulation limits, session robustness, lazy
+// control-channel exemption.
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "debugger/harness.hpp"
+#include "workload/behaviors.hpp"
+#include "workload/lazy.hpp"
+
+namespace ddbg {
+namespace {
+
+class LogCapture {
+ public:
+  LogCapture() {
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view message) {
+          lines.emplace_back(level, std::string(message));
+        });
+  }
+  ~LogCapture() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+TEST(Logging, LevelFiltering) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  DDBG_DEBUG() << "hidden";
+  DDBG_INFO() << "also hidden";
+  DDBG_WARN() << "visible " << 42;
+  DDBG_ERROR() << "very visible";
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture.lines[0].second, "visible 42");
+  EXPECT_EQ(capture.lines[1].first, LogLevel::kError);
+}
+
+TEST(Logging, DebugLevelShowsEverything) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+  DDBG_DEBUG() << "now visible";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "now visible");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(SimulationLimits, EndlessProgramHitsMaxTime) {
+  class Endless final : public Process {
+   public:
+    void on_start(ProcessContext& ctx) override {
+      ctx.set_timer(Duration::millis(1));
+    }
+    void on_timer(ProcessContext& ctx, TimerId) override {
+      ctx.set_timer(Duration::millis(1));
+    }
+    void on_message(ProcessContext&, ChannelId, Message) override {}
+  };
+  SimulationConfig config;
+  config.max_time = TimePoint{Duration::millis(50).ns};
+  Topology topology(1);
+  std::vector<ProcessPtr> processes;
+  processes.push_back(std::make_unique<Endless>());
+  Simulation sim(std::move(topology), std::move(processes),
+                 std::move(config));
+  EXPECT_FALSE(sim.run_until_quiescent());  // did not quiesce
+  EXPECT_LE(sim.now().ns, Duration::millis(51).ns);
+}
+
+TEST(SessionRobustness, BreakpointOnUnknownProcessRejected) {
+  GossipConfig gossip;
+  SimDebugHarness harness(Topology::ring(3), make_gossip(3, gossip));
+  auto bp = harness.session().set_breakpoint("p7:event(x)");
+  ASSERT_FALSE(bp.ok());
+  EXPECT_EQ(bp.error().code(), ErrorCode::kInvalidArgument);
+  // The debugger itself is not a valid breakpoint target either (p3 = d).
+  EXPECT_FALSE(harness.session().set_breakpoint("p3:recv").ok());
+  // And the system still works afterwards.
+  ASSERT_TRUE(harness.session().set_breakpoint("p0:sent").ok());
+  EXPECT_TRUE(harness.session().wait_for_halt(Duration::seconds(30))
+                  .has_value());
+}
+
+TEST(SessionRobustness, WaitForHaltTimesOutWithoutBreakpoint) {
+  GossipConfig gossip;
+  SimDebugHarness harness(Topology::ring(3), make_gossip(3, gossip));
+  auto wave = harness.session().wait_for_halt(Duration::millis(20));
+  EXPECT_FALSE(wave.has_value());
+}
+
+TEST(SessionRobustness, InspectReturnsFreshValues) {
+  GossipConfig gossip;
+  SimDebugHarness harness(Topology::ring(2), make_gossip(2, gossip));
+  harness.sim().run_for(Duration::millis(10));
+  auto first = harness.session().inspect(ProcessId(0), Duration::seconds(10));
+  ASSERT_TRUE(first.has_value());
+  harness.sim().run_for(Duration::millis(30));
+  auto second = harness.session().inspect(ProcessId(0), Duration::seconds(10));
+  ASSERT_TRUE(second.has_value());
+  // The second inspection reflects later state, not the cached report.
+  EXPECT_NE(first->description, second->description);
+}
+
+TEST(Lazy, ControlTrafficBypassesThePoll) {
+  // A lazy process must accept a debugger command immediately even though
+  // its application channels are only polled rarely.
+  GossipConfig gossip;
+  Topology user_topology = Topology::ring(2);
+  Topology topology = user_topology.with_debugger();
+  std::vector<ProcessPtr> shims =
+      wrap_in_shims(topology, make_gossip(2, gossip));
+  std::vector<ProcessPtr> wrapped;
+  for (auto& shim : shims) {
+    wrapped.push_back(std::make_unique<LazyProcess>(std::move(shim),
+                                                    Duration::seconds(10)));
+  }
+  auto debugger = std::make_unique<DebuggerProcess>();
+  DebuggerProcess* debugger_ptr = debugger.get();
+  wrapped.push_back(std::move(debugger));
+  Simulation sim(topology, std::move(wrapped));
+  sim.run_for(Duration::millis(10));
+  sim.post(topology.debugger_id(), [debugger_ptr](ProcessContext& ctx,
+                                                  Process&) {
+    debugger_ptr->query_state(ctx, ProcessId(0));
+  });
+  // Well under the 10-second poll interval: the reply must already be in.
+  const bool replied = sim.run_until_condition(
+      [&] { return debugger_ptr->state_report(ProcessId(0)).has_value(); },
+      sim.now() + Duration::millis(200));
+  EXPECT_TRUE(replied);
+}
+
+TEST(HarnessConfig, SeedChangesExecution) {
+  auto run = [](std::uint64_t seed) {
+    GossipConfig gossip;
+    gossip.max_sends = 5;
+    HarnessConfig config;
+    config.seed = seed;
+    SimDebugHarness harness(Topology::complete(3), make_gossip(3, gossip),
+                            std::move(config));
+    harness.sim().run_for(Duration::millis(100));
+    std::string state;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      state += harness.shim(ProcessId(i)).describe_state() + ";";
+    }
+    return state;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+}  // namespace
+}  // namespace ddbg

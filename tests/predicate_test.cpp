@@ -1,0 +1,342 @@
+// Unit tests for the predicate AST: SP matching, DP/LP/CP semantics,
+// encoding, ordered-CP compilation, and the per-process LP detector.
+#include <gtest/gtest.h>
+
+#include "core/lp_detector.hpp"
+#include "core/predicate.hpp"
+
+namespace ddbg {
+namespace {
+
+LocalEvent make_event(ProcessId p, LocalEventKind kind, std::string name = "",
+                      std::int64_t value = 0) {
+  LocalEvent event;
+  event.process = p;
+  event.kind = kind;
+  event.name = std::move(name);
+  event.value = value;
+  return event;
+}
+
+TEST(SimplePredicate, MatchesUserEventByName) {
+  const auto sp = SimplePredicate::user_event(ProcessId(0), "token");
+  EXPECT_TRUE(sp.matches(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "token")));
+  EXPECT_FALSE(sp.matches(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "other")));
+  EXPECT_FALSE(sp.matches(
+      make_event(ProcessId(1), LocalEventKind::kUserEvent, "token")));
+  EXPECT_FALSE(sp.matches(
+      make_event(ProcessId(0), LocalEventKind::kProcedureEntered, "token")));
+}
+
+TEST(SimplePredicate, EmptyNameMatchesAny) {
+  SimplePredicate sp;
+  sp.process = ProcessId(0);
+  sp.kind = LocalEventKind::kUserEvent;
+  EXPECT_TRUE(sp.matches(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "anything")));
+}
+
+TEST(SimplePredicate, VarCompareOps) {
+  const struct {
+    CompareOp op;
+    std::int64_t threshold;
+    std::int64_t value;
+    bool expect;
+  } cases[] = {
+      {CompareOp::kEq, 7, 7, true},   {CompareOp::kEq, 7, 8, false},
+      {CompareOp::kNe, 7, 8, true},   {CompareOp::kNe, 7, 7, false},
+      {CompareOp::kLt, 7, 6, true},   {CompareOp::kLt, 7, 7, false},
+      {CompareOp::kLe, 7, 7, true},   {CompareOp::kLe, 7, 8, false},
+      {CompareOp::kGt, 7, 8, true},   {CompareOp::kGt, 7, 7, false},
+      {CompareOp::kGe, 7, 7, true},   {CompareOp::kGe, 7, 6, false},
+  };
+  for (const auto& c : cases) {
+    const auto sp =
+        SimplePredicate::var_compare(ProcessId(0), "x", c.op, c.threshold);
+    EXPECT_EQ(sp.matches(make_event(ProcessId(0),
+                                    LocalEventKind::kStateChange, "x",
+                                    c.value)),
+              c.expect)
+        << "op=" << to_string(c.op) << " value=" << c.value;
+  }
+}
+
+TEST(SimplePredicate, MessageEventsWithChannelFilter) {
+  auto sp = SimplePredicate::message_received(ProcessId(1));
+  auto event = make_event(ProcessId(1), LocalEventKind::kMessageReceived);
+  event.channel = ChannelId(3);
+  EXPECT_TRUE(sp.matches(event));
+  sp.channel_filter = ChannelId(3);
+  EXPECT_TRUE(sp.matches(event));
+  sp.channel_filter = ChannelId(4);
+  EXPECT_FALSE(sp.matches(event));
+}
+
+TEST(SimplePredicate, EncodingRoundTrip) {
+  auto sp = SimplePredicate::var_compare(ProcessId(5), "balance",
+                                         CompareOp::kLt, -100);
+  sp.channel_filter = ChannelId(2);
+  ByteWriter writer;
+  sp.encode(writer);
+  ByteReader reader(writer.buffer());
+  auto decoded = SimplePredicate::decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().process, ProcessId(5));
+  EXPECT_EQ(decoded.value().name, "balance");
+  EXPECT_EQ(decoded.value().op, CompareOp::kLt);
+  EXPECT_EQ(decoded.value().value, -100);
+  EXPECT_EQ(decoded.value().channel_filter, ChannelId(2));
+}
+
+TEST(SimplePredicate, Describe) {
+  EXPECT_EQ(SimplePredicate::user_event(ProcessId(0), "go").describe(),
+            "p0:event(go)");
+  EXPECT_EQ(SimplePredicate::var_compare(ProcessId(2), "x", CompareOp::kGe, 7)
+                .describe(),
+            "p2:x>=7");
+}
+
+TEST(DisjunctivePredicate, MatchesAnyAlternative) {
+  DisjunctivePredicate dp;
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "a"));
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(1), "b"));
+  EXPECT_TRUE(
+      dp.matches(make_event(ProcessId(0), LocalEventKind::kUserEvent, "a")));
+  EXPECT_TRUE(
+      dp.matches(make_event(ProcessId(1), LocalEventKind::kUserEvent, "b")));
+  EXPECT_FALSE(
+      dp.matches(make_event(ProcessId(0), LocalEventKind::kUserEvent, "b")));
+}
+
+TEST(DisjunctivePredicate, InvolvedProcessesDeduplicated) {
+  DisjunctivePredicate dp;
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(1), "a"));
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(1), "b"));
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "c"));
+  const auto involved = dp.involved_processes();
+  ASSERT_EQ(involved.size(), 2u);
+  EXPECT_TRUE(dp.involves(ProcessId(0)));
+  EXPECT_TRUE(dp.involves(ProcessId(1)));
+  EXPECT_FALSE(dp.involves(ProcessId(2)));
+}
+
+LinkedPredicate two_stage_lp() {
+  DisjunctivePredicate dp1;
+  dp1.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "a"));
+  DisjunctivePredicate dp2;
+  dp2.alternatives.push_back(SimplePredicate::user_event(ProcessId(1), "b"));
+  return LinkedPredicate::chain({dp1, dp2});
+}
+
+TEST(LinkedPredicate, ExpansionOfRepeats) {
+  LinkedPredicate lp = two_stage_lp();
+  lp.stages[1].repeat = 3;
+  EXPECT_EQ(lp.depth(), 4u);
+  const LinkedPredicate expanded = lp.expanded();
+  ASSERT_EQ(expanded.stages.size(), 4u);
+  for (const auto& stage : expanded.stages) EXPECT_EQ(stage.repeat, 1u);
+  EXPECT_EQ(expanded.stages[1].dp.describe(),
+            expanded.stages[3].dp.describe());
+}
+
+TEST(LinkedPredicate, RestDropsFirstStage) {
+  const LinkedPredicate lp = two_stage_lp();
+  const LinkedPredicate rest = lp.rest();
+  ASSERT_EQ(rest.stages.size(), 1u);
+  EXPECT_TRUE(rest.first().involves(ProcessId(1)));
+  EXPECT_TRUE(rest.rest().empty());
+}
+
+TEST(LinkedPredicate, EncodingRoundTrip) {
+  LinkedPredicate lp = two_stage_lp();
+  lp.stages[0].repeat = 2;
+  auto decoded = LinkedPredicate::decode_from_bytes(lp.encode_to_bytes());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().describe(), lp.describe());
+  EXPECT_EQ(decoded.value().depth(), 3u);
+}
+
+TEST(LinkedPredicate, DescribeUsesArrowsAndCarets) {
+  LinkedPredicate lp = two_stage_lp();
+  lp.stages[1].repeat = 2;
+  EXPECT_EQ(lp.describe(), "p0:event(a) -> (p1:event(b))^2");
+}
+
+TEST(ConjunctivePredicate, CompileOrderedPermutations) {
+  ConjunctivePredicate cp;
+  cp.terms.push_back(SimplePredicate::user_event(ProcessId(0), "a"));
+  cp.terms.push_back(SimplePredicate::user_event(ProcessId(1), "b"));
+  cp.terms.push_back(SimplePredicate::user_event(ProcessId(2), "c"));
+  auto chains = cp.compile_ordered();
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains.value().size(), 6u);  // 3!
+  for (const LinkedPredicate& lp : chains.value()) {
+    EXPECT_EQ(lp.depth(), 3u);
+  }
+}
+
+TEST(ConjunctivePredicate, CompileOrderedRejectsTooMany) {
+  ConjunctivePredicate cp;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    cp.terms.push_back(SimplePredicate::user_event(ProcessId(i), "x"));
+  }
+  EXPECT_FALSE(cp.compile_ordered().ok());
+}
+
+TEST(ConjunctivePredicate, CompileOrderedRejectsEmpty) {
+  ConjunctivePredicate cp;
+  EXPECT_FALSE(cp.compile_ordered().ok());
+}
+
+TEST(BreakpointSpec, EncodingRoundTripLinked) {
+  BreakpointSpec spec;
+  spec.kind = BreakpointSpec::Kind::kLinked;
+  spec.linked = two_stage_lp();
+  ByteWriter writer;
+  spec.encode(writer);
+  ByteReader reader(writer.buffer());
+  auto decoded = BreakpointSpec::decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().describe(), spec.describe());
+}
+
+TEST(BreakpointSpec, EncodingRoundTripConjunctive) {
+  BreakpointSpec spec;
+  spec.kind = BreakpointSpec::Kind::kConjunctive;
+  spec.conjunctive.terms.push_back(
+      SimplePredicate::user_event(ProcessId(0), "a"));
+  spec.conjunctive.terms.push_back(
+      SimplePredicate::user_event(ProcessId(1), "b"));
+  spec.mode = ConjunctionMode::kUnordered;
+  ByteWriter writer;
+  spec.encode(writer);
+  ByteReader reader(writer.buffer());
+  auto decoded = BreakpointSpec::decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().mode, ConjunctionMode::kUnordered);
+  EXPECT_EQ(decoded.value().describe(), spec.describe());
+}
+
+// ---- LP detector ----
+
+struct DetectorFixture {
+  std::vector<BreakpointId> triggers;
+  std::vector<std::pair<ProcessId, std::uint32_t>> forwards;
+  std::vector<std::pair<BreakpointId, std::uint32_t>> notifies;
+  LinkedPredicateDetector detector;
+
+  std::vector<std::pair<BreakpointId, bool>> monitor_triggers;
+
+  explicit DetectorFixture(ProcessId self)
+      : detector(self,
+                 LinkedPredicateDetector::Callbacks{
+                     [this](BreakpointId bp, const LocalEvent&,
+                            bool monitor) {
+                       triggers.push_back(bp);
+                       monitor_triggers.emplace_back(bp, monitor);
+                     },
+                     [this](ProcessId target, BreakpointId,
+                            const LinkedPredicate&, std::uint32_t stage,
+                            bool) {
+                       forwards.emplace_back(target, stage);
+                     },
+                     [this](BreakpointId bp, std::uint32_t term,
+                            const LocalEvent&) {
+                       notifies.emplace_back(bp, term);
+                     }}) {}
+};
+
+TEST(LpDetector, SingleStageTriggers) {
+  DetectorFixture fx{ProcessId(0)};
+  DisjunctivePredicate dp;
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "go"));
+  fx.detector.arm(BreakpointId(1), LinkedPredicate::single(dp), 0);
+  EXPECT_EQ(fx.detector.num_watches(), 1u);
+
+  fx.detector.on_local_event(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "other"));
+  EXPECT_TRUE(fx.triggers.empty());
+
+  fx.detector.on_local_event(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "go"));
+  ASSERT_EQ(fx.triggers.size(), 1u);
+  EXPECT_EQ(fx.triggers[0], BreakpointId(1));
+  EXPECT_EQ(fx.detector.num_watches(), 0u);  // one-shot
+}
+
+TEST(LpDetector, MultiStageForwards) {
+  DetectorFixture fx{ProcessId(0)};
+  fx.detector.arm(BreakpointId(2), two_stage_lp(), 0);
+  fx.detector.on_local_event(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "a"));
+  EXPECT_TRUE(fx.triggers.empty());
+  ASSERT_EQ(fx.forwards.size(), 1u);
+  EXPECT_EQ(fx.forwards[0].first, ProcessId(1));
+  EXPECT_EQ(fx.forwards[0].second, 1u);  // next stage index
+}
+
+TEST(LpDetector, IntermediateEventsIgnored) {
+  // LP semantics DPi [Σ−DPj] DPj: other events between stages don't reset.
+  DetectorFixture fx{ProcessId(0)};
+  DisjunctivePredicate dp1;
+  dp1.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "a"));
+  DisjunctivePredicate dp2;
+  dp2.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "b"));
+  fx.detector.arm(BreakpointId(1), LinkedPredicate::chain({dp1, dp2}), 0);
+
+  fx.detector.on_local_event(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "a"));
+  // Next DP is local to the same process: the detector forwards to self.
+  ASSERT_EQ(fx.forwards.size(), 1u);
+  EXPECT_EQ(fx.forwards[0].first, ProcessId(0));
+}
+
+TEST(LpDetector, DisarmRemovesWatches) {
+  DetectorFixture fx{ProcessId(0)};
+  fx.detector.arm(BreakpointId(1), two_stage_lp(), 0);
+  fx.detector.arm(BreakpointId(2), two_stage_lp(), 0);
+  EXPECT_EQ(fx.detector.disarm(BreakpointId(1)), 1u);
+  EXPECT_EQ(fx.detector.num_watches(), 1u);
+  EXPECT_EQ(fx.detector.disarm(BreakpointId(9)), 0u);
+}
+
+TEST(LpDetector, NotifyWatchesPersist) {
+  DetectorFixture fx{ProcessId(0)};
+  fx.detector.arm_notify(BreakpointId(3),
+                         SimplePredicate::user_event(ProcessId(0), "tick"),
+                         1);
+  for (int i = 0; i < 3; ++i) {
+    fx.detector.on_local_event(
+        make_event(ProcessId(0), LocalEventKind::kUserEvent, "tick"));
+  }
+  EXPECT_EQ(fx.notifies.size(), 3u);
+  EXPECT_EQ(fx.detector.num_watches(), 1u);
+}
+
+TEST(LpDetector, MonitorFlagPropagatesToTrigger) {
+  DetectorFixture fx{ProcessId(0)};
+  DisjunctivePredicate dp;
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "go"));
+  fx.detector.arm(BreakpointId(1), LinkedPredicate::single(dp), 0,
+                  /*monitor=*/true);
+  fx.detector.on_local_event(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "go"));
+  ASSERT_EQ(fx.monitor_triggers.size(), 1u);
+  EXPECT_TRUE(fx.monitor_triggers[0].second);
+}
+
+TEST(LpDetector, MultipleWatchesFireOnOneEvent) {
+  DetectorFixture fx{ProcessId(0)};
+  DisjunctivePredicate dp;
+  dp.alternatives.push_back(SimplePredicate::user_event(ProcessId(0), "go"));
+  fx.detector.arm(BreakpointId(1), LinkedPredicate::single(dp), 0);
+  fx.detector.arm(BreakpointId(2), LinkedPredicate::single(dp), 0);
+  fx.detector.on_local_event(
+      make_event(ProcessId(0), LocalEventKind::kUserEvent, "go"));
+  EXPECT_EQ(fx.triggers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ddbg

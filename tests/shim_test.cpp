@@ -1,0 +1,234 @@
+// Unit/integration tests of the DebugShim itself: event generation, clock
+// stamping, variable tracking, control handling and report plumbing.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "core/debug_shim.hpp"
+#include "debugger/harness.hpp"
+#include "sim/simulation.hpp"
+#include "tests/test_util.hpp"
+#include "workload/behaviors.hpp"
+
+namespace ddbg {
+namespace {
+
+// A small instrumented process exercising the whole DebugApi.
+class Instrumented final : public Debuggable {
+ public:
+  void on_start(ProcessContext& ctx) override {
+    debug().enter_procedure("on_start");
+    debug().set_var("x", 1);
+    debug().event("ready");
+    if (!ctx.topology().out_channels(ctx.self()).empty()) {
+      for (const ChannelId c : ctx.topology().out_channels(ctx.self())) {
+        if (!ctx.topology().channel(c).is_control) {
+          ctx.send(c, Message::application(Bytes{42}));
+        }
+      }
+    }
+  }
+  void on_message(ProcessContext&, ChannelId, Message message) override {
+    debug().set_var("x", static_cast<std::int64_t>(message.payload.size()));
+    debug().event("got_message");
+  }
+
+  [[nodiscard]] Bytes snapshot_state() const override { return Bytes{7}; }
+  [[nodiscard]] std::string describe_state() const override { return "inst"; }
+};
+
+Topology pair_topology() {
+  Topology t(2);
+  t.add_channel(ProcessId(0), ProcessId(1));
+  return t;
+}
+
+TEST(DebugShim, EmitsLifecycleAndApiEvents) {
+  Trace trace;
+  DebugShim::Options options;
+  options.trace_sink = trace.sink();
+  Topology topology = pair_topology();
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Instrumented>());
+  users.push_back(std::make_unique<Instrumented>());
+  Simulation sim(topology, wrap_in_shims(topology, std::move(users), options));
+  sim.run_until_quiescent();
+
+  const auto events = trace.events();
+  auto count = [&](ProcessId p, LocalEventKind kind) {
+    std::size_t n = 0;
+    for (const LocalEvent& event : events) {
+      if (event.process == p && event.kind == kind) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(ProcessId(0), LocalEventKind::kProcessStarted), 1u);
+  EXPECT_EQ(count(ProcessId(0), LocalEventKind::kProcedureEntered), 1u);
+  EXPECT_EQ(count(ProcessId(0), LocalEventKind::kUserEvent), 1u);
+  EXPECT_EQ(count(ProcessId(0), LocalEventKind::kStateChange), 1u);
+  EXPECT_EQ(count(ProcessId(0), LocalEventKind::kMessageSent), 1u);
+  EXPECT_EQ(count(ProcessId(0), LocalEventKind::kChannelCreated), 1u);
+  EXPECT_EQ(count(ProcessId(1), LocalEventKind::kMessageReceived), 1u);
+  // p1 never sends (no outgoing app channel).
+  EXPECT_EQ(count(ProcessId(1), LocalEventKind::kMessageSent), 0u);
+}
+
+TEST(DebugShim, EventsHaveMonotonicLocalSeqAndLamport) {
+  Trace trace;
+  DebugShim::Options options;
+  options.trace_sink = trace.sink();
+  Topology topology = pair_topology();
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Instrumented>());
+  users.push_back(std::make_unique<Instrumented>());
+  Simulation sim(topology, wrap_in_shims(topology, std::move(users), options));
+  sim.run_until_quiescent();
+
+  std::map<ProcessId, std::uint64_t> last_seq;
+  std::map<ProcessId, std::uint64_t> last_lamport;
+  for (const LocalEvent& event : trace.events()) {
+    if (last_seq.contains(event.process)) {
+      EXPECT_GT(event.local_seq, last_seq[event.process]);
+      EXPECT_GT(event.lamport, last_lamport[event.process]);
+    }
+    last_seq[event.process] = event.local_seq;
+    last_lamport[event.process] = event.lamport;
+  }
+}
+
+TEST(DebugShim, ReceiveLamportExceedsSendLamport) {
+  Trace trace;
+  DebugShim::Options options;
+  options.trace_sink = trace.sink();
+  Topology topology = pair_topology();
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Instrumented>());
+  users.push_back(std::make_unique<Instrumented>());
+  Simulation sim(topology, wrap_in_shims(topology, std::move(users), options));
+  sim.run_until_quiescent();
+
+  std::map<std::uint64_t, std::uint64_t> send_lamport;
+  for (const LocalEvent& event : trace.events()) {
+    if (event.kind == LocalEventKind::kMessageSent) {
+      send_lamport[event.message_id] = event.lamport;
+    }
+  }
+  bool checked = false;
+  for (const LocalEvent& event : trace.events()) {
+    if (event.kind == LocalEventKind::kMessageReceived) {
+      ASSERT_TRUE(send_lamport.contains(event.message_id));
+      EXPECT_GT(event.lamport, send_lamport[event.message_id]);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(DebugShim, VectorClockStampingCanBeDisabled) {
+  Trace trace;
+  DebugShim::Options options;
+  options.trace_sink = trace.sink();
+  options.stamp_vector_clocks = false;
+  Topology topology = pair_topology();
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Instrumented>());
+  users.push_back(std::make_unique<Instrumented>());
+
+  TransportStats stats_with;
+  {
+    Simulation sim(topology,
+                   wrap_in_shims(topology, std::move(users), options));
+    sim.run_until_quiescent();
+    stats_with = sim.stats();
+  }
+  // With stamping on, the app message carries the clock -> more bytes.
+  std::vector<ProcessPtr> users2;
+  users2.push_back(std::make_unique<Instrumented>());
+  users2.push_back(std::make_unique<Instrumented>());
+  DebugShim::Options options2;
+  options2.stamp_vector_clocks = true;
+  Simulation sim2(topology, wrap_in_shims(topology, std::move(users2),
+                                          options2));
+  sim2.run_until_quiescent();
+  EXPECT_GT(sim2.stats().bytes_sent, stats_with.bytes_sent);
+}
+
+TEST(DebugShim, VarTableTracksLatestValue) {
+  Topology topology = pair_topology();
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Instrumented>());
+  users.push_back(std::make_unique<Instrumented>());
+  Simulation sim(topology, wrap_in_shims(topology, std::move(users)));
+  sim.run_until_quiescent();
+  auto& shim0 = dynamic_cast<DebugShim&>(sim.process(ProcessId(0)));
+  auto& shim1 = dynamic_cast<DebugShim&>(sim.process(ProcessId(1)));
+  EXPECT_EQ(shim0.var("x"), 1);
+  EXPECT_EQ(shim1.var("x"), 1);  // payload size of the received message
+  EXPECT_EQ(shim0.var("missing"), 0);
+}
+
+TEST(DebugShim, SnapshotDelegatesToUser) {
+  Topology topology = pair_topology();
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Instrumented>());
+  users.push_back(std::make_unique<Instrumented>());
+  Simulation sim(topology, wrap_in_shims(topology, std::move(users)));
+  sim.run_until_quiescent();
+  auto& shim = dynamic_cast<DebugShim&>(sim.process(ProcessId(0)));
+  EXPECT_EQ(shim.snapshot_state(), Bytes{7});
+  EXPECT_EQ(shim.describe_state(), "inst");
+}
+
+TEST(DebugShim, StopSelfEmitsTerminatedEvent) {
+  class Stopper final : public Debuggable {
+   public:
+    void on_start(ProcessContext& ctx) override { ctx.stop_self(); }
+    void on_message(ProcessContext&, ChannelId, Message) override {}
+  };
+  Trace trace;
+  DebugShim::Options options;
+  options.trace_sink = trace.sink();
+  Topology topology(1);
+  std::vector<ProcessPtr> users;
+  users.push_back(std::make_unique<Stopper>());
+  Simulation sim(topology, wrap_in_shims(topology, std::move(users), options));
+  sim.run_until_quiescent();
+  bool terminated = false;
+  for (const LocalEvent& event : trace.events()) {
+    if (event.kind == LocalEventKind::kProcessTerminated) terminated = true;
+  }
+  EXPECT_TRUE(terminated);
+}
+
+TEST(DebugShim, UninstrumentedRunHasNoDebugApiEffects) {
+  // A Debuggable process without a shim: debug() calls are no-ops.
+  Topology topology = pair_topology();
+  testing::FakeContext ctx(ProcessId(1), &topology);
+  Instrumented bare;
+  bare.on_message(ctx, ChannelId(0), Message::application(Bytes{1, 2, 3}));
+  SUCCEED();  // no crash: the null DebugApi swallowed the calls
+}
+
+TEST(DebugShim, HaltsViaBreakpointOnUserEvent) {
+  TokenRingConfig ring_config;
+  ring_config.rounds = 100;
+  SimDebugHarness harness(Topology::ring(3), make_token_ring(3, ring_config));
+  ASSERT_TRUE(harness.session().set_breakpoint("p0:enter(forward_token)").ok());
+  auto wave = harness.session().wait_for_halt(Duration::seconds(30));
+  ASSERT_TRUE(wave.has_value());
+  EXPECT_TRUE(harness.shim(ProcessId(0)).halted());
+}
+
+TEST(DebugShim, ArmedWatchCountTracksDisarm) {
+  GossipConfig gossip;
+  SimDebugHarness harness(Topology::ring(3), make_gossip(3, gossip));
+  auto bp = harness.session().set_breakpoint("p0:event(never)");
+  ASSERT_TRUE(bp.ok());
+  harness.sim().run_for(Duration::millis(20));
+  EXPECT_EQ(harness.shim(ProcessId(0)).armed_watches(), 1u);
+  harness.session().clear_breakpoint(bp.value());
+  harness.sim().run_for(Duration::millis(20));
+  EXPECT_EQ(harness.shim(ProcessId(0)).armed_watches(), 0u);
+}
+
+}  // namespace
+}  // namespace ddbg

@@ -1,0 +1,234 @@
+// Integration tests for the TCP loopback runtime: the same processes,
+// shims, halting algorithm and debugger running over real sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "analysis/consistency.hpp"
+#include "core/debug_shim.hpp"
+#include "debugger/debugger_process.hpp"
+#include "debugger/session.hpp"
+#include "runtime/tcp_runtime.hpp"
+#include "workload/behaviors.hpp"
+
+namespace ddbg {
+namespace {
+
+constexpr Duration kWait = Duration::seconds(20);
+
+class TcpHost final : public SessionHost {
+ public:
+  explicit TcpHost(TcpRuntime& runtime) : runtime_(runtime) {}
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action) override {
+    runtime_.post(target, std::move(action));
+  }
+  bool wait(const std::function<bool()>& condition,
+            Duration timeout) override {
+    return TcpRuntime::wait_until(condition, timeout);
+  }
+
+ private:
+  TcpRuntime& runtime_;
+};
+
+class Counter final : public Process {
+ public:
+  void on_message(ProcessContext&, ChannelId, Message message) override {
+    last_payload = message.payload;
+    received.fetch_add(1);
+  }
+  std::atomic<int> received{0};
+  Bytes last_payload;
+};
+
+class StartBurst final : public Process {
+ public:
+  explicit StartBurst(int count) : count_(count) {}
+  void on_start(ProcessContext& ctx) override {
+    for (int i = 0; i < count_; ++i) {
+      for (const ChannelId c : ctx.topology().out_channels(ctx.self())) {
+        ByteWriter writer;
+        writer.u32(static_cast<std::uint32_t>(i));
+        ctx.send(c, Message::application(std::move(writer).take()));
+      }
+    }
+  }
+  void on_message(ProcessContext&, ChannelId, Message) override {}
+
+ private:
+  int count_;
+};
+
+TEST(TcpRuntime, DeliversFramedMessages) {
+  Topology topology(2);
+  topology.add_channel(ProcessId(0), ProcessId(1));
+  std::vector<ProcessPtr> processes;
+  processes.push_back(std::make_unique<StartBurst>(200));
+  auto counter = std::make_unique<Counter>();
+  Counter* counter_ptr = counter.get();
+  processes.push_back(std::move(counter));
+
+  TcpRuntime runtime(std::move(topology), std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  EXPECT_TRUE(TcpRuntime::wait_until(
+      [&] { return counter_ptr->received.load() == 200; }, kWait));
+  runtime.shutdown();
+  EXPECT_EQ(runtime.stats().messages_sent, 200u);
+  EXPECT_EQ(runtime.stats().messages_delivered, 200u);
+  // Last frame decoded intact (payload = 199, little-endian).
+  ByteReader reader(counter_ptr->last_payload);
+  EXPECT_EQ(reader.u32().value(), 199u);
+}
+
+TEST(TcpRuntime, FifoPerChannel) {
+  // A receiver that asserts in-order arrival.
+  class OrderChecker final : public Process {
+   public:
+    void on_message(ProcessContext&, ChannelId, Message message) override {
+      ByteReader reader(message.payload);
+      const std::uint32_t value = reader.u32().value_or(0xffffffff);
+      if (value != next.load()) ordered.store(false);
+      next.fetch_add(1);
+    }
+    std::atomic<std::uint32_t> next{0};
+    std::atomic<bool> ordered{true};
+  };
+  Topology topology(2);
+  topology.add_channel(ProcessId(0), ProcessId(1));
+  std::vector<ProcessPtr> processes;
+  processes.push_back(std::make_unique<StartBurst>(500));
+  auto checker = std::make_unique<OrderChecker>();
+  OrderChecker* checker_ptr = checker.get();
+  processes.push_back(std::move(checker));
+  TcpRuntime runtime(std::move(topology), std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  EXPECT_TRUE(TcpRuntime::wait_until(
+      [&] { return checker_ptr->next.load() == 500; }, kWait));
+  runtime.shutdown();
+  EXPECT_TRUE(checker_ptr->ordered.load());
+}
+
+TEST(TcpRuntime, TimersAndPost) {
+  class Ticker final : public Process {
+   public:
+    void on_start(ProcessContext& ctx) override {
+      ctx.set_timer(Duration::millis(1));
+    }
+    void on_timer(ProcessContext& ctx, TimerId) override {
+      if (ticks.fetch_add(1) + 1 < 3) ctx.set_timer(Duration::millis(1));
+    }
+    void on_message(ProcessContext&, ChannelId, Message) override {}
+    std::atomic<int> ticks{0};
+  };
+  Topology topology(1);
+  std::vector<ProcessPtr> processes;
+  auto ticker = std::make_unique<Ticker>();
+  Ticker* ticker_ptr = ticker.get();
+  processes.push_back(std::move(ticker));
+  TcpRuntime runtime(std::move(topology), std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  EXPECT_TRUE(TcpRuntime::wait_until(
+      [&] { return ticker_ptr->ticks.load() >= 3; }, kWait));
+  std::atomic<bool> ran{false};
+  runtime.post(ProcessId(0), [&](ProcessContext& ctx, Process&) {
+    EXPECT_EQ(ctx.self(), ProcessId(0));
+    ran.store(true);
+  });
+  EXPECT_TRUE(TcpRuntime::wait_until([&] { return ran.load(); }, kWait));
+  runtime.shutdown();
+}
+
+// The flagship: a full halting wave over real sockets.
+TEST(TcpRuntime, HaltingAlgorithmOverSockets) {
+  GossipConfig gossip;
+  gossip.send_interval = Duration::millis(1);
+
+  Topology topology = Topology::ring(3).with_debugger();
+  std::vector<ProcessPtr> processes =
+      wrap_in_shims(topology, make_gossip(3, gossip));
+  auto debugger = std::make_unique<DebuggerProcess>();
+  DebuggerProcess* debugger_ptr = debugger.get();
+  processes.push_back(std::move(debugger));
+
+  TcpRuntime runtime(topology, std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  TcpHost host(runtime);
+  DebuggerSession session(host, *debugger_ptr, topology.debugger_id());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  session.halt();
+  auto wave = session.wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  EXPECT_EQ(wave->state.size(), 3u);
+  EXPECT_TRUE(consistent_cut(wave->state));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(
+        dynamic_cast<DebugShim&>(runtime.process(ProcessId(i))).halted());
+  }
+
+  // Resume over sockets, then verify the gossip keeps flowing.
+  const auto& p0 = dynamic_cast<GossipProcess&>(
+      dynamic_cast<DebugShim&>(runtime.process(ProcessId(0))).user());
+  const std::uint64_t sent_at_halt = p0.sent();
+  session.resume();
+  EXPECT_TRUE(TcpRuntime::wait_until(
+      [&] { return p0.sent() > sent_at_halt + 3; }, kWait));
+  runtime.shutdown();
+}
+
+TEST(TcpRuntime, BreakpointOverSockets) {
+  TokenRingConfig ring_config;
+  ring_config.rounds = 1000;
+  ring_config.hop_delay = Duration::micros(500);
+
+  Topology topology = Topology::ring(3).with_debugger();
+  std::vector<ProcessPtr> processes =
+      wrap_in_shims(topology, make_token_ring(3, ring_config));
+  auto debugger = std::make_unique<DebuggerProcess>();
+  DebuggerProcess* debugger_ptr = debugger.get();
+  processes.push_back(std::move(debugger));
+
+  TcpRuntime runtime(topology, std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  TcpHost host(runtime);
+  DebuggerSession session(host, *debugger_ptr, topology.debugger_id());
+
+  auto bp = session.set_breakpoint("(p2:event(token))^2");
+  ASSERT_TRUE(bp.ok());
+  auto wave = session.wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  const auto& p2 = dynamic_cast<TokenRingProcess&>(
+      dynamic_cast<DebugShim&>(runtime.process(ProcessId(2))).user());
+  EXPECT_EQ(p2.tokens_seen(), 2u);
+  runtime.shutdown();
+}
+
+TEST(TcpRuntime, BankConservationOverSockets) {
+  BankConfig bank;
+  bank.transfer_interval = Duration::micros(500);
+
+  Topology topology = Topology::complete(3).with_debugger();
+  std::vector<ProcessPtr> processes =
+      wrap_in_shims(topology, make_bank(3, bank));
+  auto debugger = std::make_unique<DebuggerProcess>();
+  DebuggerProcess* debugger_ptr = debugger.get();
+  processes.push_back(std::move(debugger));
+
+  TcpRuntime runtime(topology, std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  TcpHost host(runtime);
+  DebuggerSession session(host, *debugger_ptr, topology.debugger_id());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  session.halt();
+  auto wave = session.wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  auto total = BankProcess::total_money(wave->state);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total.value(), 3 * bank.initial_balance);
+  runtime.shutdown();
+}
+
+}  // namespace
+}  // namespace ddbg

@@ -1,0 +1,162 @@
+// Unit tests for the topology graph: construction, generators, SCC and the
+// extended-model (debugger) transformation.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace ddbg {
+namespace {
+
+TEST(Topology, AddProcessesAndChannels) {
+  Topology t(3);
+  EXPECT_EQ(t.num_processes(), 3u);
+  const ChannelId c = t.add_channel(ProcessId(0), ProcessId(1));
+  EXPECT_EQ(t.num_channels(), 1u);
+  EXPECT_EQ(t.channel(c).source, ProcessId(0));
+  EXPECT_EQ(t.channel(c).destination, ProcessId(1));
+  EXPECT_FALSE(t.channel(c).is_control);
+}
+
+TEST(Topology, OutAndInChannels) {
+  Topology t(3);
+  const ChannelId c01 = t.add_channel(ProcessId(0), ProcessId(1));
+  const ChannelId c02 = t.add_channel(ProcessId(0), ProcessId(2));
+  const ChannelId c21 = t.add_channel(ProcessId(2), ProcessId(1));
+  ASSERT_EQ(t.out_channels(ProcessId(0)).size(), 2u);
+  EXPECT_EQ(t.out_channels(ProcessId(0))[0], c01);
+  EXPECT_EQ(t.out_channels(ProcessId(0))[1], c02);
+  ASSERT_EQ(t.in_channels(ProcessId(1)).size(), 2u);
+  EXPECT_EQ(t.in_channels(ProcessId(1))[0], c01);
+  EXPECT_EQ(t.in_channels(ProcessId(1))[1], c21);
+  EXPECT_TRUE(t.out_channels(ProcessId(1)).empty());
+}
+
+TEST(Topology, ChannelBetween) {
+  Topology t = Topology::ring(4);
+  auto c = t.channel_between(ProcessId(1), ProcessId(2));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(t.channel(*c).destination, ProcessId(2));
+  EXPECT_FALSE(t.channel_between(ProcessId(0), ProcessId(2)).has_value());
+}
+
+TEST(Topology, RingShape) {
+  Topology t = Topology::ring(5);
+  EXPECT_EQ(t.num_processes(), 5u);
+  EXPECT_EQ(t.num_channels(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.out_channels(ProcessId(i)).size(), 1u);
+    EXPECT_EQ(t.in_channels(ProcessId(i)).size(), 1u);
+  }
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Topology, StarShape) {
+  Topology t = Topology::star(5);
+  EXPECT_EQ(t.num_channels(), 8u);  // 4 spokes, 2 channels each
+  EXPECT_EQ(t.out_channels(ProcessId(0)).size(), 4u);
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Topology, PipelineIsAcyclic) {
+  Topology t = Topology::pipeline(4);
+  EXPECT_EQ(t.num_channels(), 3u);
+  EXPECT_FALSE(t.strongly_connected());
+  EXPECT_EQ(t.num_strongly_connected_components(), 4u);
+}
+
+TEST(Topology, CompleteShape) {
+  Topology t = Topology::complete(4);
+  EXPECT_EQ(t.num_channels(), 12u);
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Topology, TwoNodeCycle) {
+  Topology t(2);
+  t.add_channel(ProcessId(0), ProcessId(1));
+  EXPECT_FALSE(t.strongly_connected());
+  t.add_channel(ProcessId(1), ProcessId(0));
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Topology, RandomStronglyConnectedAlwaysIs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::uint32_t>(rng.next_in(2, 20));
+    const auto extra = static_cast<std::uint32_t>(rng.next_in(0, 30));
+    Topology t = Topology::random_strongly_connected(n, extra, rng);
+    EXPECT_TRUE(t.strongly_connected())
+        << "n=" << n << " extra=" << extra << " trial=" << trial;
+    // The generator clamps the extra edges to the capacity left after the
+    // ring (n*(n-1) total ordered pairs, n used by the ring).
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(n) * (n - 1) - n;
+    EXPECT_EQ(t.num_channels(), n + std::min<std::uint64_t>(extra, capacity));
+  }
+}
+
+TEST(Topology, RandomEdgeProbabilityExtremes) {
+  Rng rng(7);
+  Topology empty = Topology::random(5, 0.0, rng);
+  EXPECT_EQ(empty.num_channels(), 0u);
+  EXPECT_EQ(empty.num_strongly_connected_components(), 5u);
+  Topology full = Topology::random(5, 1.0, rng);
+  EXPECT_EQ(full.num_channels(), 20u);
+  EXPECT_TRUE(full.strongly_connected());
+}
+
+TEST(Topology, WithDebuggerAddsControlChannels) {
+  Topology t = Topology::pipeline(3).with_debugger();
+  EXPECT_TRUE(t.has_debugger());
+  EXPECT_EQ(t.num_processes(), 4u);
+  EXPECT_EQ(t.num_user_processes(), 3u);
+  EXPECT_EQ(t.debugger_id(), ProcessId(3));
+  EXPECT_TRUE(t.is_debugger(ProcessId(3)));
+  EXPECT_FALSE(t.is_debugger(ProcessId(0)));
+  // 2 pipeline channels + 2 control channels per user process.
+  EXPECT_EQ(t.num_channels(), 2u + 6u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const ChannelSpec& to = t.channel(t.control_to(ProcessId(i)));
+    EXPECT_TRUE(to.is_control);
+    EXPECT_EQ(to.source, t.debugger_id());
+    EXPECT_EQ(to.destination, ProcessId(i));
+    const ChannelSpec& from = t.channel(t.control_from(ProcessId(i)));
+    EXPECT_TRUE(from.is_control);
+    EXPECT_EQ(from.source, ProcessId(i));
+    EXPECT_EQ(from.destination, t.debugger_id());
+  }
+}
+
+// Section 2.2.3's claim: the debugger process makes *any* topology strongly
+// connected.
+TEST(Topology, DebuggerMakesAnythingStronglyConnected) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Topology t = Topology::random(8, 0.1, rng);
+    EXPECT_TRUE(t.with_debugger().strongly_connected()) << "trial " << trial;
+  }
+  EXPECT_TRUE(Topology::pipeline(6).with_debugger().strongly_connected());
+}
+
+TEST(Topology, ChannelBetweenIgnoresControlChannels) {
+  Topology t = Topology::pipeline(2).with_debugger();
+  // p0 -> debugger exists only as a control channel.
+  EXPECT_FALSE(t.channel_between(ProcessId(0), t.debugger_id()).has_value());
+  EXPECT_TRUE(t.channel_between(ProcessId(0), ProcessId(1)).has_value());
+}
+
+TEST(Topology, UserProcessIds) {
+  Topology t = Topology::ring(3).with_debugger();
+  const auto users = t.user_process_ids();
+  ASSERT_EQ(users.size(), 3u);
+  EXPECT_EQ(users[0], ProcessId(0));
+  EXPECT_EQ(users[2], ProcessId(2));
+  EXPECT_EQ(t.process_ids().size(), 4u);
+}
+
+TEST(Topology, DescribeMentionsCounts) {
+  Topology t = Topology::ring(3);
+  EXPECT_NE(t.describe().find("3 processes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddbg

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_naive_halt.dir/bench/bench_e10_naive_halt.cpp.o"
+  "CMakeFiles/bench_e10_naive_halt.dir/bench/bench_e10_naive_halt.cpp.o.d"
+  "bench/bench_e10_naive_halt"
+  "bench/bench_e10_naive_halt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_naive_halt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

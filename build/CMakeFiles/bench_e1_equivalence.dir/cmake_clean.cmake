@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_equivalence.dir/bench/bench_e1_equivalence.cpp.o"
+  "CMakeFiles/bench_e1_equivalence.dir/bench/bench_e1_equivalence.cpp.o.d"
+  "bench/bench_e1_equivalence"
+  "bench/bench_e1_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

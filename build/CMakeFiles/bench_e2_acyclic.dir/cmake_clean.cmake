@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_acyclic.dir/bench/bench_e2_acyclic.cpp.o"
+  "CMakeFiles/bench_e2_acyclic.dir/bench/bench_e2_acyclic.cpp.o.d"
+  "bench/bench_e2_acyclic"
+  "bench/bench_e2_acyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_acyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

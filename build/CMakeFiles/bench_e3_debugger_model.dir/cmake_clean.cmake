@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_debugger_model.dir/bench/bench_e3_debugger_model.cpp.o"
+  "CMakeFiles/bench_e3_debugger_model.dir/bench/bench_e3_debugger_model.cpp.o.d"
+  "bench/bench_e3_debugger_model"
+  "bench/bench_e3_debugger_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_debugger_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

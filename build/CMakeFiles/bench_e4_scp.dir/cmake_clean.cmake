@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_scp.dir/bench/bench_e4_scp.cpp.o"
+  "CMakeFiles/bench_e4_scp.dir/bench/bench_e4_scp.cpp.o.d"
+  "bench/bench_e4_scp"
+  "bench/bench_e4_scp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_scp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

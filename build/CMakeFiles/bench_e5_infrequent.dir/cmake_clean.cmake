@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_infrequent.dir/bench/bench_e5_infrequent.cpp.o"
+  "CMakeFiles/bench_e5_infrequent.dir/bench/bench_e5_infrequent.cpp.o.d"
+  "bench/bench_e5_infrequent"
+  "bench/bench_e5_infrequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_infrequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_linked_predicates.dir/bench/bench_e6_linked_predicates.cpp.o"
+  "CMakeFiles/bench_e6_linked_predicates.dir/bench/bench_e6_linked_predicates.cpp.o.d"
+  "bench/bench_e6_linked_predicates"
+  "bench/bench_e6_linked_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_linked_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e8_unordered_cp.cpp" "CMakeFiles/bench_e8_unordered_cp.dir/bench/bench_e8_unordered_cp.cpp.o" "gcc" "CMakeFiles/bench_e8_unordered_cp.dir/bench/bench_e8_unordered_cp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debugger/CMakeFiles/ddbg_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ddbg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ddbg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddbg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ddbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ddbg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ddbg_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

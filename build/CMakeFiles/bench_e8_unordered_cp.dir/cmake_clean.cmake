@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_unordered_cp.dir/bench/bench_e8_unordered_cp.cpp.o"
+  "CMakeFiles/bench_e8_unordered_cp.dir/bench/bench_e8_unordered_cp.cpp.o.d"
+  "bench/bench_e8_unordered_cp"
+  "bench/bench_e8_unordered_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_unordered_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

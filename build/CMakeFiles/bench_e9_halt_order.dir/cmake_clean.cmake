@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_halt_order.dir/bench/bench_e9_halt_order.cpp.o"
+  "CMakeFiles/bench_e9_halt_order.dir/bench/bench_e9_halt_order.cpp.o.d"
+  "bench/bench_e9_halt_order"
+  "bench/bench_e9_halt_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_halt_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_debug.dir/pipeline_debug.cpp.o"
+  "CMakeFiles/pipeline_debug.dir/pipeline_debug.cpp.o.d"
+  "pipeline_debug"
+  "pipeline_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

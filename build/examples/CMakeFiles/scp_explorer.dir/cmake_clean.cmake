@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_explorer.dir/scp_explorer.cpp.o"
+  "CMakeFiles/scp_explorer.dir/scp_explorer.cpp.o.d"
+  "scp_explorer"
+  "scp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

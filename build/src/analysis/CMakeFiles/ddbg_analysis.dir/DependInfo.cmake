@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/consistency.cpp" "src/analysis/CMakeFiles/ddbg_analysis.dir/consistency.cpp.o" "gcc" "src/analysis/CMakeFiles/ddbg_analysis.dir/consistency.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/analysis/CMakeFiles/ddbg_analysis.dir/deadlock.cpp.o" "gcc" "src/analysis/CMakeFiles/ddbg_analysis.dir/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/scp.cpp" "src/analysis/CMakeFiles/ddbg_analysis.dir/scp.cpp.o" "gcc" "src/analysis/CMakeFiles/ddbg_analysis.dir/scp.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/analysis/CMakeFiles/ddbg_analysis.dir/trace.cpp.o" "gcc" "src/analysis/CMakeFiles/ddbg_analysis.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddbg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ddbg_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

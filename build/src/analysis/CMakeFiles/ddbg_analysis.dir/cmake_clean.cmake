@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_analysis.dir/consistency.cpp.o"
+  "CMakeFiles/ddbg_analysis.dir/consistency.cpp.o.d"
+  "CMakeFiles/ddbg_analysis.dir/deadlock.cpp.o"
+  "CMakeFiles/ddbg_analysis.dir/deadlock.cpp.o.d"
+  "CMakeFiles/ddbg_analysis.dir/scp.cpp.o"
+  "CMakeFiles/ddbg_analysis.dir/scp.cpp.o.d"
+  "CMakeFiles/ddbg_analysis.dir/trace.cpp.o"
+  "CMakeFiles/ddbg_analysis.dir/trace.cpp.o.d"
+  "libddbg_analysis.a"
+  "libddbg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddbg_analysis.a"
+)

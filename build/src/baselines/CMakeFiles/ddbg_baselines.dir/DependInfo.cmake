@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/central_hub.cpp" "src/baselines/CMakeFiles/ddbg_baselines.dir/central_hub.cpp.o" "gcc" "src/baselines/CMakeFiles/ddbg_baselines.dir/central_hub.cpp.o.d"
+  "/root/repo/src/baselines/naive_halt.cpp" "src/baselines/CMakeFiles/ddbg_baselines.dir/naive_halt.cpp.o" "gcc" "src/baselines/CMakeFiles/ddbg_baselines.dir/naive_halt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ddbg_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

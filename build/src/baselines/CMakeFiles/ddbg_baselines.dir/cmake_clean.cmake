@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_baselines.dir/central_hub.cpp.o"
+  "CMakeFiles/ddbg_baselines.dir/central_hub.cpp.o.d"
+  "CMakeFiles/ddbg_baselines.dir/naive_halt.cpp.o"
+  "CMakeFiles/ddbg_baselines.dir/naive_halt.cpp.o.d"
+  "libddbg_baselines.a"
+  "libddbg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_clock.dir/happened_before.cpp.o"
+  "CMakeFiles/ddbg_clock.dir/happened_before.cpp.o.d"
+  "CMakeFiles/ddbg_clock.dir/vector_clock.cpp.o"
+  "CMakeFiles/ddbg_clock.dir/vector_clock.cpp.o.d"
+  "libddbg_clock.a"
+  "libddbg_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_common.dir/logging.cpp.o"
+  "CMakeFiles/ddbg_common.dir/logging.cpp.o.d"
+  "libddbg_common.a"
+  "libddbg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

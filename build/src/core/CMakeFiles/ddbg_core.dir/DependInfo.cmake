@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/commands.cpp" "src/core/CMakeFiles/ddbg_core.dir/commands.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/commands.cpp.o.d"
+  "/root/repo/src/core/debug_shim.cpp" "src/core/CMakeFiles/ddbg_core.dir/debug_shim.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/debug_shim.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/ddbg_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/global_state.cpp" "src/core/CMakeFiles/ddbg_core.dir/global_state.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/global_state.cpp.o.d"
+  "/root/repo/src/core/halting.cpp" "src/core/CMakeFiles/ddbg_core.dir/halting.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/halting.cpp.o.d"
+  "/root/repo/src/core/lp_detector.cpp" "src/core/CMakeFiles/ddbg_core.dir/lp_detector.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/lp_detector.cpp.o.d"
+  "/root/repo/src/core/predicate.cpp" "src/core/CMakeFiles/ddbg_core.dir/predicate.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/predicate.cpp.o.d"
+  "/root/repo/src/core/predicate_parser.cpp" "src/core/CMakeFiles/ddbg_core.dir/predicate_parser.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/predicate_parser.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/ddbg_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/ddbg_core.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ddbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ddbg_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_core.dir/commands.cpp.o"
+  "CMakeFiles/ddbg_core.dir/commands.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/debug_shim.cpp.o"
+  "CMakeFiles/ddbg_core.dir/debug_shim.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/event.cpp.o"
+  "CMakeFiles/ddbg_core.dir/event.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/global_state.cpp.o"
+  "CMakeFiles/ddbg_core.dir/global_state.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/halting.cpp.o"
+  "CMakeFiles/ddbg_core.dir/halting.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/lp_detector.cpp.o"
+  "CMakeFiles/ddbg_core.dir/lp_detector.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/predicate.cpp.o"
+  "CMakeFiles/ddbg_core.dir/predicate.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/predicate_parser.cpp.o"
+  "CMakeFiles/ddbg_core.dir/predicate_parser.cpp.o.d"
+  "CMakeFiles/ddbg_core.dir/snapshot.cpp.o"
+  "CMakeFiles/ddbg_core.dir/snapshot.cpp.o.d"
+  "libddbg_core.a"
+  "libddbg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

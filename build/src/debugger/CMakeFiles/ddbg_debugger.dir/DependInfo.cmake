@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debugger/debugger_process.cpp" "src/debugger/CMakeFiles/ddbg_debugger.dir/debugger_process.cpp.o" "gcc" "src/debugger/CMakeFiles/ddbg_debugger.dir/debugger_process.cpp.o.d"
+  "/root/repo/src/debugger/harness.cpp" "src/debugger/CMakeFiles/ddbg_debugger.dir/harness.cpp.o" "gcc" "src/debugger/CMakeFiles/ddbg_debugger.dir/harness.cpp.o.d"
+  "/root/repo/src/debugger/restore.cpp" "src/debugger/CMakeFiles/ddbg_debugger.dir/restore.cpp.o" "gcc" "src/debugger/CMakeFiles/ddbg_debugger.dir/restore.cpp.o.d"
+  "/root/repo/src/debugger/session.cpp" "src/debugger/CMakeFiles/ddbg_debugger.dir/session.cpp.o" "gcc" "src/debugger/CMakeFiles/ddbg_debugger.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ddbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ddbg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ddbg_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_debugger.dir/debugger_process.cpp.o"
+  "CMakeFiles/ddbg_debugger.dir/debugger_process.cpp.o.d"
+  "CMakeFiles/ddbg_debugger.dir/harness.cpp.o"
+  "CMakeFiles/ddbg_debugger.dir/harness.cpp.o.d"
+  "CMakeFiles/ddbg_debugger.dir/restore.cpp.o"
+  "CMakeFiles/ddbg_debugger.dir/restore.cpp.o.d"
+  "CMakeFiles/ddbg_debugger.dir/session.cpp.o"
+  "CMakeFiles/ddbg_debugger.dir/session.cpp.o.d"
+  "libddbg_debugger.a"
+  "libddbg_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_net.dir/message.cpp.o"
+  "CMakeFiles/ddbg_net.dir/message.cpp.o.d"
+  "CMakeFiles/ddbg_net.dir/topology.cpp.o"
+  "CMakeFiles/ddbg_net.dir/topology.cpp.o.d"
+  "libddbg_net.a"
+  "libddbg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/ddbg_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/ddbg_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/tcp_runtime.cpp" "src/runtime/CMakeFiles/ddbg_runtime.dir/tcp_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/ddbg_runtime.dir/tcp_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ddbg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ddbg_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ddbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/ddbg_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/ddbg_runtime.dir/tcp_runtime.cpp.o"
+  "CMakeFiles/ddbg_runtime.dir/tcp_runtime.cpp.o.d"
+  "libddbg_runtime.a"
+  "libddbg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

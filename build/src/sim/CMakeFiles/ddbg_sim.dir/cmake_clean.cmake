@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ddbg_sim.dir/simulation.cpp.o.d"
+  "libddbg_sim.a"
+  "libddbg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbg_workload.dir/behaviors.cpp.o"
+  "CMakeFiles/ddbg_workload.dir/behaviors.cpp.o.d"
+  "CMakeFiles/ddbg_workload.dir/resources.cpp.o"
+  "CMakeFiles/ddbg_workload.dir/resources.cpp.o.d"
+  "libddbg_workload.a"
+  "libddbg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_process_test.dir/debugger_process_test.cpp.o"
+  "CMakeFiles/debugger_process_test.dir/debugger_process_test.cpp.o.d"
+  "debugger_process_test"
+  "debugger_process_test.pdb"
+  "debugger_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halting_engine_test.dir/halting_engine_test.cpp.o"
+  "CMakeFiles/halting_engine_test.dir/halting_engine_test.cpp.o.d"
+  "halting_engine_test"
+  "halting_engine_test.pdb"
+  "halting_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halting_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halting_sim_test.dir/halting_sim_test.cpp.o"
+  "CMakeFiles/halting_sim_test.dir/halting_sim_test.cpp.o.d"
+  "halting_sim_test"
+  "halting_sim_test.pdb"
+  "halting_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halting_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

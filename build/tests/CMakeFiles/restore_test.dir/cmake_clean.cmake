@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_test.dir/restore_test.cpp.o"
+  "CMakeFiles/restore_test.dir/restore_test.cpp.o.d"
+  "restore_test"
+  "restore_test.pdb"
+  "restore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -66,14 +66,25 @@ template <typename Tag, typename Rep>
   return std::to_string(id.value());
 }
 
+// Prefixed ids are built with reserve + append (not operator+ on a string
+// literal): GCC 12's inliner turns the temporary-concatenation form into a
+// spurious -Wrestrict warning at higher optimization levels.
+[[nodiscard]] inline std::string prefixed_id(char prefix, std::uint32_t value) {
+  std::string out;
+  out.reserve(12);  // 'p' + up to 10 digits
+  out.push_back(prefix);
+  out.append(std::to_string(value));
+  return out;
+}
+
 [[nodiscard]] inline std::string to_string(ProcessId id) {
   if (!id.valid()) return "p<invalid>";
-  return "p" + std::to_string(id.value());
+  return prefixed_id('p', id.value());
 }
 
 [[nodiscard]] inline std::string to_string(ChannelId id) {
   if (!id.valid()) return "c<invalid>";
-  return "c" + std::to_string(id.value());
+  return prefixed_id('c', id.value());
 }
 
 }  // namespace ddbg

@@ -259,6 +259,9 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
       detector_.arm(message.predicate->breakpoint, std::move(lp).value(),
                     message.predicate->stage_index,
                     message.predicate->monitor);
+      if (options_.on_armed) {
+        options_.on_armed(self_, message.predicate->breakpoint);
+      }
       return;
     }
     case MessageKind::kApplication: {
@@ -299,6 +302,7 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
       }
       detector_.arm(command.breakpoint, std::move(lp).value(),
                     command.stage_index, command.monitor);
+      if (options_.on_armed) options_.on_armed(self_, command.breakpoint);
       return;
     }
     case CommandKind::kArmNotify: {
@@ -311,6 +315,7 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
       }
       detector_.arm_notify(command.breakpoint, std::move(sp).value(),
                            command.stage_index);
+      if (options_.on_armed) options_.on_armed(self_, command.breakpoint);
       return;
     }
     case CommandKind::kDisarmBreakpoint:

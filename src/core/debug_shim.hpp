@@ -61,6 +61,12 @@ class DebugShim final : public Process, public DebugApi {
     // Invoked when this process halts / resumes (tests, experiments).
     std::function<void(HaltId)> on_halted;
     std::function<void(HaltId)> on_resumed;
+    // Invoked (on this process's thread) whenever a breakpoint watch is
+    // armed here — via an arm command or a forwarded predicate marker.  On
+    // the threaded runtimes it may fire concurrently from different process
+    // threads; tests use it to synchronize with asynchronous arming instead
+    // of sleeping.
+    std::function<void(ProcessId, BreakpointId)> on_armed;
     // Completed local contributions, also delivered locally (used by tests
     // and by topologies without a debugger process).
     std::function<void(ProcessId, std::uint64_t wave, const ProcessSnapshot&)>

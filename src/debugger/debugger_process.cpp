@@ -63,20 +63,30 @@ DebuggerProcess::WaveInfo& DebuggerProcess::wave_entry(
 
 void DebuggerProcess::handle_halt_marker(ProcessContext& ctx,
                                          const HaltMarkerData& data) {
-  std::lock_guard<std::mutex> guard{mutex_};
-  if (data.halt_id.value() > last_halt_id_) {
-    // New wave: adopt it and run the forwarding half of the Halt Routine —
-    // but never halt (section 2.2.3: "the debugger process d never really
-    // halts").  Forwarding on every control channel is what reaches the
-    // processes the application topology cannot.
-    last_halt_id_ = data.halt_id.value();
-    wave_entry(halt_waves_, last_halt_id_, ctx);
+  // All mutating entry points run on the debugger's own thread; mutex_ only
+  // shields the state observer threads read.  Never hold it across
+  // ctx.send — on the TCP runtime that is a potentially-blocking socket
+  // write, and an observer poll loop would stall behind it.
+  bool adopted = false;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (data.halt_id.value() > last_halt_id_) {
+      // New wave: adopt it and run the forwarding half of the Halt Routine
+      // — but never halt (section 2.2.3: "the debugger process d never
+      // really halts").  Forwarding on every control channel is what
+      // reaches the processes the application topology cannot.
+      last_halt_id_ = data.halt_id.value();
+      wave_entry(halt_waves_, last_halt_id_, ctx);
+      markers_forwarded_ += topology_->num_user_processes();
+      adopted = true;
+    }
+  }
+  if (adopted) {
     std::vector<ProcessId> path = data.halt_path;
     path.push_back(self_);
     for (const ProcessId p : topology_->user_process_ids()) {
       ctx.send(topology_->control_to(p),
                Message::halt_marker(data.halt_id, path));
-      ++markers_forwarded_;
     }
   }
   // Markers of the current or older waves need no action here; the
@@ -85,14 +95,20 @@ void DebuggerProcess::handle_halt_marker(ProcessContext& ctx,
 
 void DebuggerProcess::handle_snapshot_marker(ProcessContext& ctx,
                                              const SnapshotMarkerData& data) {
-  std::lock_guard<std::mutex> guard{mutex_};
-  if (data.snapshot_id > last_snapshot_id_) {
-    last_snapshot_id_ = data.snapshot_id;
-    wave_entry(snapshot_waves_, last_snapshot_id_, ctx);
+  bool adopted = false;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (data.snapshot_id > last_snapshot_id_) {
+      last_snapshot_id_ = data.snapshot_id;
+      wave_entry(snapshot_waves_, last_snapshot_id_, ctx);
+      markers_forwarded_ += topology_->num_user_processes();
+      adopted = true;
+    }
+  }
+  if (adopted) {
     for (const ProcessId p : topology_->user_process_ids()) {
       ctx.send(topology_->control_to(p),
                Message::snapshot_marker(data.snapshot_id));
-      ++markers_forwarded_;
     }
   }
 }
@@ -297,27 +313,32 @@ void DebuggerProcess::clear_breakpoint(ProcessContext& ctx, BreakpointId bp) {
 }
 
 std::uint64_t DebuggerProcess::initiate_halt(ProcessContext& ctx) {
-  std::lock_guard<std::mutex> guard{mutex_};
-  ++last_halt_id_;
-  wave_entry(halt_waves_, last_halt_id_, ctx);
+  std::uint64_t wave = 0;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    wave = ++last_halt_id_;
+    wave_entry(halt_waves_, wave, ctx);
+    markers_forwarded_ += topology_->num_user_processes();
+  }
   for (const ProcessId p : topology_->user_process_ids()) {
     ctx.send(topology_->control_to(p),
-             Message::halt_marker(HaltId(last_halt_id_), {self_}));
-    ++markers_forwarded_;
+             Message::halt_marker(HaltId(wave), {self_}));
   }
-  return last_halt_id_;
+  return wave;
 }
 
 std::uint64_t DebuggerProcess::initiate_snapshot(ProcessContext& ctx) {
-  std::lock_guard<std::mutex> guard{mutex_};
-  ++last_snapshot_id_;
-  wave_entry(snapshot_waves_, last_snapshot_id_, ctx);
-  for (const ProcessId p : topology_->user_process_ids()) {
-    ctx.send(topology_->control_to(p),
-             Message::snapshot_marker(last_snapshot_id_));
-    ++markers_forwarded_;
+  std::uint64_t wave = 0;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    wave = ++last_snapshot_id_;
+    wave_entry(snapshot_waves_, wave, ctx);
+    markers_forwarded_ += topology_->num_user_processes();
   }
-  return last_snapshot_id_;
+  for (const ProcessId p : topology_->user_process_ids()) {
+    ctx.send(topology_->control_to(p), Message::snapshot_marker(wave));
+  }
+  return wave;
 }
 
 void DebuggerProcess::resume_all(ProcessContext& ctx) {

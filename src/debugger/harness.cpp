@@ -11,11 +11,21 @@ struct WiredSystem {
 };
 
 WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
-                 const DebugShim::Options& shim_options) {
+                 DebugShim::Options shim_options,
+                 std::shared_ptr<std::atomic<std::size_t>> armed_count) {
+  // Count armed watches harness-wide, chaining any hook the caller set.
+  // The counter outlives the shims via shared ownership, and the hook runs
+  // on process threads — hence the atomic.
+  shim_options.on_armed = [armed_count = std::move(armed_count),
+                           user_hook = std::move(shim_options.on_armed)](
+                              ProcessId p, BreakpointId bp) {
+    armed_count->fetch_add(1, std::memory_order_acq_rel);
+    if (user_hook) user_hook(p, bp);
+  };
   WiredSystem wired;
   wired.topology = user_topology.with_debugger();
   wired.processes =
-      wrap_in_shims(wired.topology, std::move(users), shim_options);
+      wrap_in_shims(wired.topology, std::move(users), std::move(shim_options));
   auto debugger = std::make_unique<DebuggerProcess>();
   wired.debugger = debugger.get();
   wired.processes.push_back(std::move(debugger));
@@ -27,8 +37,8 @@ WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
 SimDebugHarness::SimDebugHarness(const Topology& user_topology,
                                  std::vector<ProcessPtr> users,
                                  HarnessConfig config) {
-  WiredSystem wired =
-      wire(user_topology, std::move(users), config.shim_options);
+  WiredSystem wired = wire(user_topology, std::move(users),
+                           std::move(config.shim_options), armed_count_);
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();
 
@@ -52,8 +62,8 @@ DebugShim& SimDebugHarness::shim(ProcessId p) {
 RuntimeDebugHarness::RuntimeDebugHarness(const Topology& user_topology,
                                          std::vector<ProcessPtr> users,
                                          HarnessConfig config) {
-  WiredSystem wired =
-      wire(user_topology, std::move(users), config.shim_options);
+  WiredSystem wired = wire(user_topology, std::move(users),
+                           std::move(config.shim_options), armed_count_);
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();
 

@@ -10,6 +10,7 @@
 // DebuggerProcess, and exposes a DebuggerSession bound to the right host.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -78,8 +79,14 @@ class SimDebugHarness {
   [[nodiscard]] ProcessId debugger_id() const { return debugger_id_; }
   // The shim wrapping user process p.
   [[nodiscard]] DebugShim& shim(ProcessId p);
+  // Breakpoint watches armed across all shims so far.
+  [[nodiscard]] std::size_t armed_count() const {
+    return armed_count_->load(std::memory_order_acquire);
+  }
 
  private:
+  std::shared_ptr<std::atomic<std::size_t>> armed_count_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
   std::unique_ptr<Simulation> sim_;
   DebuggerProcess* debugger_ = nullptr;  // owned by sim_
   ProcessId debugger_id_;
@@ -103,8 +110,21 @@ class RuntimeDebugHarness {
   [[nodiscard]] DebuggerProcess& debugger() { return *debugger_; }
   [[nodiscard]] ProcessId debugger_id() const { return debugger_id_; }
   [[nodiscard]] DebugShim& shim(ProcessId p);
+  // Breakpoint watches armed across all shims so far.  Arming is
+  // asynchronous (arm commands travel as control messages), so a test that
+  // needs a breakpoint live before it lets traffic flow waits on this
+  // rather than sleeping.
+  [[nodiscard]] std::size_t armed_count() const {
+    return armed_count_->load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool wait_for_armed(std::size_t watches, Duration timeout) {
+    return Runtime::wait_until(
+        [this, watches] { return armed_count() >= watches; }, timeout);
+  }
 
  private:
+  std::shared_ptr<std::atomic<std::size_t>> armed_count_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
   std::unique_ptr<Runtime> runtime_;
   DebuggerProcess* debugger_ = nullptr;  // owned by runtime_
   ProcessId debugger_id_;

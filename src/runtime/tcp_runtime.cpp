@@ -24,11 +24,15 @@ namespace {
 using SteadyClock = std::chrono::steady_clock;
 
 // Write the whole buffer, retrying on short writes.  Loopback writes of
-// debugger-sized frames essentially never block for long.
+// debugger-sized frames essentially never block for long.  MSG_NOSIGNAL:
+// during shutdown the peer's worker may already have closed its end, and a
+// plain write would raise SIGPIPE and kill the process instead of failing
+// the send.
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -437,6 +441,14 @@ bool TcpRuntime::start() {
 void TcpRuntime::shutdown() {
   if (stopped_.exchange(true)) return;
   for (auto& worker : workers_) worker->request_stop();
+  // Unblock any process thread stuck in a blocking send: half-close every
+  // channel so pending writes fail instead of waiting for a reader that is
+  // itself shutting down.  ::shutdown (unlike ::close) is safe while
+  // another thread uses the fd, and pending inbox data is dropped by
+  // contract.
+  for (const int fd : channel_fd_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
   for (auto& worker : workers_) worker->stop_and_join();
 }
 
@@ -499,7 +511,11 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
   // Only the source process's thread writes to this fd, so frames are
   // never interleaved.
   if (!write_all(fd, frame.data(), frame.size())) {
-    DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
+    // Failed writes are expected while shutting down (channels are
+    // half-closed to unblock writers); only a live-system failure is news.
+    if (!stopped_.load(std::memory_order_relaxed)) {
+      DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
+    }
   }
 }
 

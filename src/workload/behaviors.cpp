@@ -61,7 +61,7 @@ bool TokenRingProcess::restore_state(const Bytes& state) {
   auto pending = reader.u32();
   auto holding = reader.u8();
   if (!tokens.ok() || !pending.ok() || !holding.ok()) return false;
-  tokens_seen_ = tokens.value();
+  tokens_seen_.store(tokens.value(), std::memory_order_release);
   pending_value_ = pending.value();
   holding_token_ = holding.value() != 0;
   restored_ = true;
@@ -69,7 +69,14 @@ bool TokenRingProcess::restore_state(const Bytes& state) {
 }
 
 void TokenRingProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
-  if (holding_token_) forward_token(ctx);
+  if (!holding_token_) return;
+  if (config_.start_gate &&
+      !config_.start_gate->load(std::memory_order_acquire)) {
+    // Gate still closed: hold the token and check again after a hop delay.
+    ctx.set_timer(config_.hop_delay);
+    return;
+  }
+  forward_token(ctx);
 }
 
 void TokenRingProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
@@ -79,10 +86,11 @@ void TokenRingProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
     DDBG_WARN() << "token ring: bad token payload";
     return;
   }
-  ++tokens_seen_;
+  const std::uint32_t seen =
+      tokens_seen_.fetch_add(1, std::memory_order_acq_rel) + 1;
   pending_value_ = static_cast<std::uint32_t>(value.value());
   debug().event("token", pending_value_);
-  debug().set_var("tokens_seen", tokens_seen_);
+  debug().set_var("tokens_seen", seen);
 
   const std::uint32_t ring_size = [&] {
     std::uint32_t users = ctx.topology().num_user_processes();
@@ -107,7 +115,7 @@ void TokenRingProcess::forward_token(ProcessContext& ctx) {
 
 Bytes TokenRingProcess::snapshot_state() const {
   ByteWriter writer;
-  writer.u32(tokens_seen_);
+  writer.u32(tokens_seen());
   writer.u32(pending_value_);
   writer.u8(holding_token_ ? 1 : 0);
   return std::move(writer).take();
@@ -115,7 +123,7 @@ Bytes TokenRingProcess::snapshot_state() const {
 
 std::string TokenRingProcess::describe_state() const {
   std::ostringstream out;
-  out << "tokens_seen=" << tokens_seen_
+  out << "tokens_seen=" << tokens_seen()
       << (holding_token_ ? " (holding)" : "");
   return out.str();
 }
@@ -197,7 +205,7 @@ std::string PipelineProcess::describe_state() const {
 // ---------------------------------------------------------------------------
 
 void GossipProcess::schedule_next(ProcessContext& ctx) {
-  if (config_.max_sends != 0 && sent_ >= config_.max_sends) return;
+  if (config_.max_sends != 0 && sent() >= config_.max_sends) return;
   ctx.set_timer(config_.send_interval);
 }
 
@@ -208,26 +216,28 @@ void GossipProcess::on_start(ProcessContext& ctx) {
 void GossipProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
   const auto out = app_out_channels(ctx);
   if (out.empty()) return;
-  if (config_.max_sends != 0 && sent_ >= config_.max_sends) return;
+  const std::uint64_t seq = sent();
+  if (config_.max_sends != 0 && seq >= config_.max_sends) return;
   const std::size_t pick = ctx.rng().next_below(out.size());
 
   Bytes payload(config_.payload_bytes, 0);
   ByteWriter writer;
-  writer.u64(sent_);
+  writer.u64(seq);
   const Bytes header = std::move(writer).take();
   for (std::size_t i = 0; i < header.size() && i < payload.size(); ++i) {
     payload[i] = header[i];
   }
-  ++sent_;
+  sent_.store(seq + 1, std::memory_order_release);
   ctx.send(out[pick], Message::application(std::move(payload)));
-  debug().set_var("sent", static_cast<std::int64_t>(sent_));
+  debug().set_var("sent", static_cast<std::int64_t>(seq + 1));
   schedule_next(ctx);
 }
 
 void GossipProcess::on_message(ProcessContext& /*ctx*/, ChannelId /*in*/,
                                Message /*message*/) {
-  ++received_;
-  debug().set_var("received", static_cast<std::int64_t>(received_));
+  const std::uint64_t got =
+      received_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  debug().set_var("received", static_cast<std::int64_t>(got));
 }
 
 bool GossipProcess::restore_state(const Bytes& state) {
@@ -235,21 +245,21 @@ bool GossipProcess::restore_state(const Bytes& state) {
   auto sent = reader.u64();
   auto received = reader.u64();
   if (!sent.ok() || !received.ok()) return false;
-  sent_ = sent.value();
-  received_ = received.value();
+  sent_.store(sent.value(), std::memory_order_release);
+  received_.store(received.value(), std::memory_order_release);
   return true;
 }
 
 Bytes GossipProcess::snapshot_state() const {
   ByteWriter writer;
-  writer.u64(sent_);
-  writer.u64(received_);
+  writer.u64(sent());
+  writer.u64(received());
   return std::move(writer).take();
 }
 
 std::string GossipProcess::describe_state() const {
   std::ostringstream out;
-  out << "sent=" << sent_ << " received=" << received_;
+  out << "sent=" << sent() << " received=" << received();
   return out.str();
 }
 
@@ -258,33 +268,36 @@ std::string GossipProcess::describe_state() const {
 // ---------------------------------------------------------------------------
 
 void BankProcess::schedule_next(ProcessContext& ctx) {
-  if (config_.max_transfers != 0 && transfers_made_ >= config_.max_transfers) {
+  if (config_.max_transfers != 0 &&
+      transfers_made() >= config_.max_transfers) {
     return;
   }
   ctx.set_timer(config_.transfer_interval);
 }
 
 void BankProcess::on_start(ProcessContext& ctx) {
-  debug().set_var("balance", balance_);
+  debug().set_var("balance", balance());
   if (!app_out_channels(ctx).empty()) schedule_next(ctx);
 }
 
 void BankProcess::on_timer(ProcessContext& ctx, TimerId /*timer*/) {
   const auto out = app_out_channels(ctx);
   if (out.empty()) return;
-  if (config_.max_transfers != 0 && transfers_made_ >= config_.max_transfers) {
+  if (config_.max_transfers != 0 &&
+      transfers_made() >= config_.max_transfers) {
     return;
   }
   const std::int64_t amount = ctx.rng().next_in(1, config_.max_transfer);
-  if (balance_ >= amount) {
+  if (balance() >= amount) {
     const std::size_t pick = ctx.rng().next_below(out.size());
     debug().enter_procedure("transfer");
-    balance_ -= amount;
-    ++transfers_made_;
+    const std::int64_t after =
+        balance_.fetch_sub(amount, std::memory_order_acq_rel) - amount;
+    transfers_made_.fetch_add(1, std::memory_order_acq_rel);
     ctx.send(out[pick],
              Message::application(encode_u64(static_cast<std::uint64_t>(
                  amount))));
-    debug().set_var("balance", balance_);
+    debug().set_var("balance", after);
   }
   schedule_next(ctx);
 }
@@ -296,9 +309,11 @@ void BankProcess::on_message(ProcessContext& /*ctx*/, ChannelId /*in*/,
     DDBG_WARN() << "bank: bad transfer payload";
     return;
   }
-  balance_ += amount.value();
+  const std::int64_t after =
+      balance_.fetch_add(amount.value(), std::memory_order_acq_rel) +
+      amount.value();
   debug().event("deposit", amount.value());
-  debug().set_var("balance", balance_);
+  debug().set_var("balance", after);
 }
 
 bool BankProcess::restore_state(const Bytes& state) {
@@ -306,21 +321,21 @@ bool BankProcess::restore_state(const Bytes& state) {
   auto balance = reader.i64();
   auto transfers = reader.u32();
   if (!balance.ok() || !transfers.ok()) return false;
-  balance_ = balance.value();
-  transfers_made_ = transfers.value();
+  balance_.store(balance.value(), std::memory_order_release);
+  transfers_made_.store(transfers.value(), std::memory_order_release);
   return true;
 }
 
 Bytes BankProcess::snapshot_state() const {
   ByteWriter writer;
-  writer.i64(balance_);
-  writer.u32(transfers_made_);
+  writer.i64(balance());
+  writer.u32(transfers_made());
   return std::move(writer).take();
 }
 
 std::string BankProcess::describe_state() const {
   std::ostringstream out;
-  out << "balance=" << balance_;
+  out << "balance=" << balance();
   return out.str();
 }
 

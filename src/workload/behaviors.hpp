@@ -17,7 +17,9 @@
 //       witness).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,11 @@ struct TokenRingConfig {
   // The token makes this many full rounds, then the ring goes quiet.
   std::uint32_t rounds = 10;
   Duration hop_delay = Duration::millis(1);
+  // Optional start gate: while the gate is closed, process 0 holds the
+  // token and re-checks on a timer instead of launching it.  Lets a test
+  // finish asynchronous setup (arming breakpoints on the ring) before any
+  // token moves, making event counts deterministic under real threads.
+  std::shared_ptr<std::atomic<bool>> start_gate;
 };
 
 class TokenRingProcess final : public Debuggable {
@@ -50,13 +57,17 @@ class TokenRingProcess final : public Debuggable {
   bool restore_state(const Bytes& state) override;
   [[nodiscard]] std::string describe_state() const override;
 
-  [[nodiscard]] std::uint32_t tokens_seen() const { return tokens_seen_; }
+  [[nodiscard]] std::uint32_t tokens_seen() const {
+    return tokens_seen_.load(std::memory_order_acquire);
+  }
 
  private:
   void forward_token(ProcessContext& ctx);
 
   TokenRingConfig config_;
-  std::uint32_t tokens_seen_ = 0;
+  // Observable from other threads (test/debugger polling) while the
+  // process's own thread mutates it.
+  std::atomic<std::uint32_t> tokens_seen_{0};
   std::uint32_t pending_value_ = 0;
   bool holding_token_ = false;
   bool restored_ = false;
@@ -117,15 +128,20 @@ class GossipProcess final : public Debuggable {
   bool restore_state(const Bytes& state) override;
   [[nodiscard]] std::string describe_state() const override;
 
-  [[nodiscard]] std::uint64_t sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t sent() const {
+    return sent_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t received() const {
+    return received_.load(std::memory_order_acquire);
+  }
 
  private:
   void schedule_next(ProcessContext& ctx);
 
   GossipConfig config_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t received_ = 0;
+  // Polled by test/session threads while this process's thread sends.
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -153,7 +169,12 @@ class BankProcess final : public Debuggable {
   bool restore_state(const Bytes& state) override;
   [[nodiscard]] std::string describe_state() const override;
 
-  [[nodiscard]] std::int64_t balance() const { return balance_; }
+  [[nodiscard]] std::int64_t balance() const {
+    return balance_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t transfers_made() const {
+    return transfers_made_.load(std::memory_order_acquire);
+  }
 
   // Decode a BankProcess state snapshot back to a balance.
   [[nodiscard]] static Result<std::int64_t> decode_balance(const Bytes& state);
@@ -170,8 +191,9 @@ class BankProcess final : public Debuggable {
   void schedule_next(ProcessContext& ctx);
 
   BankConfig config_;
-  std::int64_t balance_;
-  std::uint32_t transfers_made_ = 0;
+  // Observable from other threads while this process's thread transacts.
+  std::atomic<std::int64_t> balance_;
+  std::atomic<std::uint32_t> transfers_made_{0};
 };
 
 // ---------------------------------------------------------------------------

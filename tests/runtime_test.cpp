@@ -1,9 +1,14 @@
 // Integration tests on the multithreaded runtime: real concurrency, real
 // races between handlers — the algorithms must still produce consistent
 // halted states.
+//
+// No wall-clock sleeps: every test synchronizes on observable state
+// (atomic workload counters, armed-watch counts, wave completion) so it
+// passes deterministically under load, `ctest -j` and TSan.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 
 #include "analysis/consistency.hpp"
 #include "debugger/harness.hpp"
@@ -98,14 +103,24 @@ TEST(Runtime, PostAndCall) {
 }
 
 TEST(Runtime, CancelledTimerDoesNotFire) {
+  // A worker fires timers in deadline order, so a sentinel timer with a
+  // deadline *after* the cancelled one proves the cancelled timer's window
+  // has fully passed — no wall-clock sleep needed.
   class CancelTicker final : public Process {
    public:
     void on_start(ProcessContext& ctx) override {
-      const TimerId t = ctx.set_timer(Duration::millis(50));
-      ctx.cancel_timer(t);
-      ctx.set_timer(Duration::millis(1));
+      const TimerId cancelled = ctx.set_timer(Duration::millis(10));
+      ctx.cancel_timer(cancelled);
+      ctx.set_timer(Duration::millis(1));  // first tick
     }
-    void on_timer(ProcessContext&, TimerId) override { ticks.fetch_add(1); }
+    void on_timer(ProcessContext& ctx, TimerId) override {
+      if (ticks.fetch_add(1) + 1 == 1) {
+        // Sentinel: lands at ~21ms, past the cancelled timer's 10ms
+        // deadline.  If cancellation were broken, the cancelled timer
+        // would fire between the two ticks.
+        ctx.set_timer(Duration::millis(20));
+      }
+    }
     void on_message(ProcessContext&, ChannelId, Message) override {}
     std::atomic<int> ticks{0};
   };
@@ -117,11 +132,9 @@ TEST(Runtime, CancelledTimerDoesNotFire) {
   Runtime runtime(std::move(topology), std::move(processes));
   runtime.start();
   EXPECT_TRUE(
-      Runtime::wait_until([&] { return ticker_ptr->ticks.load() >= 1; }, kWait));
-  // Give the cancelled timer a chance to (incorrectly) fire.
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      Runtime::wait_until([&] { return ticker_ptr->ticks.load() >= 2; }, kWait));
   runtime.shutdown();
-  EXPECT_EQ(ticker_ptr->ticks.load(), 1);
+  EXPECT_EQ(ticker_ptr->ticks.load(), 2);
 }
 
 TEST(Runtime, ShutdownIsIdempotentAndSafe) {
@@ -138,12 +151,19 @@ TEST(Runtime, ShutdownIsIdempotentAndSafe) {
 
 // ---- Full debugger stack on real threads ----
 
+// Deterministic warm-up: wait until a process demonstrably sent traffic
+// instead of sleeping and hoping the scheduler ran it.
+const GossipProcess& gossip_at(RuntimeDebugHarness& harness, std::uint32_t p) {
+  return dynamic_cast<const GossipProcess&>(harness.shim(ProcessId(p)).user());
+}
+
 TEST(RuntimeDebugger, HaltGossipConsistently) {
   GossipConfig gossip;
   gossip.send_interval = Duration::micros(200);
   RuntimeDebugHarness harness(Topology::ring(4), make_gossip(4, gossip));
   harness.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(Runtime::wait_until(
+      [&] { return gossip_at(harness, 0).sent() >= 5; }, kWait));
   harness.session().halt();
   auto wave = harness.session().wait_for_halt(kWait);
   ASSERT_TRUE(wave.has_value());
@@ -160,7 +180,14 @@ TEST(RuntimeDebugger, BankConservationUnderRealRaces) {
   bank.transfer_interval = Duration::micros(300);
   RuntimeDebugHarness harness(Topology::complete(4), make_bank(4, bank));
   harness.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Halt only after real money is in motion.
+  ASSERT_TRUE(Runtime::wait_until(
+      [&] {
+        return dynamic_cast<const BankProcess&>(
+                   harness.shim(ProcessId(0)).user())
+                   .transfers_made() >= 3;
+      },
+      kWait));
   harness.session().halt();
   auto wave = harness.session().wait_for_halt(kWait);
   ASSERT_TRUE(wave.has_value());
@@ -174,11 +201,17 @@ TEST(RuntimeDebugger, BreakpointFiresOnThreads) {
   TokenRingConfig ring_config;
   ring_config.rounds = 1000;
   ring_config.hop_delay = Duration::micros(200);
+  // Hold the token until the breakpoint is armed on p1: arming travels as
+  // an asynchronous control message, and a free-running ring would race it
+  // past the first two hops.
+  ring_config.start_gate = std::make_shared<std::atomic<bool>>(false);
   RuntimeDebugHarness harness(Topology::ring(3),
                               make_token_ring(3, ring_config));
   harness.start();
   auto bp = harness.session().set_breakpoint("(p1:event(token))^2");
   ASSERT_TRUE(bp.ok());
+  ASSERT_TRUE(harness.wait_for_armed(1, kWait));
+  ring_config.start_gate->store(true, std::memory_order_release);
   auto wave = harness.session().wait_for_halt(kWait);
   ASSERT_TRUE(wave.has_value());
   const auto& p1 = dynamic_cast<TokenRingProcess&>(
@@ -193,7 +226,11 @@ TEST(RuntimeDebugger, HaltResumeCycles) {
   RuntimeDebugHarness harness(Topology::ring(3), make_gossip(3, gossip));
   harness.start();
   for (std::uint64_t wave_id = 1; wave_id <= 3; ++wave_id) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The system must demonstrably make progress between waves.
+    const std::uint64_t sent_before = gossip_at(harness, 0).sent();
+    ASSERT_TRUE(Runtime::wait_until(
+        [&] { return gossip_at(harness, 0).sent() > sent_before + 2; },
+        kWait));
     harness.session().halt();
     const bool complete = Runtime::wait_until(
         [&] { return harness.debugger().halt_complete(wave_id); }, kWait);
@@ -211,7 +248,8 @@ TEST(RuntimeDebugger, SnapshotWhileRunning) {
   gossip.send_interval = Duration::micros(200);
   RuntimeDebugHarness harness(Topology::ring(3), make_gossip(3, gossip));
   harness.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(Runtime::wait_until(
+      [&] { return gossip_at(harness, 0).sent() >= 2; }, kWait));
   auto snapshot = harness.session().take_snapshot(kWait);
   ASSERT_TRUE(snapshot.has_value());
   EXPECT_EQ(snapshot->state.size(), 3u);

@@ -1,8 +1,14 @@
 // Integration tests for the TCP loopback runtime: the same processes,
 // shims, halting algorithm and debugger running over real sockets.
+//
+// No wall-clock sleeps: tests synchronize on observable state (atomic
+// workload counters, armed-watch hooks, wave completion) so they pass
+// deterministically under load, `ctest -j` and TSan.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <memory>
 
 #include "analysis/consistency.hpp"
 #include "core/debug_shim.hpp"
@@ -156,7 +162,11 @@ TEST(TcpRuntime, HaltingAlgorithmOverSockets) {
   TcpHost host(runtime);
   DebuggerSession session(host, *debugger_ptr, topology.debugger_id());
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Halt only once gossip demonstrably flows over the sockets.
+  const auto& p0 = dynamic_cast<GossipProcess&>(
+      dynamic_cast<DebugShim&>(runtime.process(ProcessId(0))).user());
+  ASSERT_TRUE(
+      TcpRuntime::wait_until([&] { return p0.sent() >= 5; }, kWait));
   session.halt();
   auto wave = session.wait_for_halt(kWait);
   ASSERT_TRUE(wave.has_value());
@@ -168,8 +178,6 @@ TEST(TcpRuntime, HaltingAlgorithmOverSockets) {
   }
 
   // Resume over sockets, then verify the gossip keeps flowing.
-  const auto& p0 = dynamic_cast<GossipProcess&>(
-      dynamic_cast<DebugShim&>(runtime.process(ProcessId(0))).user());
   const std::uint64_t sent_at_halt = p0.sent();
   session.resume();
   EXPECT_TRUE(TcpRuntime::wait_until(
@@ -181,10 +189,20 @@ TEST(TcpRuntime, BreakpointOverSockets) {
   TokenRingConfig ring_config;
   ring_config.rounds = 1000;
   ring_config.hop_delay = Duration::micros(500);
+  // Hold the token until the breakpoint is armed on p2: the arm command is
+  // an asynchronous control message, and a free-running ring would race it
+  // past the first two hops.
+  ring_config.start_gate = std::make_shared<std::atomic<bool>>(false);
+
+  auto armed = std::make_shared<std::atomic<std::size_t>>(0);
+  DebugShim::Options shim_options;
+  shim_options.on_armed = [armed](ProcessId, BreakpointId) {
+    armed->fetch_add(1, std::memory_order_acq_rel);
+  };
 
   Topology topology = Topology::ring(3).with_debugger();
   std::vector<ProcessPtr> processes =
-      wrap_in_shims(topology, make_token_ring(3, ring_config));
+      wrap_in_shims(topology, make_token_ring(3, ring_config), shim_options);
   auto debugger = std::make_unique<DebuggerProcess>();
   DebuggerProcess* debugger_ptr = debugger.get();
   processes.push_back(std::move(debugger));
@@ -196,6 +214,9 @@ TEST(TcpRuntime, BreakpointOverSockets) {
 
   auto bp = session.set_breakpoint("(p2:event(token))^2");
   ASSERT_TRUE(bp.ok());
+  ASSERT_TRUE(TcpRuntime::wait_until(
+      [&] { return armed->load(std::memory_order_acquire) >= 1; }, kWait));
+  ring_config.start_gate->store(true, std::memory_order_release);
   auto wave = session.wait_for_halt(kWait);
   ASSERT_TRUE(wave.has_value());
   const auto& p2 = dynamic_cast<TokenRingProcess&>(
@@ -220,7 +241,11 @@ TEST(TcpRuntime, BankConservationOverSockets) {
   TcpHost host(runtime);
   DebuggerSession session(host, *debugger_ptr, topology.debugger_id());
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Halt only once transfers are demonstrably crossing the wire.
+  const auto& b0 = dynamic_cast<BankProcess&>(
+      dynamic_cast<DebugShim&>(runtime.process(ProcessId(0))).user());
+  ASSERT_TRUE(TcpRuntime::wait_until(
+      [&] { return b0.transfers_made() >= 3; }, kWait));
   session.halt();
   auto wave = session.wait_for_halt(kWait);
   ASSERT_TRUE(wave.has_value());
@@ -228,6 +253,77 @@ TEST(TcpRuntime, BankConservationOverSockets) {
   ASSERT_TRUE(total.ok());
   EXPECT_EQ(total.value(), 3 * bank.initial_balance);
   runtime.shutdown();
+}
+
+// ---- Shutdown paths (previously untested: the file never compiled) ----
+
+// Shutdown with traffic still in flight must not hang, leak threads or
+// sockets (ASan/TSan verify the leak/race half), or crash on writes to
+// half-closed channels (SIGPIPE hardening in write_all).
+TEST(TcpRuntime, ShutdownMidTrafficIsClean) {
+  GossipConfig gossip;
+  gossip.send_interval = Duration::micros(200);
+  Topology topology = Topology::complete(3);
+  std::vector<ProcessPtr> processes = make_gossip(3, gossip);
+  auto* p0 = dynamic_cast<GossipProcess*>(processes[0].get());
+
+  TcpRuntime runtime(std::move(topology), std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  ASSERT_TRUE(
+      TcpRuntime::wait_until([&] { return p0->sent() >= 20; }, kWait));
+  runtime.shutdown();   // mid-traffic: inboxes and sockets still busy
+  runtime.shutdown();   // idempotent
+  const TransportStats stats = runtime.stats();
+  EXPECT_GE(stats.messages_sent, 20u);
+  // Delivery stops at shutdown; nothing may be delivered twice.
+  EXPECT_LE(stats.messages_delivered, stats.messages_sent);
+}
+
+// Halting mid-traffic buffers application messages as channel state; a
+// shutdown in that halted state (no resume) must still tear down cleanly.
+TEST(TcpRuntime, HaltThenShutdownIsClean) {
+  GossipConfig gossip;
+  gossip.send_interval = Duration::micros(300);
+
+  Topology topology = Topology::ring(3).with_debugger();
+  std::vector<ProcessPtr> processes =
+      wrap_in_shims(topology, make_gossip(3, gossip));
+  auto debugger = std::make_unique<DebuggerProcess>();
+  DebuggerProcess* debugger_ptr = debugger.get();
+  processes.push_back(std::move(debugger));
+
+  TcpRuntime runtime(topology, std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  TcpHost host(runtime);
+  DebuggerSession session(host, *debugger_ptr, topology.debugger_id());
+
+  const auto& p0 = dynamic_cast<GossipProcess&>(
+      dynamic_cast<DebugShim&>(runtime.process(ProcessId(0))).user());
+  ASSERT_TRUE(
+      TcpRuntime::wait_until([&] { return p0.sent() >= 5; }, kWait));
+  session.halt();
+  auto wave = session.wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  // Shut down while every user process is halted and channel state is
+  // buffered; the destructor then closes all fds a second time (no-op).
+  runtime.shutdown();
+}
+
+// Destruction without an explicit shutdown() call must shut down too.
+TEST(TcpRuntime, DestructorShutsDown) {
+  GossipConfig gossip;
+  gossip.send_interval = Duration::micros(200);
+  Topology topology(2);
+  topology.add_channel(ProcessId(0), ProcessId(1));
+  topology.add_channel(ProcessId(1), ProcessId(0));
+  std::vector<ProcessPtr> processes = make_gossip(2, gossip);
+  auto* p0 = dynamic_cast<GossipProcess*>(processes[0].get());
+  {
+    TcpRuntime runtime(std::move(topology), std::move(processes));
+    ASSERT_TRUE(runtime.start());
+    ASSERT_TRUE(
+        TcpRuntime::wait_until([&] { return p0->sent() >= 5; }, kWait));
+  }  // ~TcpRuntime joins all workers and closes all sockets
 }
 
 }  // namespace

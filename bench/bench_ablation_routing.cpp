@@ -48,6 +48,9 @@ RoutingRow run_chain(std::uint32_t chain, bool force_routed,
   }
   row.direct_markers = harness.sim().stats().predicate_markers_sent;
   row.control_messages = harness.sim().stats().control_messages_sent;
+  record_metrics(std::string(force_routed ? "routed" : "direct") +
+                     " chain=" + std::to_string(chain),
+                 harness.sim());
   return row;
 }
 
@@ -90,6 +93,7 @@ BENCHMARK(BM_RoutingPolicy)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("ablation_routing");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -88,6 +88,8 @@ NaiveRow run_halting(Duration latency, std::uint64_t seed) {
   row.lost = accounting.lost_messages;
   row.dropped = 0;
   row.cut_consistent = consistent_cut(wave->state);
+  record_metrics("halting latency_ms=" + std::to_string(latency.ns / 1000000),
+                 harness.sim());
   return row;
 }
 
@@ -138,6 +140,7 @@ BENCHMARK(BM_NaiveVsHalting)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e10_naive_halt");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

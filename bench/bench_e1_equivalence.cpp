@@ -55,6 +55,9 @@ EquivalenceResult run_pair(std::uint32_t n, std::uint64_t seed) {
     result.halt_latency_ms = (wave->completed_at - start).to_millis();
     result.channel_messages_halted = wave->state.total_channel_messages();
     result.equal = wave->state.equivalent(recorded);
+    record_metrics(
+        "halt n=" + std::to_string(n) + " seed=" + std::to_string(seed),
+        harness.sim());
   }
   return result;
 }
@@ -107,6 +110,7 @@ BENCHMARK(BM_HaltWave)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e1_equivalence");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -64,6 +64,7 @@ AcyclicResult run_depth(std::uint32_t depth, std::uint64_t seed) {
     for (std::uint32_t i = 0; i < depth; ++i) {
       if (harness.shim(ProcessId(i)).halted()) ++result.extended_halted;
     }
+    record_metrics("extended depth=" + std::to_string(depth), harness.sim());
   }
   return result;
 }
@@ -109,6 +110,7 @@ BENCHMARK(BM_ExtendedHaltPipeline)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecon
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e2_acyclic");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

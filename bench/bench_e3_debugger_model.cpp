@@ -31,8 +31,10 @@ void print_table() {
       const Topology topology = make_topology(family, n, n);
       const std::size_t total_channels =
           topology.num_channels() + 2 * topology.num_processes();
+      const std::string label = family + " n=" + std::to_string(n);
       const HaltRunMetrics metrics = run_halt_wave(
-          topology, make_gossip(n, GossipConfig{}), n, Duration::millis(20));
+          topology, make_gossip(n, GossipConfig{}), n, Duration::millis(20),
+          Duration::seconds(60), label.c_str());
       print_row("%10s %4u %10.2f %12llu %14zu %14zu %12s", family.c_str(), n,
                 metrics.halt_latency_ms,
                 static_cast<unsigned long long>(metrics.halt_markers),
@@ -70,6 +72,7 @@ BENCHMARK(BM_HaltLatencyByFamily)->DenseRange(0, 3)->Unit(benchmark::kMillisecon
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e3_debugger_model");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -30,6 +30,8 @@ ScpRow run_rate(std::int64_t interval_ms, std::uint64_t seed) {
   SimDebugHarness harness(Topology::complete(2), make_gossip(2, gossip),
                           std::move(config));
   harness.sim().run_for(Duration::seconds(60));
+  record_metrics("interval_ms=" + std::to_string(interval_ms),
+                 harness.sim());
 
   const auto sp0 = SimplePredicate::message_sent(ProcessId(0));
   const auto sp1 = SimplePredicate::message_sent(ProcessId(1));
@@ -97,6 +99,7 @@ BENCHMARK(BM_ScpClassification)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e4_scp");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

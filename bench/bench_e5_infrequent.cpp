@@ -98,6 +98,13 @@ LatencyResult run_extended(Duration poll_interval, std::uint64_t seed) {
   });
   sim.run_until_condition([&] { return *halted_count == kN; },
                           sim.now() + Duration::seconds(120));
+  // Let the halt reports drain back to the debugger so the recorded
+  // snapshot contains a completed halt-wave latency span.  Channel-state
+  // assembly waits for peer-channel markers, which a lazy process only
+  // sees at its next poll, so the drain must cover a couple of polls.
+  sim.run_for(Duration{3 * poll_interval.ns + Duration::millis(200).ns});
+  record_metrics(
+      "extended poll_ms=" + std::to_string(poll_interval.ns / 1000000), sim);
   LatencyResult result;
   result.all_halted = *halted_count == kN;
   result.last_halt_ms = (*last_halt - start).to_millis();
@@ -139,6 +146,7 @@ BENCHMARK(BM_ExtendedLazyHalt)->Arg(5)->Arg(320)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e5_infrequent");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -48,6 +48,8 @@ LpRow run_chain(const Topology& topology, std::uint32_t n,
   }
   row.predicate_markers = harness.sim().stats().predicate_markers_sent;
   row.route_hops = harness.sim().stats().control_messages_sent;
+  record_metrics("ring chain=" + std::to_string(chain_length),
+                 harness.sim());
   return row;
 }
 
@@ -118,6 +120,7 @@ BENCHMARK(BM_LpDetection)->Arg(2)->Arg(6)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e6_linked_predicates");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -47,6 +47,7 @@ OverheadRow run_plain(std::uint32_t n, std::uint64_t seed) {
   config.seed = seed;
   Simulation sim(topology, make_gossip(n, GossipConfig{}), std::move(config));
   sim.run_for(kRun);
+  record_metrics("plain n=" + std::to_string(n), sim);
   return OverheadRow{"plain", gossip_progress(sim, n),
                      sim.stats().messages_sent, sim.stats().bytes_sent, 1.0};
 }
@@ -58,6 +59,9 @@ OverheadRow run_shim(std::uint32_t n, std::uint64_t seed, bool vclocks) {
   SimDebugHarness harness(Topology::ring(n), make_gossip(n, GossipConfig{}),
                           std::move(config));
   harness.sim().run_for(kRun);
+  record_metrics(std::string(vclocks ? "shim+vc" : "shim") +
+                     " n=" + std::to_string(n),
+                 harness.sim());
   return OverheadRow{vclocks ? "shim+vc" : "shim",
                      gossip_progress(harness.sim(), n),
                      harness.sim().stats().messages_sent,
@@ -86,6 +90,7 @@ OverheadRow run_hub(std::uint32_t n, std::uint64_t seed) {
       progress += std::strtoull(state.c_str() + pos + 9, nullptr, 10);
     }
   }
+  record_metrics("hub n=" + std::to_string(n), sim);
   return OverheadRow{"hub", progress, sim.stats().messages_sent,
                      sim.stats().bytes_sent, 2.0};
 }
@@ -144,6 +149,7 @@ BENCHMARK(BM_SteadyState)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e7_overhead");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -52,6 +52,10 @@ OvershootRow run_mode(bool unordered, Duration control_latency,
       dynamic_cast<GossipProcess&>(harness.shim(ProcessId(1)).user());
   row.overshoot_p0 = static_cast<std::int64_t>(p0.sent()) - kThreshold;
   row.overshoot_p1 = static_cast<std::int64_t>(p1.sent()) - kThreshold;
+  record_metrics(std::string(unordered ? "unordered" : "ordered") +
+                     " latency_ms=" +
+                     std::to_string(control_latency.ns / 1000000),
+                 harness.sim());
   return row;
 }
 
@@ -99,6 +103,7 @@ BENCHMARK(BM_ConjunctionModes)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e8_unordered_cp");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -77,6 +77,9 @@ HaltOrderRow run_topology(const Topology& topology, std::uint32_t n,
   const Summary summary = summarize(lengths);
   row.mean_path_len = summary.mean;
   row.max_path_len = summary.max;
+  record_metrics(std::string(spontaneous ? "p0" : "debugger") +
+                     " n=" + std::to_string(n),
+                 harness.sim());
   return row;
 }
 
@@ -131,6 +134,7 @@ BENCHMARK(BM_HaltOrderCollection)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond
 
 int main(int argc, char** argv) {
   ddbg::bench::print_table();
+  ddbg::bench::write_metrics_json("e9_halt_order");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

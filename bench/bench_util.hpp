@@ -8,10 +8,13 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "debugger/harness.hpp"
+#include "obs/metrics.hpp"
 #include "workload/behaviors.hpp"
 
 namespace ddbg::bench {
@@ -26,6 +29,76 @@ inline void print_row(const char* format, ...) {
   std::vfprintf(stdout, format, args);
   va_end(args);
   std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics JSON emission.
+//
+// Each bench binary collects one MetricsRegistry snapshot per labelled table
+// row (record_metrics) and writes them as BENCH_<name>.json — an array of
+// "ddbg.metrics.v1" snapshots under the "ddbg.bench.metrics.v1" envelope —
+// into $DDBG_METRICS_DIR (default: the working directory).  The file is
+// written once, after the table and before the google-benchmark timing
+// loops; record_metrics calls made by re-runs inside timing loops are
+// ignored so the file reflects the deterministic table pass only.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct MetricsSink {
+  bool written = false;
+  std::vector<std::pair<std::string, std::string>> runs;  // label, json
+
+  static MetricsSink& instance() {
+    static MetricsSink sink;
+    return sink;
+  }
+};
+
+}  // namespace detail
+
+// Records a labelled snapshot of `registry` for the bench's JSON output.
+inline void record_metrics(std::string label,
+                           const obs::MetricsRegistry& registry,
+                           TimePoint now) {
+  detail::MetricsSink& sink = detail::MetricsSink::instance();
+  if (sink.written) return;
+  sink.runs.emplace_back(std::move(label),
+                         registry.snapshot(now).to_json());
+}
+
+inline void record_metrics(std::string label, const Simulation& sim) {
+  record_metrics(std::move(label), sim.metrics(), sim.now());
+}
+
+// Writes BENCH_<bench_name>.json and freezes the sink.  Safe to call when
+// nothing was recorded (writes an empty runs array).
+inline void write_metrics_json(const char* bench_name) {
+  detail::MetricsSink& sink = detail::MetricsSink::instance();
+  if (sink.written) return;
+  sink.written = true;
+  const char* dir = std::getenv("DDBG_METRICS_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) : ".";
+  path += "/BENCH_";
+  path += bench_name;
+  path += ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"schema\":\"ddbg.bench.metrics.v1\",\"bench\":\"%s\","
+                  "\"runs\":[",
+               bench_name);
+  for (std::size_t i = 0; i < sink.runs.size(); ++i) {
+    std::fprintf(f, "%s{\"label\":\"%s\",\"metrics\":%s}",
+                 i == 0 ? "" : ",", sink.runs[i].first.c_str(),
+                 sink.runs[i].second.c_str());
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("metrics written to %s (%zu runs)\n", path.c_str(),
+              sink.runs.size());
 }
 
 // Metrics from driving one halting wave to completion on the simulator.
@@ -44,7 +117,8 @@ struct HaltRunMetrics {
 inline HaltRunMetrics run_halt_wave(const Topology& topology,
                                     std::vector<ProcessPtr> processes,
                                     std::uint64_t seed, Duration warmup,
-                                    Duration limit = Duration::seconds(60)) {
+                                    Duration limit = Duration::seconds(60),
+                                    const char* metrics_label = nullptr) {
   HarnessConfig config;
   config.seed = seed;
   SimDebugHarness harness(topology, std::move(processes), std::move(config));
@@ -66,6 +140,7 @@ inline HaltRunMetrics run_halt_wave(const Topology& topology,
       harness.sim().stats().halt_markers_sent - markers_before;
   metrics.control_messages = harness.sim().stats().control_messages_sent;
   metrics.app_messages = harness.sim().stats().app_messages_sent - app_before;
+  if (metrics_label != nullptr) record_metrics(metrics_label, harness.sim());
   return metrics;
 }
 

@@ -106,6 +106,11 @@ class ByteReader {
         return Error(ErrorCode::kParseError, "varint too long");
       }
       const std::uint8_t byte = data_[pos_++];
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        // Tenth byte: only its low bit lands inside a u64.  Shifting the
+        // rest away would silently accept a value that doesn't round-trip.
+        return Error(ErrorCode::kParseError, "varint overflows 64 bits");
+      }
       result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) return result;
       shift += 7;
@@ -115,7 +120,9 @@ class ByteReader {
   [[nodiscard]] Result<std::string> str() {
     auto len = varint();
     if (!len.ok()) return len.error();
-    if (pos_ + len.value() > data_.size()) return underflow("str");
+    // Compare against remaining(): `pos_ + len` wraps for lengths near
+    // UINT64_MAX and would pass the check.
+    if (len.value() > remaining()) return underflow("str");
     std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
                     len.value());
     pos_ += len.value();
@@ -125,7 +132,7 @@ class ByteReader {
   [[nodiscard]] Result<Bytes> bytes() {
     auto len = varint();
     if (!len.ok()) return len.error();
-    if (pos_ + len.value() > data_.size()) return underflow("bytes");
+    if (len.value() > remaining()) return underflow("bytes");
     Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
     pos_ += len.value();
@@ -150,7 +157,7 @@ class ByteReader {
  private:
   template <typename T>
   Result<T> read_le() {
-    if (pos_ + sizeof(T) > data_.size()) return underflow("fixed int");
+    if (sizeof(T) > remaining()) return underflow("fixed int");
     T v = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
       v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));

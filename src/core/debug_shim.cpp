@@ -3,8 +3,19 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddbg {
+
+namespace {
+
+// Arm / notify latency spans are keyed by (breakpoint, process) so the
+// debugger's span_begin at arm time pairs with this shim's span_end.
+std::uint64_t bp_span_key(BreakpointId bp, ProcessId p) {
+  return obs::MetricsRegistry::key(bp.value(), p.value());
+}
+
+}  // namespace
 
 // Context handed to the *user* process: interposes on sends (clock
 // stamping, send events) and forwards everything else.
@@ -52,6 +63,9 @@ class DebugShim::ShimContext final : public ProcessContext {
   }
   void cancel_timer(TimerId timer) override { outer_->cancel_timer(timer); }
   [[nodiscard]] Rng& rng() override { return outer_->rng(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    return outer_->metrics();
+  }
 
   void stop_self() override {
     LocalEvent event;
@@ -259,6 +273,11 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
       detector_.arm(message.predicate->breakpoint, std::move(lp).value(),
                     message.predicate->stage_index,
                     message.predicate->monitor);
+      if (auto* m = ctx.metrics()) {
+        m->span_end(obs::Span::kArm,
+                    bp_span_key(message.predicate->breakpoint, self_),
+                    ctx.now());
+      }
       if (options_.on_armed) {
         options_.on_armed(self_, message.predicate->breakpoint);
       }
@@ -302,6 +321,10 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
       }
       detector_.arm(command.breakpoint, std::move(lp).value(),
                     command.stage_index, command.monitor);
+      if (auto* m = ctx.metrics()) {
+        m->span_end(obs::Span::kArm, bp_span_key(command.breakpoint, self_),
+                    ctx.now());
+      }
       if (options_.on_armed) options_.on_armed(self_, command.breakpoint);
       return;
     }
@@ -315,6 +338,10 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
       }
       detector_.arm_notify(command.breakpoint, std::move(sp).value(),
                            command.stage_index);
+      if (auto* m = ctx.metrics()) {
+        m->span_end(obs::Span::kArm, bp_span_key(command.breakpoint, self_),
+                    ctx.now());
+      }
       if (options_.on_armed) options_.on_armed(self_, command.breakpoint);
       return;
     }
@@ -441,6 +468,12 @@ void DebugShim::flush_pending(ProcessContext& ctx) {
   auto triggers = std::move(pending_triggers_);
   pending_triggers_.clear();
   for (PendingTrigger& trigger : triggers) {
+    // Trace predicate-hit -> debugger-notified latency; the matching
+    // span_end runs when the debugger records the hit.
+    if (auto* m = ctx.metrics()) {
+      m->span_begin(obs::Span::kBreakpointNotify,
+                    bp_span_key(trigger.bp, self_), ctx.now());
+    }
     send_to_debugger(
         ctx, Command::breakpoint_hit(self_, trigger.bp, trigger.description));
     // Halting breakpoints initiate the Halting Algorithm (a no-op if a

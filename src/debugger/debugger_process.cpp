@@ -1,8 +1,20 @@
 #include "debugger/debugger_process.hpp"
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddbg {
+
+namespace {
+
+// Arm spans are keyed by (breakpoint, target process): span_begin here when
+// the arm command leaves the debugger, span_end in the target's shim when
+// the watch is installed.
+std::uint64_t arm_span_key(BreakpointId bp, ProcessId target) {
+  return obs::MetricsRegistry::key(bp.value(), target.value());
+}
+
+}  // namespace
 
 void DebuggerProcess::on_start(ProcessContext& ctx) {
   topology_ = &ctx.topology();
@@ -57,6 +69,11 @@ DebuggerProcess::WaveInfo& DebuggerProcess::wave_entry(
     it->second.id = id;
     it->second.started_at = ctx.now();
     it->second.state = GlobalState(HaltId(id));
+    if (auto* m = ctx.metrics()) {
+      m->span_begin(&waves == &halt_waves_ ? obs::Span::kHaltWave
+                                           : obs::Span::kSnapshotWave,
+                    id, ctx.now());
+    }
   }
   return it->second;
 }
@@ -126,6 +143,9 @@ void DebuggerProcess::handle_command(ProcessContext& ctx,
           !wave.complete) {
         wave.complete = true;
         wave.completed_at = ctx.now();
+        if (auto* m = ctx.metrics()) {
+          m->span_end(obs::Span::kHaltWave, wave.id, ctx.now());
+        }
         DDBG_INFO() << "debugger: halt wave " << wave.id << " complete at "
                     << to_string(wave.completed_at);
       }
@@ -141,10 +161,18 @@ void DebuggerProcess::handle_command(ProcessContext& ctx,
           !wave.complete) {
         wave.complete = true;
         wave.completed_at = ctx.now();
+        if (auto* m = ctx.metrics()) {
+          m->span_end(obs::Span::kSnapshotWave, wave.id, ctx.now());
+        }
       }
       return;
     }
     case CommandKind::kBreakpointHit: {
+      if (auto* m = ctx.metrics()) {
+        m->span_end(obs::Span::kBreakpointNotify,
+                    arm_span_key(command.breakpoint, command.reporter),
+                    ctx.now());
+      }
       bool rearm = false;
       BreakpointSpec spec;
       {
@@ -201,6 +229,11 @@ void DebuggerProcess::handle_command(ProcessContext& ctx,
     }
     case CommandKind::kRouteMarker: {
       // Predicate-marker routing for process pairs with no direct channel.
+      if (auto* m = ctx.metrics()) {
+        m->span_begin(obs::Span::kArm,
+                      arm_span_key(command.breakpoint, command.target),
+                      ctx.now());
+      }
       send_control(ctx, command.target,
                    Command::arm_predicate(command.breakpoint,
                                           command.predicate,
@@ -267,12 +300,18 @@ BreakpointId DebuggerProcess::set_breakpoint(ProcessContext& ctx,
 void DebuggerProcess::arm_spec(ProcessContext& ctx, BreakpointId bp,
                                const BreakpointSpec& spec) {
   const bool monitor = spec.action == BreakpointAction::kMonitor;
+  auto trace_arm = [&](ProcessId target) {
+    if (auto* m = ctx.metrics()) {
+      m->span_begin(obs::Span::kArm, arm_span_key(bp, target), ctx.now());
+    }
+  };
   if (spec.kind == BreakpointSpec::Kind::kLinked) {
     // The Predicate-Marker-Sending Rule: ship the LP to every process
     // involved in the first DP.
     const LinkedPredicate lp = spec.linked.expanded();
     const Bytes encoded = lp.encode_to_bytes();
     for (const ProcessId p : lp.first().involved_processes()) {
+      trace_arm(p);
       send_control(ctx, p, Command::arm_predicate(bp, encoded, 0, monitor));
     }
     return;
@@ -288,6 +327,7 @@ void DebuggerProcess::arm_spec(ProcessContext& ctx, BreakpointId bp,
     for (const LinkedPredicate& lp : chains.value()) {
       const Bytes encoded = lp.encode_to_bytes();
       for (const ProcessId p : lp.first().involved_processes()) {
+        trace_arm(p);
         send_control(ctx, p, Command::arm_predicate(bp, encoded, 0, monitor));
       }
     }
@@ -298,6 +338,7 @@ void DebuggerProcess::arm_spec(ProcessContext& ctx, BreakpointId bp,
     const SimplePredicate& sp = spec.conjunctive.terms[i];
     ByteWriter writer;
     sp.encode(writer);
+    trace_arm(sp.process);
     send_control(ctx, sp.process,
                  Command::arm_notify(bp, std::move(writer).take(), i));
   }

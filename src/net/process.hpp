@@ -22,6 +22,10 @@
 
 namespace ddbg {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class ProcessContext {
  public:
   virtual ~ProcessContext() = default;
@@ -29,6 +33,13 @@ class ProcessContext {
   [[nodiscard]] virtual ProcessId self() const = 0;
   [[nodiscard]] virtual TimePoint now() const = 0;
   [[nodiscard]] virtual const Topology& topology() const = 0;
+
+  // The hosting runtime's metrics registry, for control-plane latency
+  // tracing (debug shim / debugger process).  May be null on contexts that
+  // do not carry one (e.g. bare test fixtures).
+  [[nodiscard]] virtual obs::MetricsRegistry* metrics() const {
+    return nullptr;
+  }
 
   // Enqueue a message on an outgoing channel.  The channel must be one of
   // topology().out_channels(self()).  Channels are reliable, FIFO and

@@ -1,16 +1,25 @@
 // Observation hooks shared by the runtimes.
 //
-// Both the simulator and the threaded runtime report message sends and
+// Both the simulator and the threaded runtimes report message sends and
 // deliveries through a TransportObserver so the analysis layer (traces,
 // statistics, in-flight accounting for the naive-halt experiment) works
 // identically on either substrate.
+//
+// Cumulative accounting lives in obs::MetricsRegistry (src/obs); this
+// header provides the glue between it and the network layer: the
+// channel-metadata extraction the registries are constructed from, and
+// the legacy TransportStats summary view that tests and experiments
+// consume.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "net/message.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddbg {
 
@@ -24,7 +33,37 @@ class TransportObserver {
                           const Message& message) = 0;
 };
 
-// Cumulative transport statistics, cheap enough to collect always.
+// obs::MetricsRegistry indexes traffic classes by the MessageKind tag; the
+// obs layer deliberately does not include network headers, so pin the
+// correspondence here.
+static_assert(static_cast<std::size_t>(MessageKind::kApplication) == 0 &&
+                  static_cast<std::size_t>(MessageKind::kHaltMarker) == 1 &&
+                  static_cast<std::size_t>(MessageKind::kSnapshotMarker) == 2 &&
+                  static_cast<std::size_t>(MessageKind::kPredicateMarker) ==
+                      3 &&
+                  static_cast<std::size_t>(MessageKind::kControl) == 4 &&
+                  obs::kNumTrafficClasses == 5,
+              "obs traffic classes must mirror MessageKind");
+
+[[nodiscard]] constexpr std::uint8_t traffic_class(MessageKind kind) {
+  return static_cast<std::uint8_t>(kind);
+}
+
+// Per-channel metadata for a MetricsRegistry covering `topology`.
+[[nodiscard]] inline std::vector<obs::ChannelMeta> channel_meta(
+    const Topology& topology) {
+  std::vector<obs::ChannelMeta> meta;
+  meta.reserve(topology.num_channels());
+  for (const ChannelSpec& spec : topology.channels()) {
+    meta.push_back(obs::ChannelMeta{spec.source.value(),
+                                    spec.destination.value(),
+                                    spec.is_control});
+  }
+  return meta;
+}
+
+// Cumulative transport statistics: the summary view of a MetricsRegistry
+// that tests and the experiment tables consume.
 struct TransportStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -34,18 +73,26 @@ struct TransportStats {
   std::uint64_t snapshot_markers_sent = 0;
   std::uint64_t predicate_markers_sent = 0;
   std::uint64_t control_messages_sent = 0;
-
-  void note_send(const Message& message) {
-    ++messages_sent;
-    bytes_sent += message.encoded_size();
-    switch (message.kind) {
-      case MessageKind::kApplication: ++app_messages_sent; break;
-      case MessageKind::kHaltMarker: ++halt_markers_sent; break;
-      case MessageKind::kSnapshotMarker: ++snapshot_markers_sent; break;
-      case MessageKind::kPredicateMarker: ++predicate_markers_sent; break;
-      case MessageKind::kControl: ++control_messages_sent; break;
-    }
-  }
 };
+
+[[nodiscard]] inline TransportStats transport_stats_from(
+    const obs::MetricsRegistry& metrics) {
+  const obs::TotalsSnapshot totals = metrics.totals();
+  TransportStats stats;
+  stats.messages_sent = totals.messages_sent;
+  stats.messages_delivered = totals.messages_delivered;
+  stats.bytes_sent = totals.bytes_sent;
+  stats.app_messages_sent =
+      totals.sent[traffic_class(MessageKind::kApplication)];
+  stats.halt_markers_sent =
+      totals.sent[traffic_class(MessageKind::kHaltMarker)];
+  stats.snapshot_markers_sent =
+      totals.sent[traffic_class(MessageKind::kSnapshotMarker)];
+  stats.predicate_markers_sent =
+      totals.sent[traffic_class(MessageKind::kPredicateMarker)];
+  stats.control_messages_sent =
+      totals.sent[traffic_class(MessageKind::kControl)];
+  return stats;
+}
 
 }  // namespace ddbg

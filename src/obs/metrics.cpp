@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+namespace ddbg::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_latency(std::string& out, const char* name,
+                    const LatencySnapshot& l) {
+  out += '"';
+  out += name;
+  out += "\":{\"count\":";
+  append_u64(out, l.count);
+  out += ",\"total_ns\":";
+  append_u64(out, l.total_ns);
+  out += ",\"min_ns\":";
+  append_u64(out, l.min_ns);
+  out += ",\"max_ns\":";
+  append_u64(out, l.max_ns);
+  out += '}';
+}
+
+void append_class_counts(std::string& out, const char* name,
+                         const std::uint64_t (&counts)[kNumTrafficClasses]) {
+  out += '"';
+  out += name;
+  out += "\":{";
+  for (std::size_t i = 0; i < kNumTrafficClasses; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += kTrafficClassNames[i];
+    out += "\":";
+    append_u64(out, counts[i]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::uint64_t ChannelSnapshot::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : sent) total += n;
+  return total;
+}
+
+std::uint64_t ChannelSnapshot::messages_delivered() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : delivered) total += n;
+  return total;
+}
+
+MetricsRegistry::MetricsRegistry(std::string runtime_label,
+                                 std::size_t num_processes,
+                                 std::vector<ChannelMeta> channels)
+    : runtime_label_(std::move(runtime_label)),
+      meta_(std::move(channels)),
+      channels_(meta_.size()),
+      process_queue_depth_(num_processes) {}
+
+void MetricsRegistry::span_begin(Span span, std::uint64_t key, TimePoint now) {
+  std::lock_guard<std::mutex> guard{span_mutex_};
+  open_spans_[static_cast<std::size_t>(span)].try_emplace(key, now.ns);
+}
+
+void MetricsRegistry::span_end(Span span, std::uint64_t key, TimePoint now) {
+  std::int64_t started = 0;
+  {
+    std::lock_guard<std::mutex> guard{span_mutex_};
+    auto& open = open_spans_[static_cast<std::size_t>(span)];
+    auto it = open.find(key);
+    if (it == open.end()) return;
+    started = it->second;
+    open.erase(it);
+  }
+  span_stats_[static_cast<std::size_t>(span)].record(now.ns - started);
+}
+
+TotalsSnapshot MetricsRegistry::totals() const {
+  TotalsSnapshot t;
+  for (const ChannelCells& c : channels_) {
+    for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+      t.sent[k] += c.sent[k].get();
+      t.delivered[k] += c.delivered[k].get();
+    }
+    t.bytes_sent += c.bytes_sent.get();
+    t.bytes_delivered += c.bytes_delivered.get();
+  }
+  for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+    t.messages_sent += t.sent[k];
+    t.messages_delivered += t.delivered[k];
+  }
+  return t;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(TimePoint now) const {
+  MetricsSnapshot snap;
+  snap.runtime = runtime_label_;
+  snap.elapsed_ns = now.ns;
+
+  snap.channels.resize(channels_.size());
+  snap.processes.resize(process_queue_depth_.size());
+  for (std::size_t i = 0; i < snap.processes.size(); ++i) {
+    snap.processes[i].id = static_cast<std::uint32_t>(i);
+    snap.processes[i].max_queue_depth = process_queue_depth_[i].get();
+  }
+
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const ChannelCells& cells = channels_[i];
+    ChannelSnapshot& ch = snap.channels[i];
+    ch.id = static_cast<std::uint32_t>(i);
+    ch.source = meta_[i].source;
+    ch.destination = meta_[i].destination;
+    ch.is_control = meta_[i].is_control;
+    for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+      ch.sent[k] = cells.sent[k].get();
+      ch.delivered[k] = cells.delivered[k].get();
+    }
+    ch.bytes_sent = cells.bytes_sent.get();
+    ch.bytes_delivered = cells.bytes_delivered.get();
+    ch.send_blocked_ns = cells.send_blocked_ns.get();
+    ch.max_backlog = cells.max_backlog.get();
+
+    // Attribute channel traffic to its endpoint processes.
+    if (ch.source < snap.processes.size()) {
+      ProcessSnapshotCounters& p = snap.processes[ch.source];
+      for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+        p.sent[k] += ch.sent[k];
+      }
+      p.bytes_sent += ch.bytes_sent;
+    }
+    if (ch.destination < snap.processes.size()) {
+      ProcessSnapshotCounters& p = snap.processes[ch.destination];
+      for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+        p.delivered[k] += ch.delivered[k];
+      }
+      p.bytes_delivered += ch.bytes_delivered;
+    }
+
+    for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+      snap.totals.sent[k] += ch.sent[k];
+      snap.totals.delivered[k] += ch.delivered[k];
+    }
+    snap.totals.bytes_sent += ch.bytes_sent;
+    snap.totals.bytes_delivered += ch.bytes_delivered;
+  }
+  for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+    snap.totals.messages_sent += snap.totals.sent[k];
+    snap.totals.messages_delivered += snap.totals.delivered[k];
+  }
+
+  for (std::size_t s = 0; s < kNumSpans; ++s) {
+    const LatencyStat& stat = span_stats_[s];
+    snap.spans[s] = LatencySnapshot{stat.count(), stat.total_ns(),
+                                    stat.min_ns(), stat.max_ns()};
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(512 + channels.size() * 256 + processes.size() * 160);
+
+  out += "{\"schema\":\"ddbg.metrics.v1\",\"runtime\":\"";
+  out += runtime;  // labels are fixed identifiers; no escaping needed
+  out += "\",\"elapsed_ns\":";
+  out += std::to_string(elapsed_ns);
+
+  out += ",\"totals\":{\"messages_sent\":";
+  append_u64(out, totals.messages_sent);
+  out += ",\"messages_delivered\":";
+  append_u64(out, totals.messages_delivered);
+  out += ",\"bytes_sent\":";
+  append_u64(out, totals.bytes_sent);
+  out += ",\"bytes_delivered\":";
+  append_u64(out, totals.bytes_delivered);
+  out += ',';
+  append_class_counts(out, "sent", totals.sent);
+  out += ',';
+  append_class_counts(out, "delivered", totals.delivered);
+  out += '}';
+
+  out += ",\"processes\":[";
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    const ProcessSnapshotCounters& p = processes[i];
+    if (i != 0) out += ',';
+    out += "{\"id\":";
+    append_u64(out, p.id);
+    out += ",\"bytes_sent\":";
+    append_u64(out, p.bytes_sent);
+    out += ",\"bytes_delivered\":";
+    append_u64(out, p.bytes_delivered);
+    out += ",\"max_queue_depth\":";
+    append_u64(out, p.max_queue_depth);
+    out += ',';
+    append_class_counts(out, "sent", p.sent);
+    out += ',';
+    append_class_counts(out, "delivered", p.delivered);
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"channels\":[";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const ChannelSnapshot& ch = channels[i];
+    if (i != 0) out += ',';
+    out += "{\"id\":";
+    append_u64(out, ch.id);
+    out += ",\"source\":";
+    append_u64(out, ch.source);
+    out += ",\"destination\":";
+    append_u64(out, ch.destination);
+    out += ",\"control\":";
+    out += ch.is_control ? "true" : "false";
+    out += ",\"bytes_sent\":";
+    append_u64(out, ch.bytes_sent);
+    out += ",\"bytes_delivered\":";
+    append_u64(out, ch.bytes_delivered);
+    out += ",\"send_blocked_ns\":";
+    append_u64(out, ch.send_blocked_ns);
+    out += ",\"max_backlog\":";
+    append_u64(out, ch.max_backlog);
+    out += ',';
+    append_class_counts(out, "sent", ch.sent);
+    out += ',';
+    append_class_counts(out, "delivered", ch.delivered);
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"latencies\":{";
+  for (std::size_t s = 0; s < kNumSpans; ++s) {
+    if (s != 0) out += ',';
+    append_latency(out, kSpanNames[s], spans[s]);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ddbg::obs

@@ -1,0 +1,290 @@
+// Runtime observability: always-on counters and event-latency tracing.
+//
+// The paper's evaluation (section 6 / experiment E7) quantifies what the
+// debugging machinery costs; this layer is what makes that measurable from
+// the inside rather than by wall-clock deltas.  One MetricsRegistry per
+// runtime substrate accumulates:
+//
+//   * per-channel traffic counters — messages and bytes, sent and
+//     delivered, with marker and control-plane traffic split out from
+//     application traffic (one slot per MessageKind);
+//   * per-channel send-blocked time (TCP: time spent inside the socket
+//     write) and peak backlog (sim: in-flight messages; TCP: bytes
+//     buffered awaiting frame parse);
+//   * per-process peak inbox depth (threaded runtime);
+//   * latency spans for the rare control-plane events the experiments
+//     care about: halt-wave start -> all halted, snapshot-wave start ->
+//     all recorded, breakpoint-predicate hit -> debugger notified, and
+//     arm command sent -> shim armed.
+//
+// Hot-path discipline: counter updates are single relaxed-atomic
+// increments into slots that only one thread ever writes (each channel's
+// send slots are written by the source process's thread, its delivery
+// slots by the destination's thread, each process's queue gauge by its
+// own thread), so the accumulation is thread-local by construction —
+// relaxed ordering is enough and the cache line never bounces between
+// writers.  No allocation, no locks.  Span bookkeeping (a keyed map of
+// open spans) takes a mutex, but spans only cover control-plane events
+// that occur a handful of times per run.
+//
+// snapshot() is the cold path: it sums the slots into a MetricsSnapshot
+// that serializes to a stable JSON schema ("ddbg.metrics.v1") so bench
+// output stays comparable across revisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ddbg::obs {
+
+// Mirrors MessageKind (net/message.hpp) value-for-value; kept as a plain
+// index here so the obs layer does not depend on the network headers.
+inline constexpr std::size_t kNumTrafficClasses = 5;
+inline constexpr const char* kTrafficClassNames[kNumTrafficClasses] = {
+    "app", "halt_marker", "snapshot_marker", "predicate_marker", "control"};
+
+// The traced control-plane latencies.
+enum class Span : std::uint8_t {
+  kHaltWave = 0,        // halt initiated -> every process reported halted
+  kSnapshotWave = 1,    // recording initiated -> every process reported
+  kBreakpointNotify = 2,  // predicate hit at a shim -> debugger recorded it
+  kArm = 3,             // arm command sent -> shim armed the watch
+};
+inline constexpr std::size_t kNumSpans = 4;
+inline constexpr const char* kSpanNames[kNumSpans] = {
+    "halt_wave", "snapshot_wave", "breakpoint_notify", "arm"};
+
+// A monotonically increasing count; relaxed because every slot has a
+// single writer (see the header comment) and readers only ever snapshot.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// A high-water-mark gauge (peak queue depth / backlog).
+class MaxGauge {
+ public:
+  void observe(std::uint64_t v) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// count/total/min/max of a latency distribution, in nanoseconds.
+class LatencyStat {
+ public:
+  void record(std::int64_t ns) noexcept {
+    if (ns < 0) ns = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                        std::memory_order_relaxed);
+    std::uint64_t v = static_cast<std::uint64_t>(ns);
+    std::uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_ns_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_ns_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_ns_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  // 0 when empty (the sentinel is never exposed).
+  [[nodiscard]] std::uint64_t min_ns() const noexcept {
+    return count() == 0 ? 0 : min_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~0ULL};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+// Static description of one channel, captured at registry construction so
+// snapshots can attribute per-channel counts to processes without a
+// dependency on the Topology type.
+struct ChannelMeta {
+  std::uint32_t source = 0;
+  std::uint32_t destination = 0;
+  bool is_control = false;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot: plain data + stable JSON rendering (the cold path).
+// ---------------------------------------------------------------------------
+
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+struct ChannelSnapshot {
+  std::uint32_t id = 0;
+  std::uint32_t source = 0;
+  std::uint32_t destination = 0;
+  bool is_control = false;
+  std::uint64_t sent[kNumTrafficClasses] = {};
+  std::uint64_t delivered[kNumTrafficClasses] = {};
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t send_blocked_ns = 0;
+  std::uint64_t max_backlog = 0;
+
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t messages_delivered() const;
+};
+
+struct ProcessSnapshotCounters {
+  std::uint32_t id = 0;
+  std::uint64_t sent[kNumTrafficClasses] = {};
+  std::uint64_t delivered[kNumTrafficClasses] = {};
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+struct TotalsSnapshot {
+  std::uint64_t sent[kNumTrafficClasses] = {};
+  std::uint64_t delivered[kNumTrafficClasses] = {};
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+struct MetricsSnapshot {
+  std::string runtime;  // "sim" | "threads" | "tcp"
+  std::int64_t elapsed_ns = 0;
+  TotalsSnapshot totals;
+  std::vector<ProcessSnapshotCounters> processes;
+  std::vector<ChannelSnapshot> channels;
+  LatencySnapshot spans[kNumSpans];
+
+  // Stable schema "ddbg.metrics.v1": fixed key order, integers only, no
+  // floats — byte-identical for identical runs.
+  [[nodiscard]] std::string to_json() const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  // `runtime_label` names the substrate in snapshots ("sim", "threads",
+  // "tcp"); `channels[i]` describes ChannelId(i).
+  MetricsRegistry(std::string runtime_label, std::size_t num_processes,
+                  std::vector<ChannelMeta> channels);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ---- hot path (single relaxed increments; no allocation) ----
+  void on_send(std::uint32_t channel, std::uint8_t traffic_class,
+               std::size_t wire_bytes) noexcept {
+    ChannelCells& c = channels_[channel];
+    c.sent[traffic_class].inc();
+    c.bytes_sent.add(wire_bytes);
+  }
+  void on_deliver(std::uint32_t channel, std::uint8_t traffic_class,
+                  std::size_t wire_bytes) noexcept {
+    ChannelCells& c = channels_[channel];
+    c.delivered[traffic_class].inc();
+    c.bytes_delivered.add(wire_bytes);
+  }
+  void observe_backlog(std::uint32_t channel, std::uint64_t depth) noexcept {
+    channels_[channel].max_backlog.observe(depth);
+  }
+  void add_send_blocked(std::uint32_t channel, std::int64_t ns) noexcept {
+    if (ns > 0) {
+      channels_[channel].send_blocked_ns.add(static_cast<std::uint64_t>(ns));
+    }
+  }
+  void observe_queue_depth(std::uint32_t process,
+                           std::uint64_t depth) noexcept {
+    process_queue_depth_[process].observe(depth);
+  }
+
+  // ---- latency spans (rare control-plane events; mutex-guarded) ----
+  // Opens a span unless one with the same key is already open (the
+  // earliest begin wins).  Keys are caller-chosen, e.g. a wave id or
+  // (breakpoint id, process id) packed into 64 bits.
+  void span_begin(Span span, std::uint64_t key, TimePoint now);
+  // Closes the span and records its latency; a span_end with no matching
+  // begin is a no-op (e.g. a stage re-arm the debugger never initiated).
+  void span_end(Span span, std::uint64_t key, TimePoint now);
+  [[nodiscard]] const LatencyStat& span_stat(Span span) const {
+    return span_stats_[static_cast<std::size_t>(span)];
+  }
+
+  // ---- cold path ----
+  [[nodiscard]] std::size_t num_processes() const {
+    return process_queue_depth_.size();
+  }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+  [[nodiscard]] TotalsSnapshot totals() const;
+  [[nodiscard]] MetricsSnapshot snapshot(TimePoint now = {}) const;
+
+  // Packs a (breakpoint/wave, process) pair into a span key.
+  [[nodiscard]] static std::uint64_t key(std::uint64_t a, std::uint32_t b) {
+    return (a << 32) | b;
+  }
+
+ private:
+  // One cache line per channel so the source's and destination's relaxed
+  // increments never contend with other channels' traffic.
+  struct alignas(64) ChannelCells {
+    Counter sent[kNumTrafficClasses];
+    Counter delivered[kNumTrafficClasses];
+    Counter bytes_sent;
+    Counter bytes_delivered;
+    Counter send_blocked_ns;
+    MaxGauge max_backlog;
+  };
+
+  std::string runtime_label_;
+  std::vector<ChannelMeta> meta_;
+  std::vector<ChannelCells> channels_;
+  std::vector<MaxGauge> process_queue_depth_;
+
+  LatencyStat span_stats_[kNumSpans];
+  std::mutex span_mutex_;
+  std::unordered_map<std::uint64_t, std::int64_t> open_spans_[kNumSpans];
+};
+
+}  // namespace ddbg::obs

@@ -28,7 +28,8 @@ class Runtime::Worker {
   void start();
   void stop();
 
-  void push_delivery(ChannelId channel, Message message);
+  void push_delivery(ChannelId channel, Message message,
+                     std::uint32_t wire_bytes);
   void push_closure(std::function<void(ProcessContext&, Process&)> action);
 
   TimerId add_timer(Duration delay);
@@ -44,6 +45,7 @@ class Runtime::Worker {
     enum class Kind { kDeliver, kClosure, kTimer } kind;
     ChannelId channel;
     Message message;
+    std::uint32_t wire_bytes = 0;
     std::function<void(ProcessContext&, Process&)> closure;
     TimerId timer;
   };
@@ -93,6 +95,10 @@ class ThreadProcessContext final : public ProcessContext {
 
   [[nodiscard]] Rng& rng() override { return worker_.rng(); }
 
+  [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    return &worker_.runtime().metrics();
+  }
+
   void stop_self() override {
     // No dedicated bookkeeping: a "stopped" process simply schedules no
     // further timers; its thread keeps serving messages so markers flow.
@@ -126,7 +132,9 @@ void Runtime::Worker::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-void Runtime::Worker::push_delivery(ChannelId channel, Message message) {
+void Runtime::Worker::push_delivery(ChannelId channel, Message message,
+                                    std::uint32_t wire_bytes) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> guard{mutex_};
     if (stopping_) return;
@@ -134,8 +142,11 @@ void Runtime::Worker::push_delivery(ChannelId channel, Message message) {
     item.kind = Item::Kind::kDeliver;
     item.channel = channel;
     item.message = std::move(message);
+    item.wire_bytes = wire_bytes;
     inbox_.push_back(std::move(item));
+    depth = inbox_.size();
   }
+  runtime_.metrics_.observe_queue_depth(id_.value(), depth);
   cv_.notify_one();
 }
 
@@ -205,10 +216,9 @@ void Runtime::Worker::thread_main() {
   while (next_item(item)) {
     switch (item.kind) {
       case Item::Kind::kDeliver: {
-        {
-          std::lock_guard<std::mutex> guard{runtime_.stats_mutex_};
-          ++runtime_.stats_.messages_delivered;
-        }
+        runtime_.metrics_.on_deliver(item.channel.value(),
+                                     traffic_class(item.message.kind),
+                                     item.wire_bytes);
         process_->on_message(*context_, item.channel, std::move(item.message));
         break;
       }
@@ -228,7 +238,10 @@ void Runtime::Worker::thread_main() {
 
 Runtime::Runtime(Topology topology, std::vector<ProcessPtr> processes,
                  RuntimeConfig config)
-    : topology_(std::move(topology)), config_(config) {
+    : topology_(std::move(topology)),
+      config_(config),
+      metrics_("threads", topology_.num_processes(),
+               channel_meta(topology_)) {
   DDBG_ASSERT(processes.size() == topology_.num_processes(),
               "one Process per topology process required");
   Rng root(config_.seed);
@@ -290,11 +303,6 @@ Process& Runtime::process(ProcessId id) {
   return workers_[id.value()]->process();
 }
 
-TransportStats Runtime::stats() const {
-  std::lock_guard<std::mutex> guard{stats_mutex_};
-  return stats_;
-}
-
 TimePoint Runtime::now() const {
   const auto elapsed = SteadyClock::now() - epoch_;
   return TimePoint{
@@ -308,12 +316,11 @@ void Runtime::do_send(ProcessId sender, ChannelId channel, Message message) {
   if (message.message_id == 0) {
     message.message_id = next_message_id_.fetch_add(1);
   }
-  {
-    std::lock_guard<std::mutex> guard{stats_mutex_};
-    stats_.note_send(message);
-  }
+  const auto wire_bytes = static_cast<std::uint32_t>(message.encoded_size());
+  metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
   workers_[spec.destination.value()]->push_delivery(channel,
-                                                    std::move(message));
+                                                    std::move(message),
+                                                    wire_bytes);
 }
 
 }  // namespace ddbg

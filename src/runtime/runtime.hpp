@@ -67,7 +67,13 @@ class Runtime {
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] Process& process(ProcessId id);
-  [[nodiscard]] TransportStats stats() const;
+  [[nodiscard]] TransportStats stats() const {
+    return transport_stats_from(metrics_);
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
   [[nodiscard]] TimePoint now() const;
 
  private:
@@ -78,14 +84,12 @@ class Runtime {
 
   Topology topology_;
   RuntimeConfig config_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> next_message_id_{1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point epoch_;
-
-  mutable std::mutex stats_mutex_;
-  TransportStats stats_;
 };
 
 }  // namespace ddbg

@@ -133,6 +133,9 @@ class TcpProcessContext final : public ProcessContext {
   }
   void cancel_timer(TimerId timer) override { worker_.cancel_timer(timer); }
   [[nodiscard]] Rng& rng() override { return worker_.rng(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    return &worker_.runtime().metrics();
+  }
   void stop_self() override {}
 
  private:
@@ -305,10 +308,9 @@ void TcpRuntime::Worker::parse_frames(std::size_t slot) {
                    << ": " << message.error().to_string();
       continue;
     }
-    {
-      std::lock_guard<std::mutex> guard{runtime_.stats_mutex_};
-      ++runtime_.stats_.messages_delivered;
-    }
+    runtime_.metrics_.on_deliver(in_channels_[slot].value(),
+                                 traffic_class(message.value().kind),
+                                 frame_len);
     process_->on_message(*context_, in_channels_[slot],
                          std::move(message).value());
   }
@@ -325,6 +327,8 @@ void TcpRuntime::Worker::drain_fd(std::size_t slot) {
         ::recv(in_fds_[slot], chunk, sizeof(chunk), MSG_DONTWAIT);
     if (n > 0) {
       in_buffers_[slot].insert(in_buffers_[slot].end(), chunk, chunk + n);
+      runtime_.metrics_.observe_backlog(in_channels_[slot].value(),
+                                        in_buffers_[slot].size());
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -381,7 +385,9 @@ void TcpRuntime::Worker::thread_main() {
 
 TcpRuntime::TcpRuntime(Topology topology, std::vector<ProcessPtr> processes,
                        TcpRuntimeConfig config)
-    : topology_(std::move(topology)), config_(config) {
+    : topology_(std::move(topology)),
+      config_(config),
+      metrics_("tcp", topology_.num_processes(), channel_meta(topology_)) {
   DDBG_ASSERT(processes.size() == topology_.num_processes(),
               "one Process per topology process required");
   Rng root(config_.seed);
@@ -474,11 +480,6 @@ Process& TcpRuntime::process(ProcessId id) {
   return workers_[id.value()]->process();
 }
 
-TransportStats TcpRuntime::stats() const {
-  std::lock_guard<std::mutex> guard{stats_mutex_};
-  return stats_;
-}
-
 TimePoint TcpRuntime::now() const {
   const auto elapsed = SteadyClock::now() - epoch_;
   return TimePoint{
@@ -493,14 +494,11 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
   if (message.message_id == 0) {
     message.message_id = next_message_id_.fetch_add(1);
   }
-  {
-    std::lock_guard<std::mutex> guard{stats_mutex_};
-    stats_.note_send(message);
-  }
   ByteWriter writer;
   message.encode(writer);
   const Bytes& body = writer.buffer();
   const auto frame_len = static_cast<std::uint32_t>(body.size());
+  metrics_.on_send(channel.value(), traffic_class(message.kind), frame_len);
   Bytes frame;
   frame.reserve(4 + body.size());
   frame.resize(4);
@@ -509,8 +507,17 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
   const int fd = channel_fd_[channel.value()];
   DDBG_ASSERT(fd >= 0, "channel not connected");
   // Only the source process's thread writes to this fd, so frames are
-  // never interleaved.
-  if (!write_all(fd, frame.data(), frame.size())) {
+  // never interleaved.  The send-blocked clock brackets the write: on
+  // loopback it is normally ~0, and it surfaces the time a sender spends
+  // wedged against a full socket buffer (a halted or slow receiver).
+  const auto write_start = SteadyClock::now();
+  const bool wrote = write_all(fd, frame.data(), frame.size());
+  metrics_.add_send_blocked(
+      channel.value(),
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now() - write_start)
+          .count());
+  if (!wrote) {
     // Failed writes are expected while shutting down (channels are
     // half-closed to unblock writers); only a live-system failure is news.
     if (!stopped_.load(std::memory_order_relaxed)) {

@@ -55,7 +55,13 @@ class TcpRuntime {
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] Process& process(ProcessId id);
-  [[nodiscard]] TransportStats stats() const;
+  [[nodiscard]] TransportStats stats() const {
+    return transport_stats_from(metrics_);
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
   [[nodiscard]] TimePoint now() const;
 
  private:
@@ -66,6 +72,7 @@ class TcpRuntime {
 
   Topology topology_;
   TcpRuntimeConfig config_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
   // fd of the sending end of each channel (owned by the source's worker).
   std::vector<int> channel_fd_;
@@ -73,9 +80,6 @@ class TcpRuntime {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point epoch_;
-
-  mutable std::mutex stats_mutex_;
-  TransportStats stats_;
 };
 
 }  // namespace ddbg

@@ -32,6 +32,10 @@ class SimProcessContext final : public ProcessContext {
 
   [[nodiscard]] Rng& rng() override { return rng_; }
 
+  [[nodiscard]] obs::MetricsRegistry* metrics() const override {
+    return &sim_.metrics_;
+  }
+
   void stop_self() override { stopped_ = true; }
   [[nodiscard]] bool stopped() const { return stopped_; }
 
@@ -47,7 +51,8 @@ Simulation::Simulation(Topology topology, std::vector<ProcessPtr> processes,
     : topology_(std::move(topology)),
       processes_(std::move(processes)),
       config_(std::move(config)),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      metrics_("sim", topology_.num_processes(), channel_meta(topology_)) {
   DDBG_ASSERT(processes_.size() == topology_.num_processes(),
               "one Process per topology process required");
   if (!config_.latency) {
@@ -142,6 +147,7 @@ void Simulation::preload_channel(ChannelId channel, Bytes payload) {
   Message message = Message::application(std::move(payload));
   message.message_id = next_message_id_++;
   ++channel_in_flight_[channel.value()];
+  const auto wire_bytes = static_cast<std::uint32_t>(message.encoded_size());
 
   auto event = std::make_unique<Event>();
   // Delivered at t=0 after the on_start events (which were queued first),
@@ -151,6 +157,7 @@ void Simulation::preload_channel(ChannelId channel, Bytes payload) {
   event->target = spec.destination;
   event->channel = channel;
   event->message = std::move(message);
+  event->wire_bytes = wire_bytes;
   push_event(std::move(event));
 }
 
@@ -184,7 +191,9 @@ void Simulation::dispatch(Event& event) {
       const std::size_t c = event.channel.value();
       DDBG_ASSERT(channel_in_flight_[c] > 0, "delivery without a send");
       --channel_in_flight_[c];
-      ++stats_.messages_delivered;
+      metrics_.on_deliver(event.channel.value(),
+                          traffic_class(event.message.kind),
+                          event.wire_bytes);
       if (observer_ != nullptr) {
         observer_->on_deliver(now_, event.channel, event.message);
       }
@@ -219,7 +228,8 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   // with receives; everything else (markers, control) gets a transport id.
   if (message.message_id == 0) message.message_id = next_message_id_++;
 
-  stats_.note_send(message);
+  const auto wire_bytes = static_cast<std::uint32_t>(message.encoded_size());
+  metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
   if (observer_ != nullptr) observer_->on_send(now_, channel, message);
 
   // Latency is drawn from a stateless per-message stream keyed by
@@ -242,6 +252,8 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   clear_time = deliver_at;
 
   ++channel_in_flight_[channel.value()];
+  metrics_.observe_backlog(channel.value(),
+                           channel_in_flight_[channel.value()]);
 
   auto event = std::make_unique<Event>();
   event->when = deliver_at;
@@ -249,6 +261,7 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   event->target = spec.destination;
   event->channel = channel;
   event->message = std::move(message);
+  event->wire_bytes = wire_bytes;
   push_event(std::move(event));
 }
 

@@ -78,7 +78,13 @@ class Simulation {
   [[nodiscard]] TimePoint now() const { return now_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] Process& process(ProcessId id);
-  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] TransportStats stats() const {
+    return transport_stats_from(metrics_);
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
   [[nodiscard]] std::size_t in_flight(ChannelId channel) const;
   [[nodiscard]] std::size_t total_in_flight() const;
   [[nodiscard]] std::uint64_t events_processed() const {
@@ -97,6 +103,9 @@ class Simulation {
     ProcessId target;
     ChannelId channel;
     Message message;
+    // Wire-encoded size, computed once at send time so delivery accounting
+    // does not re-encode the message.
+    std::uint32_t wire_bytes = 0;
     TimerId timer;
     std::function<void()> call;
     std::function<void(ProcessContext&, Process&)> closure;
@@ -138,7 +147,7 @@ class Simulation {
   // Per-channel send counts, keying the stateless latency streams.
   std::vector<std::uint64_t> channel_send_seq_;
 
-  TransportStats stats_;
+  obs::MetricsRegistry metrics_;
   TransportObserver* observer_ = nullptr;
   std::uint64_t events_processed_ = 0;
 };

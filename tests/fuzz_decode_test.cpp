@@ -97,5 +97,137 @@ TEST_P(FuzzDecode, BitFlipsOfValidCommandsFailCleanlyOrRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode,
                          ::testing::Values(1u, 2u, 3u, 4u));
 
+// Boundary-value corpus: crafted inputs at the edges of the varint and
+// length-prefix encodings.  These target the exact overflow modes random
+// fuzzing is unlikely to hit: length prefixes near UINT64_MAX (where
+// `pos_ + len` wraps) and 10-byte varints whose spare bits do not fit in
+// 64 bits.
+
+// A varint-encoded length claiming nearly UINT64_MAX bytes must fail the
+// bounds check, not wrap it.
+TEST(DecodeBoundary, HugeLengthPrefixFailsStr) {
+  for (const std::uint64_t len :
+       {~0ULL, ~0ULL - 1, ~0ULL - 7, 1ULL << 63, (1ULL << 32) + 1}) {
+    ByteWriter writer;
+    writer.varint(len);
+    writer.u8('x');  // a few real bytes after the lying prefix
+    writer.u8('y');
+    const Bytes encoded = std::move(writer).take();
+    ByteReader reader(encoded);
+    auto result = reader.str();
+    EXPECT_FALSE(result.ok()) << "len=" << len;
+  }
+}
+
+TEST(DecodeBoundary, HugeLengthPrefixFailsBytes) {
+  for (const std::uint64_t len : {~0ULL, ~0ULL - 3, 1ULL << 62}) {
+    ByteWriter writer;
+    writer.varint(len);
+    writer.u8(0xaa);
+    const Bytes encoded = std::move(writer).take();
+    ByteReader reader(encoded);
+    auto result = reader.bytes();
+    EXPECT_FALSE(result.ok()) << "len=" << len;
+  }
+}
+
+// The length that would make `pos_ + len` exactly wrap to a small value.
+TEST(DecodeBoundary, WrappingLengthPrefixFails) {
+  ByteWriter writer;
+  writer.varint(0);  // placeholder; rebuilt below with a precise length
+  Bytes prefix;
+  {
+    // After reading the varint, pos_ is the prefix size; a length of
+    // (UINT64_MAX - pos_ + 1) makes pos_ + len == 0 under wraparound.
+    ByteWriter w;
+    w.varint(~0ULL - 9);  // 10-byte varint, so pos_ == 10 after the read
+    prefix = std::move(w).take();
+    ASSERT_EQ(prefix.size(), 10u);
+  }
+  ByteReader reader(prefix);
+  auto result = reader.bytes();
+  EXPECT_FALSE(result.ok());
+}
+
+// Canonical UINT64_MAX: nine 0xff continuation bytes, final byte 0x01.
+TEST(DecodeBoundary, MaxVarintRoundTrips) {
+  for (const std::uint64_t v :
+       {~0ULL, ~0ULL - 1, 1ULL << 63, (1ULL << 63) - 1}) {
+    ByteWriter writer;
+    writer.varint(v);
+    const Bytes encoded = std::move(writer).take();
+    ByteReader reader(encoded);
+    auto result = reader.varint();
+    ASSERT_TRUE(result.ok()) << "v=" << v;
+    EXPECT_EQ(result.value(), v);
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+// Ten-byte varints whose tenth byte carries payload bits beyond bit 63
+// (0x7e mask) encode values that cannot fit in a u64; accepting them would
+// silently truncate.  Before the fix these decoded to wrong values.
+TEST(DecodeBoundary, TenByteVarintWithSpareBitsRejected) {
+  for (const std::uint8_t last : {0x02, 0x03, 0x7e, 0x7f}) {
+    Bytes encoded(9, 0xff);
+    encoded.push_back(last);
+    ByteReader reader(encoded);
+    auto result = reader.varint();
+    EXPECT_FALSE(result.ok()) << "last=" << static_cast<int>(last);
+  }
+}
+
+// An eleventh byte is always too long, whatever the bits.
+TEST(DecodeBoundary, ElevenByteVarintRejected) {
+  Bytes encoded(10, 0x80);  // ten continuation bytes with zero payload
+  encoded.push_back(0x01);
+  ByteReader reader(encoded);
+  auto result = reader.varint();
+  EXPECT_FALSE(result.ok());
+}
+
+// Truncated prefixes: the varint length parses but the payload is short.
+TEST(DecodeBoundary, TruncatedLengthPrefixFailsCleanly) {
+  ByteWriter writer;
+  writer.str("hello world");
+  Bytes encoded = std::move(writer).take();
+  for (std::size_t cut = 1; cut < encoded.size(); ++cut) {
+    Bytes truncated(encoded.begin(),
+                    encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+    ByteReader reader(truncated);
+    auto result = reader.str();
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(DecodeBoundary, TruncatedFixedWidthFailsCleanly) {
+  ByteWriter writer;
+  writer.u64(0x1122334455667788ULL);
+  Bytes encoded = std::move(writer).take();
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Bytes truncated(encoded.begin(),
+                    encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+    ByteReader reader(truncated);
+    EXPECT_FALSE(reader.u64().ok()) << "cut=" << cut;
+  }
+}
+
+// A message whose embedded string length claims UINT64_MAX must fail the
+// whole decode, not crash.  (Message layout: kind byte first; the payload
+// length prefix is deeper in, so craft via a valid message then stomp the
+// length varint region with a maximal one.)
+TEST(DecodeBoundary, MessageWithHugePayloadLengthFails) {
+  // Build directly: a bytes field with a lying length inside an otherwise
+  // plausible buffer exercises the same reader path Message::decode uses.
+  ByteWriter writer;
+  writer.u8(0);  // plausible leading byte
+  writer.varint(~0ULL);
+  for (int i = 0; i < 16; ++i) writer.u8(0xee);
+  const Bytes encoded = std::move(writer).take();
+  ByteReader reader(encoded);
+  (void)reader.u8();
+  EXPECT_FALSE(reader.bytes().ok());
+}
+
 }  // namespace
 }  // namespace ddbg

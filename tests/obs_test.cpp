@@ -1,0 +1,284 @@
+// Observability layer: MetricsRegistry unit tests, snapshot/JSON schema
+// sanity, and counter parity — the same deterministic workload must
+// produce the same traffic counters on the simulator, the threaded
+// runtime and the TCP runtime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/tcp_runtime.hpp"
+#include "sim/simulation.hpp"
+#include "workload/behaviors.hpp"
+
+namespace ddbg {
+namespace {
+
+constexpr Duration kWait = Duration::seconds(20);
+
+// Traffic-class indices (pinned to MessageKind by a static_assert in
+// net/transport_hooks.hpp).
+constexpr std::uint8_t kApp = 0;
+constexpr std::uint8_t kControl = 4;
+
+obs::MetricsRegistry make_registry() {
+  // Two processes, channel 0: 0 -> 1 (app), channel 1: 1 -> 0 (control).
+  std::vector<obs::ChannelMeta> meta;
+  meta.push_back(obs::ChannelMeta{0, 1, false});
+  meta.push_back(obs::ChannelMeta{1, 0, true});
+  return obs::MetricsRegistry("sim", 2, std::move(meta));
+}
+
+TEST(Metrics, CountersAccumulatePerChannelAndClass) {
+  obs::MetricsRegistry registry = make_registry();
+  registry.on_send(0, kApp, 10);
+  registry.on_send(0, kApp, 14);
+  registry.on_deliver(0, kApp, 10);
+  registry.on_send(1, kControl, 7);
+  registry.observe_backlog(0, 3);
+  registry.observe_backlog(0, 1);
+  registry.add_send_blocked(1, 500);
+  registry.observe_queue_depth(1, 9);
+
+  const obs::TotalsSnapshot totals = registry.totals();
+  EXPECT_EQ(totals.sent[kApp], 2u);
+  EXPECT_EQ(totals.sent[kControl], 1u);
+  EXPECT_EQ(totals.delivered[kApp], 1u);
+  EXPECT_EQ(totals.messages_sent, 3u);
+  EXPECT_EQ(totals.messages_delivered, 1u);
+  EXPECT_EQ(totals.bytes_sent, 31u);
+  EXPECT_EQ(totals.bytes_delivered, 10u);
+
+  const obs::MetricsSnapshot snap = registry.snapshot(TimePoint{1000});
+  ASSERT_EQ(snap.channels.size(), 2u);
+  EXPECT_EQ(snap.channels[0].sent[kApp], 2u);
+  EXPECT_EQ(snap.channels[0].bytes_sent, 24u);
+  EXPECT_EQ(snap.channels[0].max_backlog, 3u);
+  EXPECT_FALSE(snap.channels[0].is_control);
+  EXPECT_EQ(snap.channels[1].sent[kControl], 1u);
+  EXPECT_EQ(snap.channels[1].send_blocked_ns, 500u);
+  EXPECT_TRUE(snap.channels[1].is_control);
+
+  // Per-process attribution: process 0 sent on channel 0 and received on
+  // channel 1; process 1 the reverse.
+  ASSERT_EQ(snap.processes.size(), 2u);
+  EXPECT_EQ(snap.processes[0].sent[kApp], 2u);
+  EXPECT_EQ(snap.processes[0].delivered[kControl], 0u);
+  EXPECT_EQ(snap.processes[1].delivered[kApp], 1u);
+  EXPECT_EQ(snap.processes[1].sent[kControl], 1u);
+  EXPECT_EQ(snap.processes[1].max_queue_depth, 9u);
+  EXPECT_EQ(snap.elapsed_ns, 1000);
+}
+
+TEST(Metrics, SpanLifecycle) {
+  obs::MetricsRegistry registry = make_registry();
+  registry.span_begin(obs::Span::kHaltWave, 1, TimePoint{100});
+  registry.span_end(obs::Span::kHaltWave, 1, TimePoint{350});
+  const obs::LatencyStat& stat = registry.span_stat(obs::Span::kHaltWave);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_EQ(stat.total_ns(), 250u);
+  EXPECT_EQ(stat.min_ns(), 250u);
+  EXPECT_EQ(stat.max_ns(), 250u);
+}
+
+TEST(Metrics, SpanEndWithoutBeginIsNoOp) {
+  obs::MetricsRegistry registry = make_registry();
+  registry.span_end(obs::Span::kArm, 42, TimePoint{500});
+  EXPECT_EQ(registry.span_stat(obs::Span::kArm).count(), 0u);
+}
+
+TEST(Metrics, SpanEarliestBeginWins) {
+  obs::MetricsRegistry registry = make_registry();
+  registry.span_begin(obs::Span::kArm, 7, TimePoint{100});
+  registry.span_begin(obs::Span::kArm, 7, TimePoint{900});  // ignored
+  registry.span_end(obs::Span::kArm, 7, TimePoint{1100});
+  const obs::LatencyStat& stat = registry.span_stat(obs::Span::kArm);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_EQ(stat.total_ns(), 1000u);
+}
+
+TEST(Metrics, EmptyLatencyStatReportsZeroMin) {
+  obs::LatencyStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.min_ns(), 0u);
+  EXPECT_EQ(stat.max_ns(), 0u);
+}
+
+TEST(Metrics, SpanKeyPacksPair) {
+  EXPECT_EQ(obs::MetricsRegistry::key(0, 0), 0u);
+  EXPECT_EQ(obs::MetricsRegistry::key(1, 2), (1ULL << 32) | 2);
+  EXPECT_NE(obs::MetricsRegistry::key(1, 2), obs::MetricsRegistry::key(2, 1));
+}
+
+TEST(Metrics, JsonSchemaStableAndWellFormed) {
+  obs::MetricsRegistry registry = make_registry();
+  registry.on_send(0, kApp, 12);
+  registry.on_deliver(0, kApp, 12);
+  registry.span_begin(obs::Span::kHaltWave, 1, TimePoint{0});
+  registry.span_end(obs::Span::kHaltWave, 1, TimePoint{777});
+
+  const std::string a = registry.snapshot(TimePoint{5000}).to_json();
+  const std::string b = registry.snapshot(TimePoint{5000}).to_json();
+  // Byte-identical for identical state: the schema promises stability.
+  EXPECT_EQ(a, b);
+
+  EXPECT_NE(a.find("\"schema\":\"ddbg.metrics.v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"runtime\":\"sim\""), std::string::npos);
+  EXPECT_NE(a.find("\"elapsed_ns\":5000"), std::string::npos);
+  EXPECT_NE(a.find("\"totals\":"), std::string::npos);
+  EXPECT_NE(a.find("\"processes\":["), std::string::npos);
+  EXPECT_NE(a.find("\"channels\":["), std::string::npos);
+  EXPECT_NE(a.find("\"latencies\":"), std::string::npos);
+  EXPECT_NE(a.find("\"halt_wave\":"), std::string::npos);
+  EXPECT_EQ(a.front(), '{');
+  EXPECT_EQ(a.back(), '}');
+  // Balanced braces and brackets (no nesting tricks in this schema).
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : a) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // Integer-only schema: the only dots are the two in the schema string.
+  EXPECT_EQ(std::count(a.begin(), a.end(), '.'), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Counter parity across runtimes.
+//
+// A token ring of n processes running r rounds sends exactly n*r
+// application messages (token values 1..n*r, the last one retiring the
+// token), whatever substrate executes it.  The observability layer must
+// report the same counters from all three.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kRingSize = 4;
+constexpr std::uint32_t kRounds = 5;
+constexpr std::uint64_t kExpectedTokens = kRingSize * kRounds;
+
+TokenRingConfig ring_config() {
+  TokenRingConfig config;
+  config.rounds = kRounds;
+  config.hop_delay = Duration::millis(1);
+  return config;
+}
+
+std::uint64_t total_tokens(const std::vector<TokenRingProcess*>& procs) {
+  std::uint64_t total = 0;
+  for (const TokenRingProcess* p : procs) total += p->tokens_seen();
+  return total;
+}
+
+// Collects raw pointers before the ProcessPtrs are moved into a runtime.
+std::vector<TokenRingProcess*> ring_pointers(
+    const std::vector<ProcessPtr>& processes) {
+  std::vector<TokenRingProcess*> pointers;
+  for (const auto& p : processes) {
+    pointers.push_back(dynamic_cast<TokenRingProcess*>(p.get()));
+  }
+  return pointers;
+}
+
+void check_ring_totals(const obs::MetricsSnapshot& snap) {
+  std::uint64_t app_sent = 0;
+  std::uint64_t app_delivered = 0;
+  std::uint64_t other = 0;
+  for (std::size_t cls = 0; cls < obs::kNumTrafficClasses; ++cls) {
+    if (cls == kApp) {
+      app_sent = snap.totals.sent[cls];
+      app_delivered = snap.totals.delivered[cls];
+    } else {
+      other += snap.totals.sent[cls] + snap.totals.delivered[cls];
+    }
+  }
+  EXPECT_EQ(app_sent, kExpectedTokens);
+  EXPECT_EQ(app_delivered, kExpectedTokens);
+  EXPECT_EQ(other, 0u) << "plain workload must have no marker/control traffic";
+  EXPECT_EQ(snap.totals.bytes_sent, snap.totals.bytes_delivered);
+  EXPECT_EQ(snap.processes.size(), kRingSize);
+  // Each ring process forwards kRounds tokens (p0's first launch included).
+  for (const auto& process : snap.processes) {
+    EXPECT_EQ(process.sent[kApp], kRounds);
+    EXPECT_EQ(process.delivered[kApp], kRounds);
+  }
+}
+
+obs::MetricsSnapshot run_ring_sim() {
+  Simulation sim(Topology::ring(kRingSize),
+                 make_token_ring(kRingSize, ring_config()));
+  sim.run_for(Duration::seconds(2));
+  return sim.metrics().snapshot(sim.now());
+}
+
+obs::MetricsSnapshot run_ring_threads() {
+  auto processes = make_token_ring(kRingSize, ring_config());
+  const auto pointers = ring_pointers(processes);
+  Runtime runtime(Topology::ring(kRingSize), std::move(processes));
+  runtime.start();
+  EXPECT_TRUE(Runtime::wait_until(
+      [&] { return total_tokens(pointers) == kExpectedTokens; }, kWait));
+  runtime.shutdown();
+  return runtime.metrics().snapshot(runtime.now());
+}
+
+obs::MetricsSnapshot run_ring_tcp() {
+  auto processes = make_token_ring(kRingSize, ring_config());
+  const auto pointers = ring_pointers(processes);
+  TcpRuntime runtime(Topology::ring(kRingSize), std::move(processes));
+  EXPECT_TRUE(runtime.start());
+  EXPECT_TRUE(TcpRuntime::wait_until(
+      [&] { return total_tokens(pointers) == kExpectedTokens; }, kWait));
+  runtime.shutdown();
+  return runtime.metrics().snapshot(runtime.now());
+}
+
+TEST(MetricsParity, SimTokenRingCounters) { check_ring_totals(run_ring_sim()); }
+
+TEST(MetricsParity, RuntimeTokenRingCounters) {
+  check_ring_totals(run_ring_threads());
+}
+
+TEST(MetricsParity, TcpRuntimeTokenRingCounters) {
+  check_ring_totals(run_ring_tcp());
+}
+
+TEST(MetricsParity, IdenticalWorkloadIdenticalBytesAcrossRuntimes) {
+  const obs::MetricsSnapshot sim = run_ring_sim();
+  const obs::MetricsSnapshot threads = run_ring_threads();
+  const obs::MetricsSnapshot tcp = run_ring_tcp();
+  // All three account message bytes as the encoded message size (the TCP
+  // runtime excludes its 4-byte frame prefix), so byte counters agree
+  // exactly, not just message counts.
+  EXPECT_EQ(sim.totals.bytes_sent, threads.totals.bytes_sent);
+  EXPECT_EQ(sim.totals.bytes_sent, tcp.totals.bytes_sent);
+  EXPECT_EQ(sim.totals.messages_sent, threads.totals.messages_sent);
+  EXPECT_EQ(sim.totals.messages_sent, tcp.totals.messages_sent);
+  EXPECT_EQ(sim.runtime, "sim");
+  EXPECT_EQ(threads.runtime, "threads");
+  EXPECT_EQ(tcp.runtime, "tcp");
+}
+
+// The TransportStats compatibility view must agree with the registry it is
+// derived from.
+TEST(MetricsParity, TransportStatsViewMatchesRegistry) {
+  Simulation sim(Topology::ring(kRingSize),
+                 make_token_ring(kRingSize, ring_config()));
+  sim.run_for(Duration::seconds(2));
+  const TransportStats stats = sim.stats();
+  const obs::TotalsSnapshot totals = sim.metrics().totals();
+  EXPECT_EQ(stats.messages_sent, totals.messages_sent);
+  EXPECT_EQ(stats.bytes_sent, totals.bytes_sent);
+  EXPECT_EQ(stats.app_messages_sent, totals.sent[kApp]);
+  EXPECT_EQ(stats.messages_sent, kExpectedTokens);
+}
+
+}  // namespace
+}  // namespace ddbg

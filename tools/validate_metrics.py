@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json metrics files against the ddbg schemas.
+
+Checks the "ddbg.bench.metrics.v1" envelope and every embedded
+"ddbg.metrics.v1" snapshot: required keys, integer-only counters, traffic
+classes, per-channel/per-process shape and cross-checked totals.
+
+Usage:  tools/validate_metrics.py BENCH_e7_overhead.json [more.json ...]
+Exits non-zero on the first malformed file.  Stdlib only.
+"""
+import json
+import sys
+
+TRAFFIC_CLASSES = [
+    "app", "halt_marker", "snapshot_marker", "predicate_marker", "control",
+]
+SPAN_NAMES = ["halt_wave", "snapshot_wave", "breakpoint_notify", "arm"]
+LATENCY_KEYS = {"count", "total_ns", "min_ns", "max_ns"}
+RUNTIMES = {"sim", "threads", "tcp"}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def expect(cond, message):
+    if not cond:
+        raise ValidationError(message)
+
+
+def check_class_counts(obj, where):
+    for direction in ("sent", "delivered"):
+        counts = obj.get(direction)
+        expect(isinstance(counts, dict), f"{where}: missing '{direction}'")
+        expect(set(counts) == set(TRAFFIC_CLASSES),
+               f"{where}: '{direction}' classes {sorted(counts)} != "
+               f"{sorted(TRAFFIC_CLASSES)}")
+        for name, value in counts.items():
+            expect(isinstance(value, int) and value >= 0,
+                   f"{where}: {direction}.{name} not a non-negative int")
+
+
+def check_latency(obj, where):
+    expect(isinstance(obj, dict) and set(obj) == LATENCY_KEYS,
+           f"{where}: latency keys {sorted(obj) if isinstance(obj, dict) else obj}")
+    for key, value in obj.items():
+        expect(isinstance(value, int) and value >= 0,
+               f"{where}: {key} not a non-negative int")
+    if obj["count"] == 0:
+        expect(obj["total_ns"] == 0 and obj["min_ns"] == 0,
+               f"{where}: empty stat with non-zero total/min")
+    else:
+        expect(obj["min_ns"] <= obj["max_ns"], f"{where}: min > max")
+        expect(obj["total_ns"] >= obj["max_ns"], f"{where}: total < max")
+
+
+def check_snapshot(snap, where):
+    expect(snap.get("schema") == "ddbg.metrics.v1",
+           f"{where}: schema {snap.get('schema')!r}")
+    expect(snap.get("runtime") in RUNTIMES,
+           f"{where}: runtime {snap.get('runtime')!r}")
+    expect(isinstance(snap.get("elapsed_ns"), int),
+           f"{where}: elapsed_ns not an int")
+
+    totals = snap.get("totals")
+    expect(isinstance(totals, dict), f"{where}: missing totals")
+    check_class_counts(totals, f"{where}.totals")
+    for key in ("messages_sent", "messages_delivered", "bytes_sent",
+                "bytes_delivered"):
+        expect(isinstance(totals.get(key), int) and totals[key] >= 0,
+               f"{where}.totals: {key} not a non-negative int")
+    expect(totals["messages_sent"] ==
+           sum(totals["sent"][c] for c in TRAFFIC_CLASSES),
+           f"{where}.totals: messages_sent != sum of classes")
+    expect(totals["messages_delivered"] ==
+           sum(totals["delivered"][c] for c in TRAFFIC_CLASSES),
+           f"{where}.totals: messages_delivered != sum of classes")
+
+    processes = snap.get("processes")
+    expect(isinstance(processes, list), f"{where}: missing processes")
+    for i, proc in enumerate(processes):
+        pwhere = f"{where}.processes[{i}]"
+        expect(isinstance(proc.get("id"), int), f"{pwhere}: missing id")
+        check_class_counts(proc, pwhere)
+        for key in ("bytes_sent", "bytes_delivered", "max_queue_depth"):
+            expect(isinstance(proc.get(key), int) and proc[key] >= 0,
+                   f"{pwhere}: {key} not a non-negative int")
+
+    channels = snap.get("channels")
+    expect(isinstance(channels, list), f"{where}: missing channels")
+    channel_bytes_sent = 0
+    for i, chan in enumerate(channels):
+        cwhere = f"{where}.channels[{i}]"
+        for key in ("id", "source", "destination"):
+            expect(isinstance(chan.get(key), int), f"{cwhere}: missing {key}")
+        expect(isinstance(chan.get("control"), bool),
+               f"{cwhere}: control not a bool")
+        check_class_counts(chan, cwhere)
+        for key in ("bytes_sent", "bytes_delivered", "send_blocked_ns",
+                    "max_backlog"):
+            expect(isinstance(chan.get(key), int) and chan[key] >= 0,
+                   f"{cwhere}: {key} not a non-negative int")
+        channel_bytes_sent += chan["bytes_sent"]
+    expect(channel_bytes_sent == totals["bytes_sent"],
+           f"{where}: per-channel bytes_sent does not sum to totals")
+
+    latencies = snap.get("latencies")
+    expect(isinstance(latencies, dict) and set(latencies) == set(SPAN_NAMES),
+           f"{where}: latencies keys "
+           f"{sorted(latencies) if isinstance(latencies, dict) else latencies}")
+    for name in SPAN_NAMES:
+        check_latency(latencies[name], f"{where}.latencies.{name}")
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    expect(doc.get("schema") == "ddbg.bench.metrics.v1",
+           f"envelope schema {doc.get('schema')!r}")
+    expect(isinstance(doc.get("bench"), str) and doc["bench"],
+           "envelope missing bench name")
+    runs = doc.get("runs")
+    expect(isinstance(runs, list), "envelope missing runs array")
+    for i, run in enumerate(runs):
+        expect(isinstance(run.get("label"), str) and run["label"],
+               f"runs[{i}]: missing label")
+        expect(isinstance(run.get("metrics"), dict),
+               f"runs[{i}]: missing metrics object")
+        check_snapshot(run["metrics"], f"runs[{i}]({run['label']})")
+    return len(runs)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            count = check_file(path)
+        except (ValidationError, json.JSONDecodeError, OSError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            return 1
+        print(f"ok   {path}: {count} runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,123 @@
+// A free list of Bytes buffers with capacity retention, so hot paths that
+// encode a message per send stop paying a heap allocation per message:
+// after warmup every acquire() hands back a buffer whose capacity already
+// fits a typical frame.
+//
+// NOT thread-safe by design.  Each runtime worker owns its own pool and
+// only that worker's thread touches it, so the free list needs no lock —
+// a shared pool would reintroduce the per-send lock this exists to remove.
+//
+// Buffers travel inside a move-only Lease (RAII): dropping the lease
+// returns the buffer to the pool, take() detaches it for call sites that
+// must keep the bytes alive past the lease.  Oversized buffers (a giant
+// one-off payload) are not retained, so a single outlier cannot pin its
+// capacity in the pool forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/serialization.hpp"
+
+namespace ddbg {
+
+class BufferPool {
+ public:
+  struct Config {
+    // Free-list depth: more than the deepest burst a single handler emits.
+    std::size_t max_buffers = 32;
+    // Buffers that grew past this are freed instead of retained.
+    std::size_t max_retained_capacity = 1u << 20;  // 1 MiB
+  };
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          buffer_(std::move(other.buffer_)),
+          reused_(other.reused_) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        buffer_ = std::move(other.buffer_);
+        reused_ = other.reused_;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] Bytes& bytes() { return buffer_; }
+    [[nodiscard]] const Bytes& bytes() const { return buffer_; }
+    // Whether acquire() was served from the free list (pool hit).
+    [[nodiscard]] bool reused() const { return reused_; }
+
+    // Detach the buffer; it will not return to the pool.
+    [[nodiscard]] Bytes take() && {
+      pool_ = nullptr;
+      return std::move(buffer_);
+    }
+
+   private:
+    friend class BufferPool;
+    Lease(BufferPool* pool, Bytes buffer, bool reused)
+        : pool_(pool), buffer_(std::move(buffer)), reused_(reused) {}
+
+    void release() {
+      if (pool_ != nullptr) pool_->recycle(std::move(buffer_));
+      pool_ = nullptr;
+    }
+
+    BufferPool* pool_ = nullptr;
+    Bytes buffer_;
+    bool reused_ = false;
+  };
+
+  BufferPool() = default;
+  explicit BufferPool(Config config) : config_(config) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // An empty buffer, recycled (capacity retained, contents cleared) when
+  // the free list has one, freshly allocated otherwise.
+  [[nodiscard]] Lease acquire() {
+    if (!free_.empty()) {
+      Bytes buffer = std::move(free_.back());
+      free_.pop_back();
+      buffer.clear();
+      ++hits_;
+      return Lease(this, std::move(buffer), true);
+    }
+    ++misses_;
+    return Lease(this, Bytes{}, false);
+  }
+
+  // Local accounting for unit tests and diagnostics; runtimes report pool
+  // behavior through their MetricsRegistry (the common layer must not
+  // depend on obs).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+
+ private:
+  void recycle(Bytes buffer) {
+    if (free_.size() >= config_.max_buffers ||
+        buffer.capacity() > config_.max_retained_capacity) {
+      return;  // dropped: the vector frees itself
+    }
+    free_.push_back(std::move(buffer));
+  }
+
+  Config config_;
+  std::vector<Bytes> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ddbg

@@ -22,7 +22,13 @@ using Bytes = std::vector<std::uint8_t>;
 
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+  // Encode into an existing buffer, appending after its current contents
+  // (e.g. a pooled frame that already holds a length-prefix placeholder).
+  // The writer must not outlive `external`; take() is owning-mode only.
+  explicit ByteWriter(Bytes& external) : out_(&external) {}
+
+  void u8(std::uint8_t v) { buf().push_back(v); }
 
   void u16(std::uint16_t v) { append_le(v); }
   void u32(std::uint32_t v) { append_le(v); }
@@ -38,35 +44,42 @@ class ByteWriter {
   // Unsigned LEB128.
   void varint(std::uint64_t v) {
     while (v >= 0x80) {
-      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      buf().push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
     }
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf().push_back(static_cast<std::uint8_t>(v));
   }
 
   void str(std::string_view s) {
     varint(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    buf().insert(buf().end(), s.begin(), s.end());
   }
 
   void bytes(std::span<const std::uint8_t> data) {
     varint(data.size());
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    buf().insert(buf().end(), data.begin(), data.end());
   }
 
-  [[nodiscard]] Bytes take() && { return std::move(buf_); }
-  [[nodiscard]] const Bytes& buffer() const { return buf_; }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] Bytes take() && { return std::move(own_); }
+  [[nodiscard]] const Bytes& buffer() const {
+    return out_ != nullptr ? *out_ : own_;
+  }
+  // In external mode this includes whatever the buffer held before the
+  // writer was attached.
+  [[nodiscard]] std::size_t size() const { return buffer().size(); }
 
  private:
+  [[nodiscard]] Bytes& buf() { return out_ != nullptr ? *out_ : own_; }
+
   template <typename T>
   void append_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      buf().push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   }
 
-  Bytes buf_;
+  Bytes own_;
+  Bytes* out_ = nullptr;
 };
 
 class ByteReader {

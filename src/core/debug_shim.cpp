@@ -237,12 +237,10 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
 
   if (message.kind == MessageKind::kHaltMarker) {
     DDBG_ASSERT(message.halt.has_value(), "halt marker without data");
-    if (halted() && message.halt->halt_id.value() > halting_->last_halt_id()) {
-      // A marker for a *later* wave while still halted in the current one:
-      // it stays in the channel and is replayed after resume.
-      (void)halting_->intercept_message(in, message);
-      return;
-    }
+    // Always the engine's call — including a marker for a *later* wave
+    // while still halted in the current one, which the engine adopts in
+    // place (overlapping initiators must converge on the newest wave, not
+    // leave its markers wedged in the channel until resume).
     halting_->on_halt_marker(ctx, in, *message.halt);
     return;
   }

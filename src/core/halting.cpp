@@ -30,9 +30,17 @@ void HaltingEngine::on_halt_marker(ProcessContext& ctx, ChannelId in,
   if (data.halt_id.value() > last_halt_id_) {
     // New wave: adopt its id and halt.
     last_halt_id_ = data.halt_id.value();
-    snapshot_ = callbacks_.capture_state();
-    snapshot_.halt_path = data.halt_path;
-    halt_routine(ctx);
+    if (halted_) {
+      // Overlapping waves: a second initiator raced the first.  We are
+      // already halted, so the Halt Routine must not run again (it would
+      // re-enter the halted state illegally); adopt the newer wave in
+      // place instead.
+      adopt_wave(ctx, data);
+    } else {
+      snapshot_ = callbacks_.capture_state();
+      snapshot_.halt_path = data.halt_path;
+      halt_routine(ctx);
+    }
     // The channel the first marker arrived on is empty (the sender halted
     // immediately after sending it): mark it done with no recorded messages.
     channels_done_.insert(in);
@@ -47,6 +55,40 @@ void HaltingEngine::on_halt_marker(ProcessContext& ctx, ChannelId in,
   }
   // Marker for an older wave (or for the current id while running, which
   // cannot happen with per-wave ids): ignore, per the Marker-Receiving Rule.
+}
+
+void HaltingEngine::adopt_wave(ProcessContext& ctx,
+                               const HaltMarkerData& data) {
+  // Already halted when a newer wave's marker arrives.  The process state
+  // is unchanged — it was captured when we halted and nothing has run
+  // since — so it stands for the new wave too; only the wave bookkeeping
+  // restarts.  Everything buffered while halted is still logically in its
+  // channel, so it seeds the new wave's channel-state records (Lemma 2.2:
+  // those messages arrive before the new wave's markers).
+  completion_reported_ = false;
+  channels_done_.clear();
+  snapshot_.halt_path = data.halt_path;
+  snapshot_.captured_at = ctx.now();
+  for (ChannelState& state : snapshot_.in_channels) state.messages.clear();
+  for (const auto& [channel, message] : buffered_) {
+    if (message.kind != MessageKind::kApplication) continue;
+    const std::size_t slot = channel.value() < channel_slot_.size()
+                                 ? channel_slot_[channel.value()]
+                                 : SIZE_MAX;
+    if (slot != SIZE_MAX) {
+      snapshot_.in_channels[slot].messages.push_back(message.payload);
+    }
+  }
+  // Forward the new wave's markers exactly as the Halt Routine would,
+  // extending the halt path with our own name (section 2.2.4).
+  std::vector<ProcessId> path = data.halt_path;
+  path.push_back(self_);
+  for (const ChannelId c : topology_->out_channels(self_)) {
+    ctx.send(c, Message::halt_marker(HaltId(last_halt_id_), path));
+  }
+  if (callbacks_.on_halt) {
+    callbacks_.on_halt(HaltId(last_halt_id_), snapshot_.halt_path);
+  }
 }
 
 void HaltingEngine::halt_routine(ProcessContext& ctx) {

@@ -92,6 +92,10 @@ class HaltingEngine {
 
  private:
   void halt_routine(ProcessContext& ctx);
+  // Switch an already-halted process onto a newer wave: restart the wave
+  // bookkeeping and forward the new markers without re-running the Halt
+  // Routine (which asserts it is never entered twice).
+  void adopt_wave(ProcessContext& ctx, const HaltMarkerData& data);
   void check_complete();
   [[nodiscard]] bool is_app_channel(ChannelId c) const;
 

@@ -102,6 +102,16 @@ MetricsSnapshot MetricsRegistry::snapshot(TimePoint now) const {
   snap.runtime = runtime_label_;
   snap.elapsed_ns = now.ns;
 
+  snap.transport.pool_hits = transport_.pool_hits.get();
+  snap.transport.pool_misses = transport_.pool_misses.get();
+  snap.transport.deliver_batches = transport_.deliver_batches.get();
+  snap.transport.deliver_batch_messages =
+      transport_.deliver_batch_messages.get();
+  snap.transport.max_deliver_batch = transport_.max_deliver_batch.get();
+  snap.transport.write_batches = transport_.write_batches.get();
+  snap.transport.write_batch_frames = transport_.write_batch_frames.get();
+  snap.transport.max_write_batch = transport_.max_write_batch.get();
+
   snap.channels.resize(channels_.size());
   snap.processes.resize(process_queue_depth_.size());
   for (std::size_t i = 0; i < snap.processes.size(); ++i) {
@@ -182,6 +192,24 @@ std::string MetricsSnapshot::to_json() const {
   append_class_counts(out, "sent", totals.sent);
   out += ',';
   append_class_counts(out, "delivered", totals.delivered);
+  out += '}';
+
+  out += ",\"transport\":{\"pool_hits\":";
+  append_u64(out, transport.pool_hits);
+  out += ",\"pool_misses\":";
+  append_u64(out, transport.pool_misses);
+  out += ",\"deliver_batches\":";
+  append_u64(out, transport.deliver_batches);
+  out += ",\"deliver_batch_messages\":";
+  append_u64(out, transport.deliver_batch_messages);
+  out += ",\"max_deliver_batch\":";
+  append_u64(out, transport.max_deliver_batch);
+  out += ",\"write_batches\":";
+  append_u64(out, transport.write_batches);
+  out += ",\"write_batch_frames\":";
+  append_u64(out, transport.write_batch_frames);
+  out += ",\"max_write_batch\":";
+  append_u64(out, transport.max_write_batch);
   out += '}';
 
   out += ",\"processes\":[";

@@ -187,10 +187,26 @@ struct TotalsSnapshot {
   std::uint64_t bytes_delivered = 0;
 };
 
+// Message-pipeline mechanics: encode-buffer pool reuse and batching on the
+// delivery and socket-write paths.  These quantify the hot-path overhaul
+// the per-channel traffic counters cannot see (a pooled send and a
+// malloc-per-send both count one message).
+struct TransportSnapshot {
+  std::uint64_t pool_hits = 0;    // encode buffer served from the free list
+  std::uint64_t pool_misses = 0;  // encode buffer freshly allocated
+  std::uint64_t deliver_batches = 0;        // handler-dispatch batches
+  std::uint64_t deliver_batch_messages = 0; // messages across those batches
+  std::uint64_t max_deliver_batch = 0;
+  std::uint64_t write_batches = 0;        // socket writes (one sendmsg each)
+  std::uint64_t write_batch_frames = 0;   // frames across those writes
+  std::uint64_t max_write_batch = 0;
+};
+
 struct MetricsSnapshot {
   std::string runtime;  // "sim" | "threads" | "tcp"
   std::int64_t elapsed_ns = 0;
   TotalsSnapshot totals;
+  TransportSnapshot transport;
   std::vector<ProcessSnapshotCounters> processes;
   std::vector<ChannelSnapshot> channels;
   LatencySnapshot spans[kNumSpans];
@@ -239,6 +255,22 @@ class MetricsRegistry {
                            std::uint64_t depth) noexcept {
     process_queue_depth_[process].observe(depth);
   }
+  // Transport-mechanics counters.  Unlike the per-channel cells these are
+  // shared across worker threads, so the relaxed atomic add is contended —
+  // still correct, and these fire at most once per batch/send.
+  void on_pool_acquire(bool hit) noexcept {
+    (hit ? transport_.pool_hits : transport_.pool_misses).inc();
+  }
+  void on_deliver_batch(std::size_t messages) noexcept {
+    transport_.deliver_batches.inc();
+    transport_.deliver_batch_messages.add(messages);
+    transport_.max_deliver_batch.observe(messages);
+  }
+  void on_write_batch(std::size_t frames) noexcept {
+    transport_.write_batches.inc();
+    transport_.write_batch_frames.add(frames);
+    transport_.max_write_batch.observe(frames);
+  }
 
   // ---- latency spans (rare control-plane events; mutex-guarded) ----
   // Opens a span unless one with the same key is already open (the
@@ -277,10 +309,22 @@ class MetricsRegistry {
     MaxGauge max_backlog;
   };
 
+  struct TransportCells {
+    Counter pool_hits;
+    Counter pool_misses;
+    Counter deliver_batches;
+    Counter deliver_batch_messages;
+    MaxGauge max_deliver_batch;
+    Counter write_batches;
+    Counter write_batch_frames;
+    MaxGauge max_write_batch;
+  };
+
   std::string runtime_label_;
   std::vector<ChannelMeta> meta_;
   std::vector<ChannelCells> channels_;
   std::vector<MaxGauge> process_queue_depth_;
+  TransportCells transport_;
 
   LatencyStat span_stats_[kNumSpans];
   std::mutex span_mutex_;

@@ -4,9 +4,12 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <unordered_map>
 #include <utility>
 
+#include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
+#include "common/serialization.hpp"
 
 namespace ddbg {
 
@@ -39,6 +42,9 @@ class Runtime::Worker {
   [[nodiscard]] Runtime& runtime() { return runtime_; }
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  // Encode-buffer pool for sends issued from this worker's thread; only
+  // that thread may touch it.
+  [[nodiscard]] BufferPool& pool() { return pool_; }
 
  private:
   struct Item {
@@ -51,22 +57,27 @@ class Runtime::Worker {
   };
 
   void thread_main();
-  // Pops the next runnable item, waiting for messages or timer deadlines.
-  // Returns false when the worker is stopping.
-  bool next_item(Item& out);
+  // Fills `out` with the next runnable work: the whole inbox swapped out
+  // under one lock acquisition (from_inbox=true), or a single due timer.
+  // Blocks until work arrives; returns false when the worker is stopping.
+  bool next_batch(std::deque<Item>& out, bool& from_inbox);
 
   Runtime& runtime_;
   ProcessId id_;
   ProcessPtr process_;
   Rng rng_;
   std::unique_ptr<ThreadProcessContext> context_;
+  BufferPool pool_;
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Item> inbox_;
-  // Pending timers ordered by deadline; TimerId breaks ties.
+  // Pending timers ordered by deadline; TimerId breaks ties.  The index
+  // maps a timer id back to its deadline so cancel_timer erases the exact
+  // map key instead of scanning.
   std::map<std::pair<SteadyClock::time_point, std::uint32_t>, TimerId>
       timers_;
+  std::unordered_map<std::uint32_t, SteadyClock::time_point> timer_deadline_;
   bool stopping_ = false;
 
   std::thread thread_;
@@ -164,13 +175,13 @@ void Runtime::Worker::push_closure(
 }
 
 TimerId Runtime::Worker::add_timer(Duration delay) {
-  static std::atomic<std::uint32_t> next_timer{1};
-  const TimerId id(next_timer.fetch_add(1));
+  const TimerId id(runtime_.next_timer_id_.fetch_add(1));
   const auto deadline =
       SteadyClock::now() + std::chrono::nanoseconds(delay.ns);
   {
     std::lock_guard<std::mutex> guard{mutex_};
     timers_.emplace(std::make_pair(deadline, id.value()), id);
+    timer_deadline_.emplace(id.value(), deadline);
   }
   cv_.notify_one();
   return id;
@@ -178,29 +189,34 @@ TimerId Runtime::Worker::add_timer(Duration delay) {
 
 void Runtime::Worker::cancel_timer(TimerId timer) {
   std::lock_guard<std::mutex> guard{mutex_};
-  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
-    if (it->second == timer) {
-      timers_.erase(it);
-      return;
-    }
-  }
+  const auto it = timer_deadline_.find(timer.value());
+  if (it == timer_deadline_.end()) return;  // already fired or cancelled
+  timers_.erase(std::make_pair(it->second, timer.value()));
+  timer_deadline_.erase(it);
 }
 
-bool Runtime::Worker::next_item(Item& out) {
+bool Runtime::Worker::next_batch(std::deque<Item>& out, bool& from_inbox) {
   std::unique_lock<std::mutex> lock{mutex_};
   while (true) {
     if (stopping_) return false;
     if (!inbox_.empty()) {
-      out = std::move(inbox_.front());
-      inbox_.pop_front();
+      // Swap the whole inbox out: the batch dispatches lock-free while
+      // senders refill a fresh deque.  Messages keep priority over due
+      // timers, exactly as the one-item-per-lock loop behaved.
+      out.swap(inbox_);
+      from_inbox = true;
       return true;
     }
     if (!timers_.empty()) {
       const auto deadline = timers_.begin()->first.first;
       if (SteadyClock::now() >= deadline) {
-        out.kind = Item::Kind::kTimer;
-        out.timer = timers_.begin()->second;
+        Item item;
+        item.kind = Item::Kind::kTimer;
+        item.timer = timers_.begin()->second;
+        timer_deadline_.erase(item.timer.value());
         timers_.erase(timers_.begin());
+        out.push_back(std::move(item));
+        from_inbox = false;
         return true;
       }
       cv_.wait_until(lock, deadline);
@@ -212,23 +228,33 @@ bool Runtime::Worker::next_item(Item& out) {
 
 void Runtime::Worker::thread_main() {
   process_->on_start(*context_);
-  Item item;
-  while (next_item(item)) {
-    switch (item.kind) {
-      case Item::Kind::kDeliver: {
-        runtime_.metrics_.on_deliver(item.channel.value(),
-                                     traffic_class(item.message.kind),
-                                     item.wire_bytes);
-        process_->on_message(*context_, item.channel, std::move(item.message));
-        break;
+  std::deque<Item> batch;
+  bool from_inbox = false;
+  while (next_batch(batch, from_inbox)) {
+    std::size_t deliveries = 0;
+    for (Item& item : batch) {
+      switch (item.kind) {
+        case Item::Kind::kDeliver: {
+          ++deliveries;
+          runtime_.metrics_.on_deliver(item.channel.value(),
+                                       traffic_class(item.message.kind),
+                                       item.wire_bytes);
+          process_->on_message(*context_, item.channel,
+                               std::move(item.message));
+          break;
+        }
+        case Item::Kind::kClosure:
+          item.closure(*context_, *process_);
+          break;
+        case Item::Kind::kTimer:
+          process_->on_timer(*context_, item.timer);
+          break;
       }
-      case Item::Kind::kClosure:
-        item.closure(*context_, *process_);
-        break;
-      case Item::Kind::kTimer:
-        process_->on_timer(*context_, item.timer);
-        break;
     }
+    if (from_inbox && deliveries > 0) {
+      runtime_.metrics_.on_deliver_batch(deliveries);
+    }
+    batch.clear();
   }
 }
 
@@ -316,7 +342,17 @@ void Runtime::do_send(ProcessId sender, ChannelId channel, Message message) {
   if (message.message_id == 0) {
     message.message_id = next_message_id_.fetch_add(1);
   }
-  const auto wire_bytes = static_cast<std::uint32_t>(message.encoded_size());
+  // Wire-size accounting encodes into the sending worker's pooled buffer
+  // (do_send runs on the sender's thread), so steady-state sends allocate
+  // nothing.
+  std::uint32_t wire_bytes = 0;
+  {
+    BufferPool::Lease lease = workers_[sender.value()]->pool().acquire();
+    metrics_.on_pool_acquire(lease.reused());
+    ByteWriter writer(lease.bytes());
+    message.encode(writer);
+    wire_bytes = static_cast<std::uint32_t>(writer.size());
+  }
   metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
   workers_[spec.destination.value()]->push_delivery(channel,
                                                     std::move(message),

@@ -87,6 +87,9 @@ class Runtime {
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> next_message_id_{1};
+  // Per-runtime (not static): ids restart at 1 for every instance, so runs
+  // are deterministic per instance and long test suites cannot wrap.
+  std::atomic<std::uint32_t> next_timer_id_{1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point epoch_;

@@ -14,14 +14,20 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
 #include "common/serialization.hpp"
+#include "net/framing.hpp"
 
 namespace ddbg {
 
 namespace {
 
 using SteadyClock = std::chrono::steady_clock;
+
+// Frames batched into one sendmsg call; small because a handler rarely
+// emits more, and each iovec points at a whole frame (header included).
+constexpr std::size_t kMaxWriteBatch = 16;
 
 // Write the whole buffer, retrying on short writes.  Loopback writes of
 // debugger-sized frames essentially never block for long.  MSG_NOSIGNAL:
@@ -38,6 +44,38 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
       return false;
     }
     written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Gathered write of `count` iovecs totalling `total` bytes, retrying on
+// short writes by advancing the iovec array in place.  sendmsg rather than
+// writev so the write keeps MSG_NOSIGNAL (writev has no flags parameter,
+// and a dead peer must fail the send, not SIGPIPE the process).
+bool write_all_iov(int fd, iovec* iov, std::size_t count, std::size_t total) {
+  std::size_t written = 0;
+  while (written < total) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+    std::size_t advance = static_cast<std::size_t>(n);
+    while (advance > 0 && count > 0) {
+      if (advance >= iov[0].iov_len) {
+        advance -= iov[0].iov_len;
+        ++iov;
+        --count;
+      } else {
+        iov[0].iov_base = static_cast<std::uint8_t*>(iov[0].iov_base) + advance;
+        iov[0].iov_len -= advance;
+        advance = 0;
+      }
+    }
   }
   return true;
 }
@@ -76,17 +114,27 @@ class TcpRuntime::Worker {
   TimerId add_timer(Duration delay);
   void cancel_timer(TimerId timer);
 
+  // Encode `message` into a pooled frame and queue it for flush_sends().
+  // Runs on this worker's own thread only (the sender's), like all sends.
+  void stage_send(ChannelId channel, int fd, const Message& message);
+
   [[nodiscard]] Process& process() { return *process_; }
   [[nodiscard]] TcpRuntime& runtime() { return runtime_; }
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::uint64_t poll_iterations() const {
+    return poll_iterations_.load(std::memory_order_relaxed);
+  }
 
  private:
   void thread_main();
   void wake();
-  void drain_fd(std::size_t slot);
+  // Returns false once nothing more will arrive on the slot's fd (peer
+  // closed, error, or corrupt framing): the caller retires it.
+  [[nodiscard]] bool drain_fd(std::size_t slot);
   void parse_frames(std::size_t slot);
   void fire_due_timers();
+  void flush_sends();
   [[nodiscard]] int poll_timeout_ms();
 
   TcpRuntime& runtime_;
@@ -100,16 +148,29 @@ class TcpRuntime::Worker {
   int pipe_read_ = -1;
   int pipe_write_ = -1;
 
-  // Inbound connections, parallel arrays: fd, channel, receive buffer.
+  // Inbound connections, parallel arrays: fd, channel, frame reassembly.
   std::vector<int> in_fds_;
   std::vector<ChannelId> in_channels_;
-  std::vector<Bytes> in_buffers_;
+  std::vector<FrameParser> in_parsers_;
+
+  // Outbound frames staged by this worker's handlers since the last flush.
+  // Thread-local by construction (only this worker's thread stages and
+  // flushes), so no lock.
+  struct PendingSend {
+    ChannelId channel;
+    int fd = -1;
+    BufferPool::Lease frame;
+  };
+  std::vector<PendingSend> pending_sends_;
+  BufferPool pool_;
 
   std::mutex mutex_;
   std::deque<std::function<void(ProcessContext&, Process&)>> closures_;
   std::map<std::pair<SteadyClock::time_point, std::uint32_t>, TimerId>
       timers_;
+  std::unordered_map<std::uint32_t, SteadyClock::time_point> timer_deadline_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> poll_iterations_{0};
 
   std::thread thread_;
 };
@@ -205,7 +266,7 @@ bool TcpRuntime::Worker::accept_inbound() {
     std::memcpy(&channel_id, hello, sizeof(channel_id));
     in_fds_.push_back(fd);
     in_channels_.push_back(ChannelId(channel_id));
-    in_buffers_.emplace_back();
+    in_parsers_.emplace_back();
   }
   return true;
 }
@@ -241,13 +302,13 @@ void TcpRuntime::Worker::push_closure(
 }
 
 TimerId TcpRuntime::Worker::add_timer(Duration delay) {
-  static std::atomic<std::uint32_t> next_timer{1};
-  const TimerId id(next_timer.fetch_add(1));
+  const TimerId id(runtime_.next_timer_id_.fetch_add(1));
   const auto deadline =
       SteadyClock::now() + std::chrono::nanoseconds(delay.ns);
   {
     std::lock_guard<std::mutex> guard{mutex_};
     timers_.emplace(std::make_pair(deadline, id.value()), id);
+    timer_deadline_.emplace(id.value(), deadline);
   }
   wake();
   return id;
@@ -255,12 +316,10 @@ TimerId TcpRuntime::Worker::add_timer(Duration delay) {
 
 void TcpRuntime::Worker::cancel_timer(TimerId timer) {
   std::lock_guard<std::mutex> guard{mutex_};
-  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
-    if (it->second == timer) {
-      timers_.erase(it);
-      return;
-    }
-  }
+  const auto it = timer_deadline_.find(timer.value());
+  if (it == timer_deadline_.end()) return;  // already fired or cancelled
+  timers_.erase(std::make_pair(it->second, timer.value()));
+  timer_deadline_.erase(it);
 }
 
 int TcpRuntime::Worker::poll_timeout_ms() {
@@ -286,6 +345,7 @@ void TcpRuntime::Worker::fire_due_timers() {
         return;
       }
       due = timers_.begin()->second;
+      timer_deadline_.erase(due.value());
       timers_.erase(timers_.begin());
     }
     process_->on_timer(*context_, due);
@@ -293,60 +353,133 @@ void TcpRuntime::Worker::fire_due_timers() {
 }
 
 void TcpRuntime::Worker::parse_frames(std::size_t slot) {
-  Bytes& buffer = in_buffers_[slot];
-  std::size_t offset = 0;
-  while (buffer.size() - offset >= 4) {
-    std::uint32_t frame_len = 0;
-    std::memcpy(&frame_len, buffer.data() + offset, sizeof(frame_len));
-    if (buffer.size() - offset - 4 < frame_len) break;
-    ByteReader reader(
-        std::span<const std::uint8_t>(buffer.data() + offset + 4, frame_len));
+  FrameParser& parser = in_parsers_[slot];
+  std::size_t frames = 0;
+  while (const auto body = parser.next()) {
+    ByteReader reader(*body);
     auto message = Message::decode(reader);
-    offset += 4 + frame_len;
     if (!message.ok()) {
       DDBG_ERROR() << "tcp: bad frame on " << to_string(in_channels_[slot])
                    << ": " << message.error().to_string();
       continue;
     }
+    ++frames;
     runtime_.metrics_.on_deliver(in_channels_[slot].value(),
                                  traffic_class(message.value().kind),
-                                 frame_len);
+                                 static_cast<std::uint32_t>(body->size()));
     process_->on_message(*context_, in_channels_[slot],
                          std::move(message).value());
   }
-  if (offset > 0) {
-    buffer.erase(buffer.begin(),
-                 buffer.begin() + static_cast<std::ptrdiff_t>(offset));
-  }
+  if (frames > 0) runtime_.metrics_.on_deliver_batch(frames);
 }
 
-void TcpRuntime::Worker::drain_fd(std::size_t slot) {
+bool TcpRuntime::Worker::drain_fd(std::size_t slot) {
+  FrameParser& parser = in_parsers_[slot];
   std::uint8_t chunk[4096];
+  bool alive = true;
   while (true) {
     const ssize_t n =
         ::recv(in_fds_[slot], chunk, sizeof(chunk), MSG_DONTWAIT);
     if (n > 0) {
-      in_buffers_[slot].insert(in_buffers_[slot].end(), chunk, chunk + n);
+      parser.append(
+          std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
       runtime_.metrics_.observe_backlog(in_channels_[slot].value(),
-                                        in_buffers_[slot].size());
+                                        parser.buffered_bytes());
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     // Peer closed (or error): nothing more will arrive on this channel.
+    alive = false;
     break;
   }
   parse_frames(slot);
+  if (parser.corrupt()) {
+    DDBG_ERROR() << "tcp: frame length " << parser.rejected_frame_len()
+                 << " exceeds cap on " << to_string(in_channels_[slot])
+                 << "; dropping connection";
+    alive = false;
+  }
+  return alive;
+}
+
+void TcpRuntime::Worker::stage_send(ChannelId channel, int fd,
+                                    const Message& message) {
+  BufferPool::Lease lease = pool_.acquire();
+  runtime_.metrics_.on_pool_acquire(lease.reused());
+  Bytes& frame = lease.bytes();
+  const std::size_t header_at = begin_frame(frame);
+  ByteWriter writer(frame);
+  message.encode(writer);
+  end_frame(frame, header_at);
+  runtime_.metrics_.on_send(
+      channel.value(), traffic_class(message.kind),
+      static_cast<std::uint32_t>(frame.size() - kFrameHeaderSize));
+  PendingSend pending;
+  pending.channel = channel;
+  pending.fd = fd;
+  pending.frame = std::move(lease);
+  pending_sends_.push_back(std::move(pending));
+}
+
+void TcpRuntime::Worker::flush_sends() {
+  std::size_t i = 0;
+  while (i < pending_sends_.size()) {
+    // Group the run of consecutive frames bound for the same fd (one
+    // channel — each fd realizes exactly one channel) into a gathered
+    // write, so a handler that emits a burst pays one syscall, not one
+    // per message.
+    const int fd = pending_sends_[i].fd;
+    const ChannelId channel = pending_sends_[i].channel;
+    std::size_t count = 1;
+    while (i + count < pending_sends_.size() && count < kMaxWriteBatch &&
+           pending_sends_[i + count].fd == fd) {
+      ++count;
+    }
+    iovec iov[kMaxWriteBatch];
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      Bytes& frame = pending_sends_[i + k].frame.bytes();
+      iov[k].iov_base = frame.data();
+      iov[k].iov_len = frame.size();
+      total += frame.size();
+    }
+    // Only this worker's thread writes to the fd, so frames are never
+    // interleaved.  The send-blocked clock brackets the write: on loopback
+    // it is normally ~0, and it surfaces the time a sender spends wedged
+    // against a full socket buffer (a halted or slow receiver).
+    const auto write_start = SteadyClock::now();
+    const bool wrote = write_all_iov(fd, iov, count, total);
+    runtime_.metrics_.add_send_blocked(
+        channel.value(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - write_start)
+            .count());
+    runtime_.metrics_.on_write_batch(count);
+    if (!wrote) {
+      // Failed writes are expected while shutting down (channels are
+      // half-closed to unblock writers); only a live-system failure is
+      // news.
+      if (!runtime_.stopped_.load(std::memory_order_relaxed)) {
+        DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
+      }
+    }
+    i += count;
+  }
+  pending_sends_.clear();
 }
 
 void TcpRuntime::Worker::thread_main() {
   process_->on_start(*context_);
+  flush_sends();
 
   std::vector<pollfd> fds;
   fds.push_back(pollfd{pipe_read_, POLLIN, 0});
   for (const int fd : in_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
 
+  std::deque<std::function<void(ProcessContext&, Process&)>> batch;
   while (!stopping_.load()) {
+    poll_iterations_.fetch_add(1, std::memory_order_relaxed);
     const int timeout = poll_timeout_ms();
     const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready < 0 && errno != EINTR) break;
@@ -357,26 +490,33 @@ void TcpRuntime::Worker::thread_main() {
       (void)!::read(pipe_read_, sink, sizeof(sink));
     }
 
-    // Run queued closures.
-    while (true) {
-      std::function<void(ProcessContext&, Process&)> closure;
-      {
-        std::lock_guard<std::mutex> guard{mutex_};
-        if (closures_.empty()) break;
-        closure = std::move(closures_.front());
-        closures_.pop_front();
-      }
-      closure(*context_, *process_);
+    // Run queued closures: swap the whole queue out under one lock and
+    // dispatch the batch lock-free while posters refill a fresh deque.
+    {
+      std::lock_guard<std::mutex> guard{mutex_};
+      batch.swap(closures_);
     }
+    for (auto& closure : batch) closure(*context_, *process_);
+    batch.clear();
 
     fire_due_timers();
 
     for (std::size_t i = 1; i < fds.size(); ++i) {
-      if (fds[i].revents & (POLLIN | POLLHUP)) drain_fd(i - 1);
+      // A retired slot keeps fd = -1: poll ignores negative fds, so a
+      // peer-closed connection cannot busy-spin the reactor with
+      // POLLIN|POLLHUP forever.
+      if (fds[i].fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP))) {
+        if (!drain_fd(i - 1)) fds[i].fd = -1;
+      }
       fds[i].revents = 0;
     }
     fds[0].revents = 0;
+
+    // Everything handlers staged this iteration leaves before the next
+    // poll sleep.
+    flush_sends();
   }
+  flush_sends();
 }
 
 // ---------------------------------------------------------------------------
@@ -494,36 +634,25 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
   if (message.message_id == 0) {
     message.message_id = next_message_id_.fetch_add(1);
   }
-  ByteWriter writer;
-  message.encode(writer);
-  const Bytes& body = writer.buffer();
-  const auto frame_len = static_cast<std::uint32_t>(body.size());
-  metrics_.on_send(channel.value(), traffic_class(message.kind), frame_len);
-  Bytes frame;
-  frame.reserve(4 + body.size());
-  frame.resize(4);
-  std::memcpy(frame.data(), &frame_len, sizeof(frame_len));
-  frame.insert(frame.end(), body.begin(), body.end());
   const int fd = channel_fd_[channel.value()];
   DDBG_ASSERT(fd >= 0, "channel not connected");
-  // Only the source process's thread writes to this fd, so frames are
-  // never interleaved.  The send-blocked clock brackets the write: on
-  // loopback it is normally ~0, and it surfaces the time a sender spends
-  // wedged against a full socket buffer (a halted or slow receiver).
-  const auto write_start = SteadyClock::now();
-  const bool wrote = write_all(fd, frame.data(), frame.size());
-  metrics_.add_send_blocked(
-      channel.value(),
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          SteadyClock::now() - write_start)
-          .count());
-  if (!wrote) {
-    // Failed writes are expected while shutting down (channels are
-    // half-closed to unblock writers); only a live-system failure is news.
-    if (!stopped_.load(std::memory_order_relaxed)) {
-      DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
-    }
-  }
+  // do_send runs on the sender's own worker thread, so the frame encodes
+  // into that worker's pooled buffer and queues for the next flush: a
+  // handler emitting several messages pays one gathered write, and
+  // steady-state sends allocate nothing.
+  workers_[sender.value()]->stage_send(channel, fd, message);
+}
+
+void TcpRuntime::half_close_channel(ChannelId channel) {
+  DDBG_ASSERT(channel.value() < channel_fd_.size(), "unknown channel");
+  const int fd = channel_fd_[channel.value()];
+  if (fd >= 0) ::shutdown(fd, SHUT_WR);
+}
+
+std::uint64_t TcpRuntime::poll_iterations() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->poll_iterations();
+  return total;
 }
 
 }  // namespace ddbg

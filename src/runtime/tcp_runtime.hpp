@@ -64,6 +64,15 @@ class TcpRuntime {
   }
   [[nodiscard]] TimePoint now() const;
 
+  // Fault injection for tests: half-close the sending side of `channel`
+  // so its destination observes EOF mid-run.  Subsequent sends on the
+  // channel fail (and are logged) like any dead-peer write.
+  void half_close_channel(ChannelId channel);
+  // Total reactor loop iterations across all workers — a diagnostic for
+  // busy-spin regressions (a dead fd left in the poll set makes this grow
+  // without bound while the runtime idles).  Not part of the metrics JSON.
+  [[nodiscard]] std::uint64_t poll_iterations() const;
+
  private:
   friend class TcpProcessContext;
   class Worker;
@@ -77,6 +86,9 @@ class TcpRuntime {
   // fd of the sending end of each channel (owned by the source's worker).
   std::vector<int> channel_fd_;
   std::atomic<std::uint64_t> next_message_id_{1};
+  // Per-runtime (not static): ids restart at 1 for every instance, so runs
+  // are deterministic per instance and long test suites cannot wrap.
+  std::atomic<std::uint32_t> next_timer_id_{1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point epoch_;

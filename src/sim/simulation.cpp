@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/serialization.hpp"
 
 namespace ddbg {
 
@@ -147,7 +148,14 @@ void Simulation::preload_channel(ChannelId channel, Bytes payload) {
   Message message = Message::application(std::move(payload));
   message.message_id = next_message_id_++;
   ++channel_in_flight_[channel.value()];
-  const auto wire_bytes = static_cast<std::uint32_t>(message.encoded_size());
+  std::uint32_t wire_bytes = 0;
+  {
+    BufferPool::Lease lease = pool_.acquire();
+    metrics_.on_pool_acquire(lease.reused());
+    ByteWriter writer(lease.bytes());
+    message.encode(writer);
+    wire_bytes = static_cast<std::uint32_t>(writer.size());
+  }
 
   auto event = std::make_unique<Event>();
   // Delivered at t=0 after the on_start events (which were queued first),
@@ -194,6 +202,10 @@ void Simulation::dispatch(Event& event) {
       metrics_.on_deliver(event.channel.value(),
                           traffic_class(event.message.kind),
                           event.wire_bytes);
+      // Event-at-a-time delivery: every batch is a single message, kept in
+      // the counters so the parity invariant (batch messages == deliveries)
+      // holds across all three runtimes.
+      metrics_.on_deliver_batch(1);
       if (observer_ != nullptr) {
         observer_->on_deliver(now_, event.channel, event.message);
       }
@@ -228,7 +240,16 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   // with receives; everything else (markers, control) gets a transport id.
   if (message.message_id == 0) message.message_id = next_message_id_++;
 
-  const auto wire_bytes = static_cast<std::uint32_t>(message.encoded_size());
+  // Wire-size accounting encodes into a pooled buffer so steady-state
+  // sends allocate nothing.
+  std::uint32_t wire_bytes = 0;
+  {
+    BufferPool::Lease lease = pool_.acquire();
+    metrics_.on_pool_acquire(lease.reused());
+    ByteWriter writer(lease.bytes());
+    message.encode(writer);
+    wire_bytes = static_cast<std::uint32_t>(writer.size());
+  }
   metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
   if (observer_ != nullptr) observer_->on_send(now_, channel, message);
 

@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -148,6 +149,9 @@ class Simulation {
   std::vector<std::uint64_t> channel_send_seq_;
 
   obs::MetricsRegistry metrics_;
+  // Wire-size accounting encodes every sent message; the pool keeps that
+  // from allocating per send.  Single-threaded like the simulator itself.
+  BufferPool pool_;
   TransportObserver* observer_ = nullptr;
   std::uint64_t events_processed_ = 0;
 };

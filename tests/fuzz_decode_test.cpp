@@ -3,9 +3,12 @@
 // attacker-ish data by definition: another machine produced it.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "core/commands.hpp"
 #include "core/predicate.hpp"
+#include "net/framing.hpp"
 #include "net/message.hpp"
 
 namespace ddbg {
@@ -227,6 +230,138 @@ TEST(DecodeBoundary, MessageWithHugePayloadLengthFails) {
   ByteReader reader(encoded);
   (void)reader.u8();
   EXPECT_FALSE(reader.bytes().ok());
+}
+
+// -- FrameParser: stream reassembly and the frame-length sanity cap --------
+
+namespace framing_test {
+
+Bytes make_frame(const Bytes& body) {
+  Bytes frame;
+  const std::size_t header_at = begin_frame(frame);
+  frame.insert(frame.end(), body.begin(), body.end());
+  end_frame(frame, header_at);
+  return frame;
+}
+
+}  // namespace framing_test
+
+TEST(FrameParser, SingleFrameRoundTrips) {
+  FrameParser parser;
+  const Bytes body{1, 2, 3, 4, 5};
+  const Bytes frame = framing_test::make_frame(body);
+  parser.append(frame);
+  const auto got = parser.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(std::equal(got->begin(), got->end(), body.begin(), body.end()));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(FrameParser, FrameSplitAcrossArbitraryAppendBoundaries) {
+  const Bytes body{10, 20, 30, 40, 50, 60, 70};
+  const Bytes frame = framing_test::make_frame(body);
+  // Every split point, including mid-header.
+  for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+    FrameParser parser;
+    parser.append(std::span<const std::uint8_t>(frame.data(), cut));
+    if (cut < frame.size()) {
+      EXPECT_FALSE(parser.next().has_value());
+    }
+    parser.append(
+        std::span<const std::uint8_t>(frame.data() + cut, frame.size() - cut));
+    const auto got = parser.next();
+    ASSERT_TRUE(got.has_value()) << "cut=" << cut;
+    EXPECT_TRUE(
+        std::equal(got->begin(), got->end(), body.begin(), body.end()));
+  }
+}
+
+TEST(FrameParser, BurstOfFramesInOneAppend) {
+  FrameParser parser;
+  Bytes stream;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const Bytes frame = framing_test::make_frame(Bytes(i + 1, i));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  parser.append(stream);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const auto got = parser.next();
+    ASSERT_TRUE(got.has_value()) << "frame " << int(i);
+    EXPECT_EQ(got->size(), static_cast<std::size_t>(i) + 1);
+  }
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParser, ZeroLengthBodyIsAValidFrame) {
+  FrameParser parser;
+  parser.append(framing_test::make_frame(Bytes{}));
+  const auto got = parser.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 0u);
+}
+
+TEST(FrameParser, OversizedFrameLengthMarksStreamCorrupt) {
+  FrameParser parser(/*max_frame_len=*/1024);
+  Bytes header(kFrameHeaderSize);
+  const std::uint32_t huge = 0xfffffff0u;
+  std::memcpy(header.data(), &huge, sizeof(huge));
+  parser.append(header);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.corrupt());
+  EXPECT_EQ(parser.rejected_frame_len(), huge);
+  // Corrupt is sticky: even a well-formed frame afterwards is not parsed
+  // (the transport must drop the connection).
+  parser.append(framing_test::make_frame(Bytes{1}));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.corrupt());
+}
+
+TEST(FrameParser, LengthJustAboveCapRejectedAtCapAccepted) {
+  FrameParser small(/*max_frame_len=*/8);
+  small.append(framing_test::make_frame(Bytes(9, 0x11)));
+  EXPECT_FALSE(small.next().has_value());
+  EXPECT_TRUE(small.corrupt());
+  EXPECT_EQ(small.rejected_frame_len(), 9u);
+
+  FrameParser exact(/*max_frame_len=*/8);
+  exact.append(framing_test::make_frame(Bytes(8, 0x11)));
+  EXPECT_TRUE(exact.next().has_value());
+  EXPECT_FALSE(exact.corrupt());
+}
+
+TEST(FrameParser, RandomChunkingNeverLosesOrCorruptsFrames) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    Bytes stream;
+    std::vector<std::size_t> sizes;
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t len = rng.next_below(100);
+      sizes.push_back(len);
+      const Bytes frame = framing_test::make_frame(
+          Bytes(len, static_cast<std::uint8_t>(i)));
+      stream.insert(stream.end(), frame.begin(), frame.end());
+    }
+    FrameParser parser;
+    std::size_t fed = 0;
+    std::size_t seen = 0;
+    while (seen < sizes.size()) {
+      if (fed < stream.size()) {
+        const std::size_t chunk =
+            std::min(stream.size() - fed, rng.next_below(64) + 1);
+        parser.append(
+            std::span<const std::uint8_t>(stream.data() + fed, chunk));
+        fed += chunk;
+      }
+      while (const auto got = parser.next()) {
+        ASSERT_LT(seen, sizes.size());
+        EXPECT_EQ(got->size(), sizes[seen]);
+        ++seen;
+      }
+      ASSERT_FALSE(parser.corrupt());
+    }
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+  }
 }
 
 }  // namespace

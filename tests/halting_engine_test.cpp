@@ -204,13 +204,77 @@ TEST(HaltingEngine, LaterWaveMarkerBufferedWhileHalted) {
   RingFixture fx;
   HaltingEngine engine = fx.make_engine();
   engine.initiate(fx.ctx);  // wave 1
-  // A wave-2 marker arriving while halted stays "in the channel" (the shim
-  // routes it through intercept_message).
+  // Anything offered to intercept_message while halted stays "in the
+  // channel" and comes back on resume — the generic buffering contract,
+  // whatever the message kind.  (The shim itself routes later-wave markers
+  // to on_halt_marker, which adopts the wave; see the tests below.)
   Message marker = Message::halt_marker(HaltId(2), {ProcessId(0)});
   EXPECT_TRUE(engine.intercept_message(fx.in_channel(), marker));
   const auto resume = engine.resume();
   ASSERT_EQ(resume.messages.size(), 1u);
   EXPECT_EQ(resume.messages[0].second.kind, MessageKind::kHaltMarker);
+}
+
+// Two initiators race: a wave-2 marker reaches a process already halted in
+// wave 1.  The engine must adopt the newer wave — not re-enter the Halt
+// Routine (which asserts against double entry) and not wedge the marker.
+TEST(HaltingEngine, NewerWaveMarkerWhileHaltedAdoptsWave) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);  // wave 1: spontaneous halt
+  ASSERT_TRUE(engine.halted());
+  ASSERT_EQ(fx.captures, 1);
+
+  engine.on_halt_marker(fx.ctx, fx.in_channel(),
+                        HaltMarkerData{HaltId(2), {ProcessId(0)}});
+
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(engine.last_halt_id(), 2u);
+  // State was captured once, at the original halt instant: nothing ran
+  // in between, so the wave-1 capture stands for wave 2.
+  EXPECT_EQ(fx.captures, 1);
+  // Both waves announced through on_halt...
+  ASSERT_EQ(fx.halts.size(), 2u);
+  EXPECT_EQ(fx.halts[0], HaltId(1));
+  EXPECT_EQ(fx.halts[1], HaltId(2));
+  // ...and both forwarded markers, the second with the new wave id and the
+  // initiator's path extended with our own name.
+  const auto markers = fx.ctx.halt_markers();
+  ASSERT_EQ(markers.size(), 2u);
+  EXPECT_EQ(markers[0].second.halt_id, HaltId(1));
+  EXPECT_EQ(markers[1].second.halt_id, HaltId(2));
+  ASSERT_EQ(markers[1].second.halt_path.size(), 2u);
+  EXPECT_EQ(markers[1].second.halt_path[0], ProcessId(0));
+  EXPECT_EQ(markers[1].second.halt_path[1], fx.self);
+  // The marker's channel closed wave 2's recording; with one in-channel
+  // the local snapshot is complete, for wave 2 only.
+  ASSERT_EQ(fx.completions.size(), 1u);
+  EXPECT_EQ(fx.completions[0].halt_path.size(), 1u);
+  EXPECT_EQ(fx.completions[0].halt_path[0], ProcessId(0));
+}
+
+TEST(HaltingEngine, AdoptedWaveReseedsChannelStateFromBufferedMessages) {
+  RingFixture fx;
+  HaltingEngine engine = fx.make_engine();
+  engine.initiate(fx.ctx);  // wave 1
+  // An application message arrives while halted: logically in the channel.
+  Message app = Message::application(Bytes{0x42});
+  EXPECT_TRUE(engine.intercept_message(fx.in_channel(), app));
+
+  engine.on_halt_marker(fx.ctx, fx.in_channel(),
+                        HaltMarkerData{HaltId(2), {ProcessId(0)}});
+
+  // Wave 2's channel state includes the buffered message: it was in the
+  // channel before wave 2's marker (Lemma 2.2).
+  ASSERT_EQ(fx.completions.size(), 1u);
+  ASSERT_EQ(fx.completions[0].in_channels.size(), 1u);
+  ASSERT_EQ(fx.completions[0].in_channels[0].messages.size(), 1u);
+  EXPECT_EQ(fx.completions[0].in_channels[0].messages[0], Bytes{0x42});
+  // Resume still replays it to the application exactly once.
+  const auto resume = engine.resume();
+  ASSERT_EQ(resume.messages.size(), 1u);
+  EXPECT_EQ(resume.messages[0].first, fx.in_channel());
+  EXPECT_EQ(resume.messages[0].second.kind, MessageKind::kApplication);
 }
 
 TEST(HaltingEngine, CompletionReportedOnce) {

@@ -353,6 +353,50 @@ TEST(HaltingSim, SimultaneousInitiationsMergeIntoOneWave) {
   }
 }
 
+// Regression: a halt marker for a *newer* wave reaching an
+// already-halted process must be adopted in place, not re-enter the Halt
+// Routine (which aborts on double entry) and not wedge in the channel.
+TEST(OverlappingHaltWave, NewerWaveReachesHaltedRingAndConverges) {
+  GossipConfig gossip;
+  Topology topology = Topology::ring(3);
+  std::vector<ProcessPtr> shims =
+      wrap_in_shims(topology, make_gossip(3, gossip));
+  Simulation sim(topology, std::move(shims));
+  sim.run_for(Duration::millis(20));
+
+  // Wave 1: p1 halts spontaneously; the ring converges.
+  sim.post(ProcessId(1), [](ProcessContext& ctx, Process& process) {
+    dynamic_cast<DebugShim&>(process).initiate_halt(ctx);
+  });
+  sim.run_for(Duration::millis(200));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dynamic_cast<DebugShim&>(sim.process(ProcessId(i))).halted());
+    ASSERT_EQ(dynamic_cast<DebugShim&>(sim.process(ProcessId(i)))
+                  .halting()
+                  .last_halt_id(),
+              1u);
+  }
+
+  // Wave 2 arrives while everyone is already halted: inject a crafted
+  // marker from p0 (as a racing second initiator's forwarded marker would
+  // look).  The closure runs in p0's process context even though p0 is
+  // halted, exactly like an engine-level send.
+  const ChannelId out = topology.out_channels(ProcessId(0))[0];
+  sim.post(ProcessId(0), [out](ProcessContext& ctx, Process&) {
+    ctx.send(out, Message::halt_marker(HaltId(2), {ProcessId(0)}));
+  });
+  sim.run_for(Duration::millis(200));
+
+  // No abort, everyone still halted, and the ring converged on wave 2 with
+  // complete channel state.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto& shim = dynamic_cast<DebugShim&>(sim.process(ProcessId(i)));
+    EXPECT_TRUE(shim.halted()) << "p" << i;
+    EXPECT_EQ(shim.halting().last_halt_id(), 2u) << "p" << i;
+    EXPECT_TRUE(shim.halting().complete()) << "p" << i;
+  }
+}
+
 TEST(HaltingSim, OrderedConjunctionHalts) {
   BankConfig bank;
   SimDebugHarness harness(Topology::complete(2), make_bank(2, bank),

@@ -130,6 +130,10 @@ TEST(Metrics, JsonSchemaStableAndWellFormed) {
   EXPECT_NE(a.find("\"runtime\":\"sim\""), std::string::npos);
   EXPECT_NE(a.find("\"elapsed_ns\":5000"), std::string::npos);
   EXPECT_NE(a.find("\"totals\":"), std::string::npos);
+  EXPECT_NE(a.find("\"transport\":"), std::string::npos);
+  EXPECT_NE(a.find("\"pool_hits\":"), std::string::npos);
+  EXPECT_NE(a.find("\"deliver_batches\":"), std::string::npos);
+  EXPECT_NE(a.find("\"write_batches\":"), std::string::npos);
   EXPECT_NE(a.find("\"processes\":["), std::string::npos);
   EXPECT_NE(a.find("\"channels\":["), std::string::npos);
   EXPECT_NE(a.find("\"latencies\":"), std::string::npos);
@@ -264,6 +268,47 @@ TEST(MetricsParity, IdenticalWorkloadIdenticalBytesAcrossRuntimes) {
   EXPECT_EQ(sim.runtime, "sim");
   EXPECT_EQ(threads.runtime, "threads");
   EXPECT_EQ(tcp.runtime, "tcp");
+}
+
+// Hot-path transport counters (pool + batching) must be populated by all
+// three runtimes and obey the same invariants: one pooled acquire per send
+// (misses bounded by warmup), batch-message totals equal to deliveries.
+void check_ring_transport(const obs::MetricsSnapshot& snap,
+                          bool has_write_path) {
+  const obs::TransportSnapshot& t = snap.transport;
+  // Every send encodes through exactly one pooled buffer.
+  EXPECT_EQ(t.pool_hits + t.pool_misses, snap.totals.messages_sent);
+  EXPECT_GT(t.pool_hits, 0u);
+  // Cold misses only: at most one buffer per worker pool warms up (the
+  // sim has a single pool and shows exactly one).
+  EXPECT_LE(t.pool_misses, kRingSize);
+  // Batched delivery accounts for every delivered message exactly once.
+  EXPECT_EQ(t.deliver_batch_messages, snap.totals.messages_delivered);
+  EXPECT_GT(t.deliver_batches, 0u);
+  EXPECT_GE(t.max_deliver_batch, 1u);
+  if (has_write_path) {
+    // The TCP runtime flushes every frame through a gathered write.
+    EXPECT_EQ(t.write_batch_frames, snap.totals.messages_sent);
+    EXPECT_GT(t.write_batches, 0u);
+    EXPECT_GE(t.max_write_batch, 1u);
+  } else {
+    // In-memory delivery: no socket write path, counters stay zero.
+    EXPECT_EQ(t.write_batches, 0u);
+    EXPECT_EQ(t.write_batch_frames, 0u);
+    EXPECT_EQ(t.max_write_batch, 0u);
+  }
+}
+
+TEST(MetricsParity, SimTransportCounters) {
+  check_ring_transport(run_ring_sim(), /*has_write_path=*/false);
+}
+
+TEST(MetricsParity, RuntimeTransportCounters) {
+  check_ring_transport(run_ring_threads(), /*has_write_path=*/false);
+}
+
+TEST(MetricsParity, TcpRuntimeTransportCounters) {
+  check_ring_transport(run_ring_tcp(), /*has_write_path=*/true);
 }
 
 // The TransportStats compatibility view must agree with the registry it is

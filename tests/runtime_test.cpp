@@ -137,6 +137,37 @@ TEST(Runtime, CancelledTimerDoesNotFire) {
   EXPECT_EQ(ticker_ptr->ticks.load(), 2);
 }
 
+// Regression: timer ids came from a static counter shared by every
+// runtime instance in the process, so a second runtime started at
+// whatever the first left off (non-deterministic ids, eventual wrap).
+// Ids must restart at 1 per instance.
+TEST(Runtime, TimerIdsRestartPerRuntimeInstance) {
+  class FirstTimerIdRecorder final : public Process {
+   public:
+    void on_start(ProcessContext& ctx) override {
+      first_id.store(ctx.set_timer(Duration::millis(1)).value());
+    }
+    void on_message(ProcessContext&, ChannelId, Message) override {}
+    void on_timer(ProcessContext&, TimerId) override { fired.store(true); }
+    std::atomic<std::uint32_t> first_id{0};
+    std::atomic<bool> fired{false};
+  };
+  for (int instance = 0; instance < 2; ++instance) {
+    Topology topology(1);
+    std::vector<ProcessPtr> processes;
+    auto recorder = std::make_unique<FirstTimerIdRecorder>();
+    FirstTimerIdRecorder* recorder_ptr = recorder.get();
+    processes.push_back(std::move(recorder));
+    Runtime runtime(std::move(topology), std::move(processes));
+    runtime.start();
+    ASSERT_TRUE(Runtime::wait_until(
+        [&] { return recorder_ptr->fired.load(); }, kWait));
+    runtime.shutdown();
+    EXPECT_EQ(recorder_ptr->first_id.load(), 1u)
+        << "instance " << instance;
+  }
+}
+
 TEST(Runtime, ShutdownIsIdempotentAndSafe) {
   Topology topology(2);
   topology.add_channel(ProcessId(0), ProcessId(1));

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <thread>
 
 #include "analysis/consistency.hpp"
 #include "core/debug_shim.hpp"
@@ -324,6 +326,83 @@ TEST(TcpRuntime, DestructorShutsDown) {
     ASSERT_TRUE(
         TcpRuntime::wait_until([&] { return p0->sent() >= 5; }, kWait));
   }  // ~TcpRuntime joins all workers and closes all sockets
+}
+
+// Regression: a peer-closed fd used to stay armed in the poll set, so the
+// reactor spun on POLLIN|POLLHUP at 100% CPU.  A retired slot must leave
+// the reactor blocking, and the remaining live channels must keep working.
+TEST(TcpRuntime, PeerCloseDoesNotBusySpinReactor) {
+  Topology topology(3);
+  topology.add_channel(ProcessId(0), ProcessId(1));  // ch0, will half-close
+  topology.add_channel(ProcessId(2), ProcessId(1));  // ch1, stays live
+  std::vector<ProcessPtr> processes;
+  processes.push_back(std::make_unique<StartBurst>(50));
+  auto counter = std::make_unique<Counter>();
+  Counter* counter_ptr = counter.get();
+  processes.push_back(std::move(counter));
+  processes.push_back(std::make_unique<Counter>());  // p2: sends on demand
+
+  TcpRuntime runtime(std::move(topology), std::move(processes));
+  ASSERT_TRUE(runtime.start());
+  ASSERT_TRUE(TcpRuntime::wait_until(
+      [&] { return counter_ptr->received.load() == 50; }, kWait));
+
+  // p1 observes EOF on ch0 and must retire the slot, then go back to
+  // blocking in poll.
+  runtime.half_close_channel(ChannelId(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const std::uint64_t idle_start = runtime.poll_iterations();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const std::uint64_t idle_iterations =
+      runtime.poll_iterations() - idle_start;
+  // A busy-spinning reactor would rack up hundreds of thousands of
+  // iterations in 300ms of idle time; a healthy one blocks (the margin
+  // allows stray wakeups under load).
+  EXPECT_LT(idle_iterations, 1000u)
+      << "reactor busy-spinning after peer close";
+
+  // The other inbound channel still delivers.
+  runtime.post(ProcessId(2), [](ProcessContext& ctx, Process&) {
+    for (int i = 0; i < 20; ++i) {
+      ctx.send(ChannelId(1), Message::application(Bytes{0x5a}));
+    }
+  });
+  EXPECT_TRUE(TcpRuntime::wait_until(
+      [&] { return counter_ptr->received.load() == 70; }, kWait));
+  runtime.shutdown();
+}
+
+// Records the TimerId handed to the first set_timer call of the run.
+class FirstTimerIdRecorder final : public Process {
+ public:
+  void on_start(ProcessContext& ctx) override {
+    first_id.store(ctx.set_timer(Duration::millis(1)).value());
+  }
+  void on_message(ProcessContext&, ChannelId, Message) override {}
+  void on_timer(ProcessContext&, TimerId) override { fired.store(true); }
+  std::atomic<std::uint32_t> first_id{0};
+  std::atomic<bool> fired{false};
+};
+
+// Regression: timer ids came from a static counter shared by every
+// runtime instance in the process, so a second runtime started at
+// whatever the first left off (non-deterministic ids, eventual wrap).
+// Ids must restart at 1 per instance.
+TEST(TcpRuntime, TimerIdsRestartPerRuntimeInstance) {
+  for (int instance = 0; instance < 2; ++instance) {
+    Topology topology(1);
+    std::vector<ProcessPtr> processes;
+    auto recorder = std::make_unique<FirstTimerIdRecorder>();
+    FirstTimerIdRecorder* recorder_ptr = recorder.get();
+    processes.push_back(std::move(recorder));
+    TcpRuntime runtime(std::move(topology), std::move(processes));
+    ASSERT_TRUE(runtime.start());
+    ASSERT_TRUE(TcpRuntime::wait_until(
+        [&] { return recorder_ptr->fired.load(); }, kWait));
+    runtime.shutdown();
+    EXPECT_EQ(recorder_ptr->first_id.load(), 1u)
+        << "instance " << instance;
+  }
 }
 
 }  // namespace

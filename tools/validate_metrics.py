@@ -16,6 +16,11 @@ TRAFFIC_CLASSES = [
 ]
 SPAN_NAMES = ["halt_wave", "snapshot_wave", "breakpoint_notify", "arm"]
 LATENCY_KEYS = {"count", "total_ns", "min_ns", "max_ns"}
+TRANSPORT_KEYS = {
+    "pool_hits", "pool_misses", "deliver_batches", "deliver_batch_messages",
+    "max_deliver_batch", "write_batches", "write_batch_frames",
+    "max_write_batch",
+}
 RUNTIMES = {"sim", "threads", "tcp"}
 
 
@@ -75,6 +80,28 @@ def check_snapshot(snap, where):
     expect(totals["messages_delivered"] ==
            sum(totals["delivered"][c] for c in TRAFFIC_CLASSES),
            f"{where}.totals: messages_delivered != sum of classes")
+
+    transport = snap.get("transport")
+    expect(isinstance(transport, dict), f"{where}: missing transport")
+    expect(set(transport) == TRANSPORT_KEYS,
+           f"{where}: transport keys {sorted(transport)} != "
+           f"{sorted(TRANSPORT_KEYS)}")
+    for key, value in transport.items():
+        expect(isinstance(value, int) and value >= 0,
+               f"{where}.transport: {key} not a non-negative int")
+    # Every send acquires one pooled buffer; preloaded (restored) channel
+    # contents acquire without a send, hence >= rather than ==.
+    expect(transport["pool_hits"] + transport["pool_misses"] >=
+           totals["messages_sent"],
+           f"{where}.transport: pool acquires < messages_sent")
+    expect(transport["deliver_batch_messages"] ==
+           totals["messages_delivered"],
+           f"{where}.transport: batch messages != messages_delivered")
+    expect(transport["max_deliver_batch"] <=
+           transport["deliver_batch_messages"],
+           f"{where}.transport: max_deliver_batch exceeds total")
+    expect(transport["write_batch_frames"] >= transport["max_write_batch"],
+           f"{where}.transport: max_write_batch exceeds total frames")
 
     processes = snap.get("processes")
     expect(isinstance(processes, list), f"{where}: missing processes")

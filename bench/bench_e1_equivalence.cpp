@@ -29,9 +29,13 @@ EquivalenceResult run_pair(std::uint32_t n, std::uint64_t seed) {
 
   EquivalenceResult result;
   GlobalState recorded;
+  // Chaos knobs: with DDBG_FAULT_PLAN set, both runs face the identical
+  // seeded adversary — Theorem 2 must survive the lossy transport too.
+  const std::shared_ptr<FaultPlan> faults = FaultPlan::from_env();
   {
     HarnessConfig config;
     config.seed = seed;
+    config.faults = faults;
     SimDebugHarness harness(topology, make_gossip(n, GossipConfig{}),
                             std::move(config));
     harness.sim().run_for(point);
@@ -45,6 +49,7 @@ EquivalenceResult run_pair(std::uint32_t n, std::uint64_t seed) {
   {
     HarnessConfig config;
     config.seed = seed;
+    config.faults = faults;
     SimDebugHarness harness(topology, make_gossip(n, GossipConfig{}),
                             std::move(config));
     harness.sim().run_for(point);

@@ -121,6 +121,10 @@ inline HaltRunMetrics run_halt_wave(const Topology& topology,
                                     const char* metrics_label = nullptr) {
   HarnessConfig config;
   config.seed = seed;
+  // Chaos knobs: DDBG_FAULT_PLAN / DDBG_FAULT_SEED turn the fault
+  // adversary on for any halting bench; unset means the reliable fast
+  // paths run untouched and tables stay byte-identical.
+  config.faults = FaultPlan::from_env();
   SimDebugHarness harness(topology, std::move(processes), std::move(config));
   harness.sim().run_for(warmup);
   const std::uint64_t markers_before = harness.sim().stats().halt_markers_sent;

@@ -56,11 +56,18 @@ class Rng {
     }
   }
 
-  // Uniform integer in [lo, hi] inclusive.
+  // Uniform integer in [lo, hi] inclusive.  lo == hi is a valid
+  // zero-width range (always returns lo).
   std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
     DDBG_ASSERT(lo <= hi, "Rng::next_in requires lo <= hi");
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next_below(span));
+    // Width must be computed in unsigned arithmetic: `hi - lo` as signed
+    // overflows (UB) whenever the range is wider than int64, e.g.
+    // next_in(INT64_MIN, INT64_MAX).
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                               static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 2^64 range: every u64 maps to a value.
+    const std::uint64_t offset = span == 0 ? next_u64() : next_below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   // Uniform double in [0, 1).

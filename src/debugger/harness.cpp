@@ -45,6 +45,8 @@ SimDebugHarness::SimDebugHarness(const Topology& user_topology,
   SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.latency = std::move(config.latency);
+  sim_config.faults = std::move(config.faults);
+  sim_config.reliable = config.reliable;
   sim_ = std::make_unique<Simulation>(std::move(wired.topology),
                                       std::move(wired.processes),
                                       std::move(sim_config));
@@ -69,6 +71,8 @@ RuntimeDebugHarness::RuntimeDebugHarness(const Topology& user_topology,
 
   RuntimeConfig runtime_config;
   runtime_config.seed = config.seed;
+  runtime_config.faults = std::move(config.faults);
+  runtime_config.reliable = config.reliable;
   runtime_ = std::make_unique<Runtime>(std::move(wired.topology),
                                        std::move(wired.processes),
                                        runtime_config);

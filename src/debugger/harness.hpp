@@ -62,6 +62,10 @@ struct HarnessConfig {
   std::uint64_t seed = 1;
   std::unique_ptr<LatencyModel> latency;  // simulator only
   DebugShim::Options shim_options;
+  // Fault adversary, forwarded to the substrate (net/fault_plan.hpp).
+  // Null keeps the reliable fast paths untouched.
+  std::shared_ptr<FaultPlan> faults;
+  ReliableConfig reliable;
 };
 
 // Deterministic-simulator harness.

@@ -1,0 +1,183 @@
+#include "net/fault_plan.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+namespace {
+
+// Independent mixing constants for the data and ack fault streams, so the
+// ack adversary is uncorrelated with the data adversary on the same
+// channel/attempt pair.
+constexpr std::uint64_t kDataStream = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kAckStream = 0xc2b2ae3d27d4eb4fULL;
+
+[[nodiscard]] Rng attempt_rng(std::uint64_t seed, std::uint32_t channel,
+                              std::uint64_t attempt, std::uint64_t stream) {
+  return Rng(seed ^ (static_cast<std::uint64_t>(channel) + 1) * stream ^
+             (attempt + 1) * 0xd6e8feb86659fd93ULL);
+}
+
+[[nodiscard]] Result<double> parse_probability(const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+    return Error(ErrorCode::kParseError, "fault plan: bad probability '" + value + "'");
+  }
+  return p;
+}
+
+[[nodiscard]] Result<Duration> parse_duration(const std::string& value) {
+  char* end = nullptr;
+  const double n = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || n < 0.0) {
+    return Error(ErrorCode::kParseError, "fault plan: bad duration '" + value + "'");
+  }
+  const std::string unit(end);
+  double ns = 0.0;
+  if (unit.empty() || unit == "ms") {
+    ns = n * 1e6;
+  } else if (unit == "ns") {
+    ns = n;
+  } else if (unit == "us") {
+    ns = n * 1e3;
+  } else if (unit == "s") {
+    ns = n * 1e9;
+  } else {
+    return Error(ErrorCode::kParseError, "fault plan: bad duration unit '" + unit + "'");
+  }
+  return Duration{static_cast<std::int64_t>(ns)};
+}
+
+}  // namespace
+
+void FaultPlan::set_channel(ChannelId channel, FaultSpec spec) {
+  for (auto& [id, existing] : overrides_) {
+    if (id == channel.value()) {
+      existing = spec;
+      return;
+    }
+  }
+  overrides_.emplace_back(channel.value(), spec);
+}
+
+const FaultSpec& FaultPlan::spec_for(ChannelId channel) const {
+  for (const auto& [id, spec] : overrides_) {
+    if (id == channel.value()) return spec;
+  }
+  return default_spec_;
+}
+
+FaultDecision FaultPlan::decide(ChannelId channel,
+                                std::uint64_t attempt) const {
+  const FaultSpec& spec = spec_for(channel);
+  if (attempt >= spec.partition_from && attempt < spec.partition_until) {
+    return FaultDecision{FaultKind::kPartition, Duration{0}};
+  }
+  Rng rng = attempt_rng(seed_, channel.value(), attempt, kDataStream);
+  double u = rng.next_double();
+  if (u < spec.drop) return FaultDecision{FaultKind::kDrop, Duration{0}};
+  u -= spec.drop;
+  if (u < spec.duplicate) {
+    return FaultDecision{FaultKind::kDuplicate, Duration{0}};
+  }
+  u -= spec.duplicate;
+  if (u < spec.reorder) {
+    return FaultDecision{FaultKind::kReorder, spec.reorder_delay};
+  }
+  u -= spec.reorder;
+  if (u < spec.delay) {
+    return FaultDecision{FaultKind::kDelay, spec.extra_delay};
+  }
+  u -= spec.delay;
+  if (u < spec.reset) return FaultDecision{FaultKind::kReset, Duration{0}};
+  return FaultDecision{};
+}
+
+FaultDecision FaultPlan::decide_ack(ChannelId channel,
+                                    std::uint64_t attempt) const {
+  const FaultSpec& spec = spec_for(channel);
+  Rng rng = attempt_rng(seed_, channel.value(), attempt, kAckStream);
+  double u = rng.next_double();
+  if (u < spec.drop) return FaultDecision{FaultKind::kDrop, Duration{0}};
+  u -= spec.drop;
+  if (u < spec.delay) {
+    return FaultDecision{FaultKind::kDelay, spec.extra_delay};
+  }
+  return FaultDecision{};
+}
+
+Result<FaultPlan> FaultPlan::parse(const std::string& text,
+                                   std::uint64_t seed) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Error(ErrorCode::kParseError, "fault plan: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop" || key == "dup" || key == "duplicate" ||
+        key == "reorder" || key == "delay" || key == "reset") {
+      auto p = parse_probability(value);
+      if (!p.ok()) return p.error();
+      if (key == "drop") spec.drop = p.value();
+      else if (key == "dup" || key == "duplicate") spec.duplicate = p.value();
+      else if (key == "reorder") spec.reorder = p.value();
+      else if (key == "delay") spec.delay = p.value();
+      else spec.reset = p.value();
+    } else if (key == "reorder_delay" || key == "extra_delay") {
+      auto d = parse_duration(value);
+      if (!d.ok()) return d.error();
+      if (key == "reorder_delay") spec.reorder_delay = d.value();
+      else spec.extra_delay = d.value();
+    } else if (key == "partition") {
+      const std::size_t dots = value.find("..");
+      char* end = nullptr;
+      if (dots == std::string::npos) {
+        return Error(ErrorCode::kParseError, "fault plan: partition wants from..until, got '" + value +
+                     "'");
+      }
+      spec.partition_from = std::strtoull(value.c_str(), &end, 10);
+      spec.partition_until =
+          std::strtoull(value.c_str() + dots + 2, &end, 10);
+      if (spec.partition_until < spec.partition_from) {
+        return Error(ErrorCode::kParseError, "fault plan: partition window ends before it starts");
+      }
+    } else {
+      return Error(ErrorCode::kParseError, "fault plan: unknown key '" + key + "'");
+    }
+  }
+  const double total =
+      spec.drop + spec.duplicate + spec.reorder + spec.delay + spec.reset;
+  if (total > 1.0) {
+    return Error(ErrorCode::kParseError, "fault plan: probabilities sum to > 1");
+  }
+  return FaultPlan(spec, seed);
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::from_env() {
+  const char* plan_text = std::getenv("DDBG_FAULT_PLAN");
+  if (plan_text == nullptr || *plan_text == '\0') return nullptr;
+  std::uint64_t seed = 1;
+  if (const char* seed_text = std::getenv("DDBG_FAULT_SEED")) {
+    seed = std::strtoull(seed_text, nullptr, 10);
+  }
+  auto plan = parse(plan_text, seed);
+  if (!plan.ok()) {
+    DDBG_ERROR() << "DDBG_FAULT_PLAN rejected: " << plan.error().to_string();
+    return nullptr;
+  }
+  return std::make_shared<FaultPlan>(std::move(plan).value());
+}
+
+}  // namespace ddbg

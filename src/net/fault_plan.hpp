@@ -1,0 +1,139 @@
+// Deterministic per-channel fault injection.
+//
+// The paper's algorithms (halting waves, snapshot recording, linked-
+// predicate detection) are proved correct under section 2.1's channel
+// axioms: reliable, FIFO, unbounded.  A real transport violates all three
+// — frames drop, peers reset, kernels reorder across reconnects.  The
+// FaultPlan is the adversary: it decides, deterministically from a seed,
+// which transmission attempts on which channels are dropped, duplicated,
+// reordered, delayed, partitioned away or met with a connection reset.
+// The reliability layer (net/reliable.hpp) must then re-establish the
+// axioms on top; the chaos tests assert the algorithms cannot tell the
+// difference.
+//
+// Decisions are a pure function of (seed, channel, attempt index), the
+// same stateless-stream trick the simulator uses for latency: two runs
+// with the same seed and plan inject exactly the same faults, so every
+// chaos failure reproduces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ddbg {
+
+// Kinds of injected faults.  Order mirrors obs::kFaultKindNames; the
+// static_assert in net/transport_hooks.hpp pins the correspondence.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop = 1,       // frame vanishes
+  kDuplicate = 2,  // frame arrives twice
+  kReorder = 3,    // frame held back past later traffic
+  kDelay = 4,      // frame arrives late (FIFO order may still break)
+  kPartition = 5,  // sustained outage window: every attempt inside drops
+  kReset = 6,      // connection torn down; transport must reconnect+resync
+};
+inline constexpr std::size_t kNumFaultKinds = 6;  // excluding kNone
+
+[[nodiscard]] constexpr const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kReset: return "reset";
+  }
+  return "?";
+}
+
+// Counter slot for a non-kNone fault kind (obs::TransportSnapshot index).
+[[nodiscard]] constexpr std::size_t fault_index(FaultKind kind) {
+  return static_cast<std::size_t>(kind) - 1;
+}
+
+// Per-channel fault probabilities and parameters.  Probabilities are
+// per-transmission-attempt and mutually exclusive (at most one fault per
+// attempt); they must sum to <= 1.
+struct FaultSpec {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double delay = 0.0;
+  double reset = 0.0;
+  // Extra in-flight time for reorder faults: long enough that later
+  // attempts overtake the held frame.
+  Duration reorder_delay = Duration::millis(8);
+  // Extra in-flight time for delay faults.
+  Duration extra_delay = Duration::millis(3);
+  // Attempts with per-channel attempt index in [partition_from,
+  // partition_until) are dropped as kPartition faults — a sustained
+  // outage the retransmit backoff has to ride out.  Empty when equal.
+  std::uint64_t partition_from = 0;
+  std::uint64_t partition_until = 0;
+
+  [[nodiscard]] bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || delay > 0.0 ||
+           reset > 0.0 || partition_until > partition_from;
+  }
+};
+
+// The decision for one transmission attempt.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  Duration extra_delay{0};
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultSpec default_spec, std::uint64_t seed = 1)
+      : default_spec_(default_spec), seed_(seed) {}
+
+  // Override the spec for one channel (e.g. to partition a single edge).
+  void set_channel(ChannelId channel, FaultSpec spec);
+
+  // The fault (if any) for transmission attempt `attempt` on `channel`.
+  // Attempts are counted per channel by the caller, retransmissions
+  // included — retransmitted frames face the same adversary.
+  [[nodiscard]] FaultDecision decide(ChannelId channel,
+                                     std::uint64_t attempt) const;
+  // Same, for the reverse (ack) direction.  Only drop and delay apply:
+  // acks are transport-internal, so duplication/reorder of an ack is
+  // indistinguishable from a benign re-ack.
+  [[nodiscard]] FaultDecision decide_ack(ChannelId channel,
+                                         std::uint64_t attempt) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const FaultSpec& spec_for(ChannelId channel) const;
+
+  // Parse a plan spec string:
+  //   "drop=0.05,dup=0.02,reorder=0.03,delay=0.05,reset=0.001,
+  //    partition=200..260,reorder_delay=8ms,extra_delay=3ms"
+  // Keys may appear in any order; unknown keys are errors.  Durations
+  // accept ns/us/ms/s suffixes (default ms).
+  [[nodiscard]] static Result<FaultPlan> parse(const std::string& spec,
+                                               std::uint64_t seed);
+
+  // Plan described by $DDBG_FAULT_PLAN with seed $DDBG_FAULT_SEED
+  // (default 1), or nullptr when DDBG_FAULT_PLAN is unset/empty.  A
+  // malformed plan is an error worth failing loudly on: returns nullptr
+  // after logging, so a typo'd chaos run does not silently run fault-free
+  // with its chaos counters all zero (the validator invariants catch it).
+  [[nodiscard]] static std::shared_ptr<FaultPlan> from_env();
+
+ private:
+  FaultSpec default_spec_;
+  std::vector<std::pair<std::uint32_t, FaultSpec>> overrides_;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,109 @@
+#include "net/reliable.hpp"
+
+#include "common/logging.hpp"
+
+namespace ddbg {
+
+std::uint64_t ReliableSender::stage(Message message, std::uint64_t meta,
+                                    TimePoint now) {
+  Entry entry;
+  entry.seq = next_seq_++;
+  entry.staged = Staged{std::move(message), meta};
+  entry.rto = config_.rto_initial;
+  entry.next_retry = now + entry.rto;
+  window_.push_back(std::move(entry));
+  return window_.back().seq;
+}
+
+std::size_t ReliableSender::ack(std::uint64_t cum_ack) {
+  std::size_t retired = 0;
+  while (!window_.empty() && window_.front().seq <= cum_ack) {
+    window_.pop_front();
+    ++retired;
+  }
+  if (cum_ack > acked_) acked_ = cum_ack;
+  return retired;
+}
+
+std::vector<std::uint64_t> ReliableSender::due(TimePoint now) {
+  std::vector<std::uint64_t> out;
+  for (auto& entry : window_) {
+    if (entry.next_retry > now) continue;
+    out.push_back(entry.seq);
+    entry.rto = entry.rto * 2;
+    if (entry.rto > config_.rto_max) entry.rto = config_.rto_max;
+    entry.next_retry = now + entry.rto;
+  }
+  return out;
+}
+
+std::size_t ReliableSender::mark_all_due(TimePoint now) {
+  for (auto& entry : window_) {
+    entry.next_retry = now;
+  }
+  return window_.size();
+}
+
+std::optional<TimePoint> ReliableSender::next_deadline() const {
+  std::optional<TimePoint> earliest;
+  for (const auto& entry : window_) {
+    if (!earliest.has_value() || entry.next_retry < *earliest) {
+      earliest = entry.next_retry;
+    }
+  }
+  return earliest;
+}
+
+const ReliableSender::Staged* ReliableSender::peek(std::uint64_t seq) const {
+  for (const auto& entry : window_) {
+    if (entry.seq == seq) return &entry.staged;
+  }
+  return nullptr;
+}
+
+ReliableReceiver::Accept ReliableReceiver::on_frame(
+    std::uint64_t seq, Message message, std::uint64_t meta,
+    std::vector<Delivery>& out) {
+  if (seq < expected_ || held_.count(seq) != 0) {
+    return Accept::kDuplicate;
+  }
+  if (seq > expected_) {
+    held_.emplace(seq, Delivery{seq, std::move(message), meta});
+    return Accept::kBuffered;
+  }
+  out.push_back(Delivery{seq, std::move(message), meta});
+  ++expected_;
+  // Release the buffered run this frame unblocked.
+  auto it = held_.begin();
+  while (it != held_.end() && it->first == expected_) {
+    out.push_back(std::move(it->second));
+    it = held_.erase(it);
+    ++expected_;
+  }
+  return Accept::kDelivered;
+}
+
+void RelHeader::encode(ByteWriter& writer) const {
+  writer.u8(tag);
+  writer.u64(seq);
+  writer.u64(cum_ack);
+}
+
+Result<RelHeader> RelHeader::decode(ByteReader& reader) {
+  RelHeader header;
+  auto tag = reader.u8();
+  if (!tag.ok()) return tag.error();
+  header.tag = tag.value();
+  if (header.tag != kData && header.tag != kAck) {
+    return Error(ErrorCode::kParseError, "reliable frame: bad tag");
+  }
+  auto seq = reader.u64();
+  if (!seq.ok()) return seq.error();
+  header.seq = seq.value();
+  auto cum_ack = reader.u64();
+  if (!cum_ack.ok()) return cum_ack.error();
+  header.cum_ack = cum_ack.value();
+  return header;
+}
+
+}  // namespace ddbg

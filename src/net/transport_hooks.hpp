@@ -17,6 +17,7 @@
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "net/fault_plan.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -48,6 +49,17 @@ static_assert(static_cast<std::size_t>(MessageKind::kApplication) == 0 &&
 [[nodiscard]] constexpr std::uint8_t traffic_class(MessageKind kind) {
   return static_cast<std::uint8_t>(kind);
 }
+
+// Likewise, obs indexes its faults_injected slots by fault_index(FaultKind)
+// without depending on net/fault_plan.hpp; pin that correspondence too.
+static_assert(fault_index(FaultKind::kDrop) == 0 &&
+                  fault_index(FaultKind::kDuplicate) == 1 &&
+                  fault_index(FaultKind::kReorder) == 2 &&
+                  fault_index(FaultKind::kDelay) == 3 &&
+                  fault_index(FaultKind::kPartition) == 4 &&
+                  fault_index(FaultKind::kReset) == 5 &&
+                  kNumFaultKinds == obs::kNumFaultKinds,
+              "obs fault-kind slots must mirror FaultKind");
 
 // Per-channel metadata for a MetricsRegistry covering `topology`.
 [[nodiscard]] inline std::vector<obs::ChannelMeta> channel_meta(

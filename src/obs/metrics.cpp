@@ -111,6 +111,14 @@ MetricsSnapshot MetricsRegistry::snapshot(TimePoint now) const {
   snap.transport.write_batches = transport_.write_batches.get();
   snap.transport.write_batch_frames = transport_.write_batch_frames.get();
   snap.transport.max_write_batch = transport_.max_write_batch.get();
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    snap.transport.faults_injected[k] = transport_.faults_injected[k].get();
+  }
+  snap.transport.retransmits = transport_.retransmits.get();
+  snap.transport.dup_suppressed = transport_.dup_suppressed.get();
+  snap.transport.reconnects = transport_.reconnects.get();
+  snap.transport.resync_replayed = transport_.resync_replayed.get();
+  snap.transport.channel_down = transport_.channel_down.get();
 
   snap.channels.resize(channels_.size());
   snap.processes.resize(process_queue_depth_.size());
@@ -210,6 +218,24 @@ std::string MetricsSnapshot::to_json() const {
   append_u64(out, transport.write_batch_frames);
   out += ",\"max_write_batch\":";
   append_u64(out, transport.max_write_batch);
+  out += ",\"faults_injected\":{";
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (k != 0) out += ',';
+    out += '"';
+    out += kFaultKindNames[k];
+    out += "\":";
+    append_u64(out, transport.faults_injected[k]);
+  }
+  out += "},\"retransmits\":";
+  append_u64(out, transport.retransmits);
+  out += ",\"dup_suppressed\":";
+  append_u64(out, transport.dup_suppressed);
+  out += ",\"reconnects\":";
+  append_u64(out, transport.reconnects);
+  out += ",\"resync_replayed\":";
+  append_u64(out, transport.resync_replayed);
+  out += ",\"channel_down\":";
+  append_u64(out, transport.channel_down);
   out += '}';
 
   out += ",\"processes\":[";

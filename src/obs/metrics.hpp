@@ -49,6 +49,13 @@ inline constexpr std::size_t kNumTrafficClasses = 5;
 inline constexpr const char* kTrafficClassNames[kNumTrafficClasses] = {
     "app", "halt_marker", "snapshot_marker", "predicate_marker", "control"};
 
+// Mirrors the non-kNone FaultKind values (net/fault_plan.hpp) index-for-
+// index; like the traffic classes, kept as plain indices so obs stays free
+// of network headers (net/transport_hooks.hpp pins the correspondence).
+inline constexpr std::size_t kNumFaultKinds = 6;
+inline constexpr const char* kFaultKindNames[kNumFaultKinds] = {
+    "drop", "duplicate", "reorder", "delay", "partition", "reset"};
+
 // The traced control-plane latencies.
 enum class Span : std::uint8_t {
   kHaltWave = 0,        // halt initiated -> every process reported halted
@@ -200,6 +207,14 @@ struct TransportSnapshot {
   std::uint64_t write_batches = 0;        // socket writes (one sendmsg each)
   std::uint64_t write_batch_frames = 0;   // frames across those writes
   std::uint64_t max_write_batch = 0;
+  // Fault injection + reliability layer.  All zero when no FaultPlan is
+  // active (the fault-off path never touches them).
+  std::uint64_t faults_injected[kNumFaultKinds] = {};
+  std::uint64_t retransmits = 0;      // frames re-sent after an RTO expiry
+  std::uint64_t dup_suppressed = 0;   // arrivals discarded as duplicates
+  std::uint64_t reconnects = 0;       // TCP channels re-dialed after a reset
+  std::uint64_t resync_replayed = 0;  // unacked frames replayed on reconnect
+  std::uint64_t channel_down = 0;     // sends that hit a closed/failed peer
 };
 
 struct MetricsSnapshot {
@@ -271,6 +286,18 @@ class MetricsRegistry {
     transport_.write_batch_frames.add(frames);
     transport_.max_write_batch.observe(frames);
   }
+  // Fault/reliability counters.  `kind_index` is fault_index(FaultKind),
+  // i.e. the slot in kFaultKindNames.
+  void on_fault(std::size_t kind_index) noexcept {
+    transport_.faults_injected[kind_index].inc();
+  }
+  void on_retransmit() noexcept { transport_.retransmits.inc(); }
+  void on_dup_suppressed() noexcept { transport_.dup_suppressed.inc(); }
+  void on_reconnect() noexcept { transport_.reconnects.inc(); }
+  void on_resync_replayed(std::size_t frames) noexcept {
+    transport_.resync_replayed.add(frames);
+  }
+  void on_channel_down() noexcept { transport_.channel_down.inc(); }
 
   // ---- latency spans (rare control-plane events; mutex-guarded) ----
   // Opens a span unless one with the same key is already open (the
@@ -318,6 +345,12 @@ class MetricsRegistry {
     Counter write_batches;
     Counter write_batch_frames;
     MaxGauge max_write_batch;
+    Counter faults_injected[kNumFaultKinds];
+    Counter retransmits;
+    Counter dup_suppressed;
+    Counter reconnects;
+    Counter resync_replayed;
+    Counter channel_down;
   };
 
   std::string runtime_label_;

@@ -35,6 +35,19 @@ class Runtime::Worker {
                      std::uint32_t wire_bytes);
   void push_closure(std::function<void(ProcessContext&, Process&)> action);
 
+  // ---- reliability layer (runtime_.config_.faults only) ----
+  // Sender-side state (rel_send_, attempt counters, retry arming) is owned
+  // by this worker's thread: do_send runs on it, acks and internal
+  // deadlines are dispatched on it.  Receiver-side state (rel_recv_, ack
+  // attempt counters) is owned by the destination worker's thread.
+  std::uint64_t rel_stage(ChannelId channel, Message message,
+                          std::uint32_t wire_bytes);
+  void rel_transmit(ChannelId channel, std::uint64_t seq);
+  void rel_check_retries(ChannelId channel);
+  void push_rel_frame(ChannelId channel, std::uint64_t seq, Message message,
+                      std::uint32_t wire_bytes);
+  void push_ack(ChannelId channel, std::uint64_t cum_ack);
+
   TimerId add_timer(Duration delay);
   void cancel_timer(TimerId timer);
 
@@ -48,15 +61,34 @@ class Runtime::Worker {
 
  private:
   struct Item {
-    enum class Kind { kDeliver, kClosure, kTimer } kind;
+    // kRelFrame: a reliability data frame arriving at this worker's
+    // receiver; kAck: a cumulative ack arriving back at this worker's
+    // sender; kInternal: a deadline-fired reliability action (retransmit
+    // check, delayed frame/ack, reconnect resync).
+    enum class Kind {
+      kDeliver,
+      kClosure,
+      kTimer,
+      kRelFrame,
+      kAck,
+      kInternal,
+    } kind;
     ChannelId channel;
     Message message;
     std::uint32_t wire_bytes = 0;
+    std::uint64_t rel_seq = 0;  // kRelFrame: data seq; kAck: cum ack
     std::function<void(ProcessContext&, Process&)> closure;
+    std::function<void()> fn;
     TimerId timer;
   };
 
   void thread_main();
+  void rel_arm_retry(ChannelId channel);
+  void rel_deliver_frame(ChannelId channel, std::uint64_t seq,
+                         Duration extra);
+  void rel_on_frame(Item& item, std::size_t& deliveries);
+  void schedule_internal(SteadyClock::time_point when,
+                         std::function<void()> fn);
   // Fills `out` with the next runnable work: the whole inbox swapped out
   // under one lock acquisition (from_inbox=true), or a single due timer.
   // Blocks until work arrives; returns false when the worker is stopping.
@@ -78,7 +110,19 @@ class Runtime::Worker {
   std::map<std::pair<SteadyClock::time_point, std::uint32_t>, TimerId>
       timers_;
   std::unordered_map<std::uint32_t, SteadyClock::time_point> timer_deadline_;
+  // Deadline-fired reliability actions; inserted under mutex_, executed on
+  // this worker's thread.
+  std::multimap<SteadyClock::time_point, std::function<void()>> internal_;
   bool stopping_ = false;
+
+  // Reliability state, indexed by channel id; sized only when a FaultPlan
+  // is configured.  Each worker touches only its own channels' slots.
+  std::vector<ReliableSender> rel_send_;      // this worker's out-channels
+  std::vector<ReliableReceiver> rel_recv_;    // this worker's in-channels
+  std::vector<std::uint64_t> attempts_;       // out: data fault stream
+  std::vector<std::uint64_t> ack_attempts_;   // in: ack fault stream
+  std::vector<SteadyClock::time_point> retry_arm_;  // earliest armed check
+  std::vector<char> reconnect_pending_;
 
   std::thread thread_;
 };
@@ -123,6 +167,15 @@ Runtime::Worker::Worker(Runtime& runtime, ProcessId id, ProcessPtr process,
                         Rng rng)
     : runtime_(runtime), id_(id), process_(std::move(process)), rng_(rng) {
   context_ = std::make_unique<ThreadProcessContext>(*this);
+  if (runtime_.config_.faults) {
+    const std::size_t n = runtime_.topology_.num_channels();
+    rel_send_.assign(n, ReliableSender(runtime_.config_.reliable));
+    rel_recv_.assign(n, ReliableReceiver());
+    attempts_.assign(n, 0);
+    ack_attempts_.assign(n, 0);
+    retry_arm_.assign(n, SteadyClock::time_point::max());
+    reconnect_pending_.assign(n, 0);
+  }
 }
 
 Runtime::Worker::~Worker() { stop(); }
@@ -207,18 +260,34 @@ bool Runtime::Worker::next_batch(std::deque<Item>& out, bool& from_inbox) {
       from_inbox = true;
       return true;
     }
-    if (!timers_.empty()) {
-      const auto deadline = timers_.begin()->first.first;
-      if (SteadyClock::now() >= deadline) {
-        Item item;
-        item.kind = Item::Kind::kTimer;
-        item.timer = timers_.begin()->second;
-        timer_deadline_.erase(item.timer.value());
-        timers_.erase(timers_.begin());
-        out.push_back(std::move(item));
-        from_inbox = false;
-        return true;
-      }
+    const auto now = SteadyClock::now();
+    // Internal reliability deadlines (retransmit checks, delayed frames)
+    // fire with the same priority as process timers.
+    if (!internal_.empty() && internal_.begin()->first <= now) {
+      Item item;
+      item.kind = Item::Kind::kInternal;
+      item.fn = std::move(internal_.begin()->second);
+      internal_.erase(internal_.begin());
+      out.push_back(std::move(item));
+      from_inbox = false;
+      return true;
+    }
+    if (!timers_.empty() && timers_.begin()->first.first <= now) {
+      Item item;
+      item.kind = Item::Kind::kTimer;
+      item.timer = timers_.begin()->second;
+      timer_deadline_.erase(item.timer.value());
+      timers_.erase(timers_.begin());
+      out.push_back(std::move(item));
+      from_inbox = false;
+      return true;
+    }
+    auto deadline = SteadyClock::time_point::max();
+    if (!timers_.empty()) deadline = timers_.begin()->first.first;
+    if (!internal_.empty() && internal_.begin()->first < deadline) {
+      deadline = internal_.begin()->first;
+    }
+    if (deadline != SteadyClock::time_point::max()) {
       cv_.wait_until(lock, deadline);
     } else {
       cv_.wait(lock);
@@ -249,6 +318,16 @@ void Runtime::Worker::thread_main() {
         case Item::Kind::kTimer:
           process_->on_timer(*context_, item.timer);
           break;
+        case Item::Kind::kRelFrame:
+          rel_on_frame(item, deliveries);
+          break;
+        case Item::Kind::kAck:
+          rel_send_[item.channel.value()].ack(item.rel_seq);
+          rel_arm_retry(item.channel);
+          break;
+        case Item::Kind::kInternal:
+          item.fn();
+          break;
       }
     }
     if (from_inbox && deliveries > 0) {
@@ -256,6 +335,193 @@ void Runtime::Worker::thread_main() {
     }
     batch.clear();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Worker: reliability layer
+// ---------------------------------------------------------------------------
+
+void Runtime::Worker::schedule_internal(SteadyClock::time_point when,
+                                        std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (stopping_) return;
+    internal_.emplace(when, std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::uint64_t Runtime::Worker::rel_stage(ChannelId channel, Message message,
+                                         std::uint32_t wire_bytes) {
+  return rel_send_[channel.value()].stage(std::move(message), wire_bytes,
+                                          runtime_.now());
+}
+
+void Runtime::Worker::rel_transmit(ChannelId channel, std::uint64_t seq) {
+  const std::size_t c = channel.value();
+  if (rel_send_[c].peek(seq) == nullptr) return;  // acked meanwhile
+  const std::uint64_t attempt = attempts_[c]++;
+  const FaultDecision fault =
+      runtime_.config_.faults->decide(channel, attempt);
+  switch (fault.kind) {
+    case FaultKind::kDrop:
+    case FaultKind::kPartition:
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      break;  // frame vanishes; the retransmit timer recovers
+    case FaultKind::kReset: {
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      runtime_.metrics_.on_channel_down();
+      // The frame is lost with the "connection"; after a redial delay,
+      // resync replays the whole unacked window.
+      if (reconnect_pending_[c] != 0) break;
+      reconnect_pending_[c] = 1;
+      const auto redial =
+          SteadyClock::now() +
+          std::chrono::nanoseconds(runtime_.config_.reliable.rto_initial.ns);
+      schedule_internal(redial, [this, channel] {
+        const std::size_t cc = channel.value();
+        reconnect_pending_[cc] = 0;
+        runtime_.metrics_.on_reconnect();
+        const std::size_t replayed =
+            rel_send_[cc].mark_all_due(runtime_.now());
+        runtime_.metrics_.on_resync_replayed(replayed);
+        rel_check_retries(channel);
+      });
+      break;
+    }
+    case FaultKind::kDuplicate:
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      rel_deliver_frame(channel, seq, Duration{0});
+      rel_deliver_frame(channel, seq, Duration{0});
+      break;
+    case FaultKind::kReorder:
+    case FaultKind::kDelay:
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      rel_deliver_frame(channel, seq, fault.extra_delay);
+      break;
+    case FaultKind::kNone:
+      rel_deliver_frame(channel, seq, Duration{0});
+      break;
+  }
+  rel_arm_retry(channel);
+}
+
+void Runtime::Worker::rel_deliver_frame(ChannelId channel, std::uint64_t seq,
+                                        Duration extra) {
+  const std::size_t c = channel.value();
+  const ReliableSender::Staged* staged = rel_send_[c].peek(seq);
+  if (staged == nullptr) return;
+  Worker& dest =
+      *runtime_.workers_[runtime_.topology_.channel(channel).destination
+                             .value()];
+  // Frame contents are fixed at transmission time: copy now even for a
+  // delayed frame, so an ack retiring the window entry cannot invalidate
+  // the closure.
+  Message copy = staged->message;
+  const auto wire_bytes = static_cast<std::uint32_t>(staged->meta);
+  if (extra.ns <= 0) {
+    dest.push_rel_frame(channel, seq, std::move(copy), wire_bytes);
+    return;
+  }
+  const auto when = SteadyClock::now() + std::chrono::nanoseconds(extra.ns);
+  schedule_internal(when, [&dest, channel, seq, copy = std::move(copy),
+                           wire_bytes]() mutable {
+    dest.push_rel_frame(channel, seq, std::move(copy), wire_bytes);
+  });
+}
+
+void Runtime::Worker::rel_check_retries(ChannelId channel) {
+  const std::size_t c = channel.value();
+  retry_arm_[c] = SteadyClock::time_point::max();
+  for (const std::uint64_t seq : rel_send_[c].due(runtime_.now())) {
+    runtime_.metrics_.on_retransmit();
+    rel_transmit(channel, seq);
+  }
+  rel_arm_retry(channel);
+}
+
+void Runtime::Worker::rel_arm_retry(ChannelId channel) {
+  const std::size_t c = channel.value();
+  const auto deadline = rel_send_[c].next_deadline();
+  if (!deadline.has_value()) return;
+  const auto when =
+      runtime_.epoch_ + std::chrono::nanoseconds(deadline->ns);
+  if (retry_arm_[c] <= when) return;  // an earlier check covers this
+  retry_arm_[c] = when;
+  schedule_internal(when, [this, channel] { rel_check_retries(channel); });
+}
+
+void Runtime::Worker::push_rel_frame(ChannelId channel, std::uint64_t seq,
+                                     Message message,
+                                     std::uint32_t wire_bytes) {
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (stopping_) return;
+    Item item;
+    item.kind = Item::Kind::kRelFrame;
+    item.channel = channel;
+    item.rel_seq = seq;
+    item.message = std::move(message);
+    item.wire_bytes = wire_bytes;
+    inbox_.push_back(std::move(item));
+    depth = inbox_.size();
+  }
+  runtime_.metrics_.observe_queue_depth(id_.value(), depth);
+  cv_.notify_one();
+}
+
+void Runtime::Worker::push_ack(ChannelId channel, std::uint64_t cum_ack) {
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (stopping_) return;
+    Item item;
+    item.kind = Item::Kind::kAck;
+    item.channel = channel;
+    item.rel_seq = cum_ack;
+    inbox_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+void Runtime::Worker::rel_on_frame(Item& item, std::size_t& deliveries) {
+  const std::size_t c = item.channel.value();
+  std::vector<ReliableReceiver::Delivery> released;
+  const auto accept = rel_recv_[c].on_frame(
+      item.rel_seq, std::move(item.message), item.wire_bytes, released);
+  if (accept == ReliableReceiver::Accept::kDuplicate) {
+    runtime_.metrics_.on_dup_suppressed();
+  }
+  for (auto& delivery : released) {
+    ++deliveries;
+    runtime_.metrics_.on_deliver(c, traffic_class(delivery.message.kind),
+                                 static_cast<std::uint32_t>(delivery.meta));
+    process_->on_message(*context_, item.channel,
+                         std::move(delivery.message));
+  }
+  // Ack every arrival, duplicates included: a re-ack is what stops the
+  // sender retransmitting a frame whose ack was lost.
+  const std::uint64_t attempt = ack_attempts_[c]++;
+  const FaultDecision fault =
+      runtime_.config_.faults->decide_ack(item.channel, attempt);
+  if (fault.kind == FaultKind::kDrop) {
+    runtime_.metrics_.on_fault(fault_index(fault.kind));
+    return;
+  }
+  Worker& src =
+      *runtime_.workers_[runtime_.topology_.channel(item.channel).source
+                             .value()];
+  const std::uint64_t cum = rel_recv_[c].cum_ack();
+  if (fault.kind == FaultKind::kDelay) {
+    runtime_.metrics_.on_fault(fault_index(fault.kind));
+    const auto when =
+        SteadyClock::now() + std::chrono::nanoseconds(fault.extra_delay.ns);
+    const ChannelId ch = item.channel;
+    schedule_internal(when,
+                      [&src, ch, cum] { src.push_ack(ch, cum); });
+    return;
+  }
+  src.push_ack(item.channel, cum);
 }
 
 // ---------------------------------------------------------------------------
@@ -354,6 +620,16 @@ void Runtime::do_send(ProcessId sender, ChannelId channel, Message message) {
     wire_bytes = static_cast<std::uint32_t>(writer.size());
   }
   metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
+  if (config_.faults) {
+    // Lossy transport: stage in the sending worker's retransmit window
+    // (do_send runs on the sender's thread) and transmit under the fault
+    // plan; the destination's receiver restores FIFO exactly-once order.
+    Worker& src = *workers_[sender.value()];
+    const std::uint64_t seq =
+        src.rel_stage(channel, std::move(message), wire_bytes);
+    src.rel_transmit(channel, seq);
+    return;
+  }
   workers_[spec.destination.value()]->push_delivery(channel,
                                                     std::move(message),
                                                     wire_bytes);

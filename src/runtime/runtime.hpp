@@ -23,7 +23,9 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "net/fault_plan.hpp"
 #include "net/process.hpp"
+#include "net/reliable.hpp"
 #include "net/topology.hpp"
 #include "net/transport_hooks.hpp"
 
@@ -31,6 +33,13 @@ namespace ddbg {
 
 struct RuntimeConfig {
   std::uint64_t seed = 1;
+  // Fault adversary.  When set, sends are staged in per-channel reliability
+  // senders (owned by the sending worker's thread) and subjected to the
+  // plan; receivers suppress duplicates and release in sequence order, so
+  // processes still observe section 2.1's reliable FIFO channels.  Null
+  // (default) keeps the direct-delivery fast path untouched.
+  std::shared_ptr<FaultPlan> faults;
+  ReliableConfig reliable;
 };
 
 class Runtime {

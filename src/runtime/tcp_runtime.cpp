@@ -18,6 +18,7 @@
 #include "common/logging.hpp"
 #include "common/serialization.hpp"
 #include "net/framing.hpp"
+#include "net/reliable.hpp"
 
 namespace ddbg {
 
@@ -118,6 +119,11 @@ class TcpRuntime::Worker {
   // Runs on this worker's own thread only (the sender's), like all sends.
   void stage_send(ChannelId channel, int fd, const Message& message);
 
+  // Reliability-layer entry point for do_send (runtime_.config_.faults
+  // only): stage in the retransmit window and attempt transmission under
+  // the fault plan.  Runs on this worker's own thread.
+  void rel_send_message(ChannelId channel, const Message& message);
+
   [[nodiscard]] Process& process() { return *process_; }
   [[nodiscard]] TcpRuntime& runtime() { return runtime_; }
   [[nodiscard]] ProcessId id() const { return id_; }
@@ -136,6 +142,25 @@ class TcpRuntime::Worker {
   void fire_due_timers();
   void flush_sends();
   [[nodiscard]] int poll_timeout_ms();
+
+  // ---- reliability layer (runtime_.config_.faults only) ----
+  // All state below is owned by this worker's thread: sender-side windows
+  // and attempt counters for its out-channels, receiver-side sequencers
+  // for its in-slots.
+  void rel_reactor();  // replaces the static-poll-set loop
+  [[nodiscard]] std::size_t out_slot(ChannelId channel) const;
+  void rel_transmit(std::size_t slot, std::uint64_t seq);
+  void rel_write_data(std::size_t slot, std::uint64_t seq);
+  void rel_write_ack(std::size_t in_slot);        // fault-checked
+  void rel_write_ack_frame(std::size_t in_slot);  // unconditional build
+  void rel_parse_in_frames(std::size_t slot);
+  void rel_on_ack_fd(std::size_t slot);
+  void rel_begin_reconnect(std::size_t slot);
+  void rel_try_reconnect(std::size_t slot);
+  void rel_fire_due();
+  [[nodiscard]] SteadyClock::time_point rel_next_deadline() const;
+  void accept_runtime_connection();
+  void retire_out_fd(int fd);
 
   TcpRuntime& runtime_;
   ProcessId id_;
@@ -159,10 +184,31 @@ class TcpRuntime::Worker {
   struct PendingSend {
     ChannelId channel;
     int fd = -1;
+    bool is_ack = false;
     BufferPool::Lease frame;
   };
   std::vector<PendingSend> pending_sends_;
   BufferPool pool_;
+
+  // Reliability state; sized only when a FaultPlan is configured.
+  std::vector<ChannelId> out_channels_;  // channels this worker sources
+  std::vector<FrameParser> out_parsers_;  // acks arriving on out fds
+  std::vector<ReliableSender> rel_send_;  // by out slot
+  std::vector<std::uint64_t> out_attempts_;  // data fault stream
+  std::vector<SteadyClock::time_point> out_reconnect_at_;  // max() = none
+  std::vector<ReliableReceiver> in_recv_;  // by in slot
+  std::vector<std::uint64_t> in_ack_attempts_;  // ack fault stream
+  // Frames held back by delay/reorder faults, fired by the reactor.
+  struct DelayedWire {
+    bool is_ack = false;
+    std::size_t slot = 0;   // out slot (data) / in slot (ack)
+    std::uint64_t seq = 0;  // data only
+  };
+  std::multimap<SteadyClock::time_point, DelayedWire> delayed_;
+  // Replaced connection fds are shut down but closed only at destruction,
+  // so a racing shutdown() snapshot of channel_fd_ can never hit a reused
+  // descriptor number.
+  std::vector<int> retired_fds_;
 
   std::mutex mutex_;
   std::deque<std::function<void(ProcessContext&, Process&)>> closures_;
@@ -207,11 +253,22 @@ TcpRuntime::Worker::Worker(TcpRuntime& runtime, ProcessId id,
                            ProcessPtr process, Rng rng)
     : runtime_(runtime), id_(id), process_(std::move(process)), rng_(rng) {
   context_ = std::make_unique<TcpProcessContext>(*this);
+  if (runtime_.config_.faults) {
+    for (const ChannelId channel : runtime_.topology_.out_channels(id_)) {
+      out_channels_.push_back(channel);
+    }
+    const std::size_t n = out_channels_.size();
+    out_parsers_.resize(n);
+    rel_send_.assign(n, ReliableSender(runtime_.config_.reliable));
+    out_attempts_.assign(n, 0);
+    out_reconnect_at_.assign(n, SteadyClock::time_point::max());
+  }
 }
 
 TcpRuntime::Worker::~Worker() {
   stop_and_join();
   for (int& fd : in_fds_) close_fd(fd);
+  for (int& fd : retired_fds_) close_fd(fd);
   close_fd(listen_fd_);
   close_fd(pipe_read_);
   close_fd(pipe_write_);
@@ -267,6 +324,10 @@ bool TcpRuntime::Worker::accept_inbound() {
     in_fds_.push_back(fd);
     in_channels_.push_back(ChannelId(channel_id));
     in_parsers_.emplace_back();
+    if (runtime_.config_.faults) {
+      in_recv_.emplace_back();
+      in_ack_attempts_.push_back(0);
+    }
   }
   return true;
 }
@@ -323,10 +384,17 @@ void TcpRuntime::Worker::cancel_timer(TimerId timer) {
 }
 
 int TcpRuntime::Worker::poll_timeout_ms() {
-  std::lock_guard<std::mutex> guard{mutex_};
-  if (!closures_.empty()) return 0;
-  if (timers_.empty()) return -1;
-  const auto deadline = timers_.begin()->first.first;
+  auto deadline = SteadyClock::time_point::max();
+  {
+    std::lock_guard<std::mutex> guard{mutex_};
+    if (!closures_.empty()) return 0;
+    if (!timers_.empty()) deadline = timers_.begin()->first.first;
+  }
+  if (runtime_.config_.faults) {
+    const auto rel = rel_next_deadline();
+    if (rel < deadline) deadline = rel;
+  }
+  if (deadline == SteadyClock::time_point::max()) return -1;
   const auto now = SteadyClock::now();
   if (deadline <= now) return 0;
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -393,7 +461,11 @@ bool TcpRuntime::Worker::drain_fd(std::size_t slot) {
     alive = false;
     break;
   }
-  parse_frames(slot);
+  if (runtime_.config_.faults) {
+    rel_parse_in_frames(slot);
+  } else {
+    parse_frames(slot);
+  }
   if (parser.corrupt()) {
     DDBG_ERROR() << "tcp: frame length " << parser.rejected_frame_len()
                  << " exceeds cap on " << to_string(in_channels_[slot])
@@ -460,7 +532,27 @@ void TcpRuntime::Worker::flush_sends() {
       // Failed writes are expected while shutting down (channels are
       // half-closed to unblock writers); only a live-system failure is
       // news.
-      if (!runtime_.stopped_.load(std::memory_order_relaxed)) {
+      const bool live =
+          !runtime_.stopped_.load(std::memory_order_relaxed) &&
+          !stopping_.load(std::memory_order_relaxed);
+      if (runtime_.config_.faults) {
+        // The connection is gone mid-flush, but nothing is lost: every
+        // data frame in this batch is still staged in the retransmit
+        // window, so kick reconnect-with-resync and let the replay carry
+        // them.  A failed ack frame needs no action — the sender's
+        // retransmit covers the gap and a later cumulative ack supersedes
+        // this one.
+        if (live && !pending_sends_[i].is_ack) {
+          if (runtime_.channel_fd_[channel.value()].load() >= 0) {
+            runtime_.metrics_.on_channel_down();
+          }
+          rel_begin_reconnect(out_slot(channel));
+        }
+      } else if (live) {
+        // Bare-TCP mode has no retransmit window: this batch of staged
+        // frames is lost with the connection.  Count the event so tests
+        // and operators see the drop instead of relying on a log line.
+        runtime_.metrics_.on_channel_down();
         DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
       }
     }
@@ -472,6 +564,13 @@ void TcpRuntime::Worker::flush_sends() {
 void TcpRuntime::Worker::thread_main() {
   process_->on_start(*context_);
   flush_sends();
+
+  if (runtime_.config_.faults) {
+    // Reliability mode rebuilds its poll set per iteration (fds come and
+    // go with reconnects) — a different loop entirely.
+    rel_reactor();
+    return;
+  }
 
   std::vector<pollfd> fds;
   fds.push_back(pollfd{pipe_read_, POLLIN, 0});
@@ -520,6 +619,434 @@ void TcpRuntime::Worker::thread_main() {
 }
 
 // ---------------------------------------------------------------------------
+// Worker: reliability layer
+// ---------------------------------------------------------------------------
+
+std::size_t TcpRuntime::Worker::out_slot(ChannelId channel) const {
+  for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
+    if (out_channels_[slot] == channel) return slot;
+  }
+  DDBG_ASSERT(false, "channel is not sourced by this worker");
+  return 0;
+}
+
+void TcpRuntime::Worker::rel_send_message(ChannelId channel,
+                                          const Message& message) {
+  const std::size_t slot = out_slot(channel);
+  // Bytes accounted once per logical send, like the bare-TCP path; the
+  // wire frame itself is rebuilt per transmission attempt, and the size is
+  // stashed alongside the staged message so retransmissions never
+  // re-measure.
+  const std::uint64_t wire = message.encoded_size();
+  runtime_.metrics_.on_send(channel.value(), traffic_class(message.kind),
+                            static_cast<std::uint32_t>(wire));
+  const std::uint64_t seq =
+      rel_send_[slot].stage(message, wire, runtime_.now());
+  rel_transmit(slot, seq);
+}
+
+void TcpRuntime::Worker::rel_transmit(std::size_t slot, std::uint64_t seq) {
+  if (rel_send_[slot].peek(seq) == nullptr) return;  // acked meanwhile
+  const ChannelId channel = out_channels_[slot];
+  const std::uint64_t attempt = out_attempts_[slot]++;
+  const FaultDecision fault =
+      runtime_.config_.faults->decide(channel, attempt);
+  switch (fault.kind) {
+    case FaultKind::kNone:
+      rel_write_data(slot, seq);
+      return;
+    case FaultKind::kDrop:
+    case FaultKind::kPartition:
+      // Swallowed by the adversary; the retransmit timer recovers.
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      return;
+    case FaultKind::kReset:
+      // Connection torn down under the frame: quarantine the fd and dial
+      // again after a backoff.  Resync on the fresh connection replays the
+      // whole unacked window, this frame included.
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      if (runtime_.channel_fd_[channel.value()].load() >= 0) {
+        runtime_.metrics_.on_channel_down();
+      }
+      rel_begin_reconnect(slot);
+      return;
+    case FaultKind::kDuplicate:
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      rel_write_data(slot, seq);
+      rel_write_data(slot, seq);
+      return;
+    case FaultKind::kReorder:
+    case FaultKind::kDelay:
+      // Held back and fired by the reactor; later frames on the channel
+      // overtake this one on the wire, and the receiver's sequencer puts
+      // the order back.
+      runtime_.metrics_.on_fault(fault_index(fault.kind));
+      delayed_.emplace(SteadyClock::now() +
+                           std::chrono::nanoseconds(fault.extra_delay.ns),
+                       DelayedWire{false, slot, seq});
+      return;
+  }
+}
+
+void TcpRuntime::Worker::rel_write_data(std::size_t slot, std::uint64_t seq) {
+  const ReliableSender::Staged* staged = rel_send_[slot].peek(seq);
+  if (staged == nullptr) return;  // acked before a delayed copy fired
+  const ChannelId channel = out_channels_[slot];
+  const int fd = runtime_.channel_fd_[channel.value()].load();
+  if (fd < 0) return;  // channel down; reconnect resync replays the window
+  BufferPool::Lease lease = pool_.acquire();
+  runtime_.metrics_.on_pool_acquire(lease.reused());
+  Bytes& frame = lease.bytes();
+  const std::size_t header_at = begin_frame(frame);
+  ByteWriter writer(frame);
+  RelHeader header;
+  header.tag = RelHeader::kData;
+  header.seq = seq;
+  header.encode(writer);
+  staged->message.encode(writer);
+  end_frame(frame, header_at);
+  PendingSend pending;
+  pending.channel = channel;
+  pending.fd = fd;
+  pending.frame = std::move(lease);
+  pending_sends_.push_back(std::move(pending));
+}
+
+void TcpRuntime::Worker::rel_write_ack(std::size_t in_slot) {
+  const std::uint64_t attempt = in_ack_attempts_[in_slot]++;
+  const FaultDecision fault =
+      runtime_.config_.faults->decide_ack(in_channels_[in_slot], attempt);
+  if (fault.kind == FaultKind::kDrop) {
+    // Cumulative acks make a lost one free: the next carries its news.
+    runtime_.metrics_.on_fault(fault_index(fault.kind));
+    return;
+  }
+  if (fault.kind == FaultKind::kDelay) {
+    runtime_.metrics_.on_fault(fault_index(fault.kind));
+    delayed_.emplace(SteadyClock::now() +
+                         std::chrono::nanoseconds(fault.extra_delay.ns),
+                     DelayedWire{true, in_slot, 0});
+    return;
+  }
+  rel_write_ack_frame(in_slot);
+}
+
+void TcpRuntime::Worker::rel_write_ack_frame(std::size_t in_slot) {
+  const int fd = in_fds_[in_slot];
+  if (fd < 0) return;  // connection being replaced; resync re-acks
+  BufferPool::Lease lease = pool_.acquire();
+  runtime_.metrics_.on_pool_acquire(lease.reused());
+  Bytes& frame = lease.bytes();
+  const std::size_t header_at = begin_frame(frame);
+  ByteWriter writer(frame);
+  RelHeader header;
+  header.tag = RelHeader::kAck;
+  header.cum_ack = in_recv_[in_slot].cum_ack();
+  header.encode(writer);
+  end_frame(frame, header_at);
+  PendingSend pending;
+  pending.channel = in_channels_[in_slot];
+  pending.fd = fd;
+  pending.is_ack = true;
+  pending.frame = std::move(lease);
+  pending_sends_.push_back(std::move(pending));
+}
+
+void TcpRuntime::Worker::rel_parse_in_frames(std::size_t slot) {
+  FrameParser& parser = in_parsers_[slot];
+  const ChannelId channel = in_channels_[slot];
+  std::size_t delivered = 0;
+  bool arrived = false;
+  std::vector<ReliableReceiver::Delivery> releases;
+  while (const auto body = parser.next()) {
+    ByteReader reader(*body);
+    auto header = RelHeader::decode(reader);
+    if (!header.ok()) {
+      DDBG_ERROR() << "tcp: bad reliable frame on " << to_string(channel)
+                   << ": " << header.error().to_string();
+      continue;
+    }
+    if (header.value().tag != RelHeader::kData) continue;
+    auto message = Message::decode(reader);
+    if (!message.ok()) {
+      DDBG_ERROR() << "tcp: bad frame on " << to_string(channel) << ": "
+                   << message.error().to_string();
+      continue;
+    }
+    arrived = true;
+    const std::uint64_t wire = body->size() - kRelHeaderSize;
+    releases.clear();
+    const auto accept = in_recv_[slot].on_frame(
+        header.value().seq, std::move(message).value(), wire, releases);
+    if (accept == ReliableReceiver::Accept::kDuplicate) {
+      runtime_.metrics_.on_dup_suppressed();
+    }
+    for (auto& release : releases) {
+      ++delivered;
+      runtime_.metrics_.on_deliver(
+          channel.value(), traffic_class(release.message.kind),
+          static_cast<std::uint32_t>(release.meta));
+      process_->on_message(*context_, channel, std::move(release.message));
+    }
+  }
+  // One cumulative ack per drained batch — it carries the furthest
+  // in-order point whether the batch delivered, buffered or suppressed.
+  if (arrived) rel_write_ack(slot);
+  if (delivered > 0) runtime_.metrics_.on_deliver_batch(delivered);
+}
+
+void TcpRuntime::Worker::rel_on_ack_fd(std::size_t slot) {
+  const int fd = runtime_.channel_fd_[out_channels_[slot].value()].load();
+  if (fd < 0) return;
+  FrameParser& parser = out_parsers_[slot];
+  std::uint8_t chunk[4096];
+  bool alive = true;
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      parser.append(
+          std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    alive = false;
+    break;
+  }
+  while (const auto body = parser.next()) {
+    ByteReader reader(*body);
+    auto header = RelHeader::decode(reader);
+    if (!header.ok() || header.value().tag != RelHeader::kAck) continue;
+    rel_send_[slot].ack(header.value().cum_ack);
+  }
+  if (parser.corrupt()) alive = false;
+  if (!alive && !stopping_.load(std::memory_order_relaxed) &&
+      !runtime_.stopped_.load(std::memory_order_relaxed)) {
+    // The destination closed its end (or the stream corrupted): real
+    // channel loss, same recovery as an injected reset.
+    runtime_.metrics_.on_channel_down();
+    rel_begin_reconnect(slot);
+  }
+}
+
+void TcpRuntime::Worker::retire_out_fd(int fd) {
+  // shutdown() now, close() at worker destruction: a concurrently running
+  // TcpRuntime::shutdown may have snapshotted this fd, and keeping the
+  // number allocated guarantees its ::shutdown can never hit a stranger.
+  ::shutdown(fd, SHUT_RDWR);
+  retired_fds_.push_back(fd);
+}
+
+void TcpRuntime::Worker::rel_begin_reconnect(std::size_t slot) {
+  if (stopping_.load(std::memory_order_relaxed) ||
+      runtime_.stopped_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const ChannelId channel = out_channels_[slot];
+  const int old = runtime_.channel_fd_[channel.value()].exchange(-1);
+  if (old >= 0) retire_out_fd(old);
+  out_parsers_[slot] = FrameParser();
+  if (out_reconnect_at_[slot] == SteadyClock::time_point::max()) {
+    out_reconnect_at_[slot] =
+        SteadyClock::now() +
+        std::chrono::nanoseconds(runtime_.config_.reliable.rto_initial.ns);
+  }
+}
+
+void TcpRuntime::Worker::rel_try_reconnect(std::size_t slot) {
+  out_reconnect_at_[slot] = SteadyClock::time_point::max();
+  if (stopping_.load(std::memory_order_relaxed) ||
+      runtime_.stopped_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const ChannelId channel = out_channels_[slot];
+  const ChannelSpec& spec = runtime_.topology_.channel(channel);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  bool ok = fd >= 0;
+  if (ok) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(runtime_.workers_[spec.destination.value()]->port());
+    ok = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  if (ok) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint32_t channel_id = channel.value();
+    std::uint8_t hello[4];
+    std::memcpy(hello, &channel_id, sizeof(channel_id));
+    ok = write_all(fd, hello, sizeof(hello));
+  }
+  if (!ok) {
+    if (fd >= 0) ::close(fd);
+    out_reconnect_at_[slot] =
+        SteadyClock::now() +
+        std::chrono::nanoseconds(runtime_.config_.reliable.rto_initial.ns);
+    return;
+  }
+  const int old = runtime_.channel_fd_[channel.value()].exchange(fd);
+  if (old >= 0) retire_out_fd(old);
+  out_parsers_[slot] = FrameParser();
+  runtime_.metrics_.on_reconnect();
+  // Resync: everything unacked becomes due at once and flows out through
+  // the normal retransmit path (counted as both replayed and retransmits).
+  const std::size_t replayed = rel_send_[slot].mark_all_due(runtime_.now());
+  if (replayed > 0) runtime_.metrics_.on_resync_replayed(replayed);
+}
+
+void TcpRuntime::Worker::accept_runtime_connection() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Same 4-byte channel-id hello as the startup dial.  The dialer writes
+  // it immediately after connect, so this blocking read is momentary.
+  std::uint8_t hello[4];
+  std::size_t got = 0;
+  while (got < sizeof(hello)) {
+    const ssize_t n = ::read(fd, hello + got, sizeof(hello) - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  std::uint32_t channel_id = 0;
+  std::memcpy(&channel_id, hello, sizeof(channel_id));
+  for (std::size_t slot = 0; slot < in_channels_.size(); ++slot) {
+    if (in_channels_[slot].value() != channel_id) continue;
+    if (in_fds_[slot] >= 0) retire_out_fd(in_fds_[slot]);
+    in_fds_[slot] = fd;
+    in_parsers_[slot] = FrameParser();
+    // in_recv_[slot] survives on purpose: its delivered-prefix state is
+    // exactly what suppresses the replayed frames the reconnecting sender
+    // is about to resend.
+    return;
+  }
+  DDBG_ERROR() << "tcp: reconnect hello for unknown channel " << channel_id;
+  ::close(fd);
+}
+
+void TcpRuntime::Worker::rel_fire_due() {
+  const auto now = SteadyClock::now();
+  for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
+    if (out_reconnect_at_[slot] <= now) rel_try_reconnect(slot);
+  }
+  while (!delayed_.empty() && delayed_.begin()->first <= now) {
+    const DelayedWire wire = delayed_.begin()->second;
+    delayed_.erase(delayed_.begin());
+    // No second fault roll: the frame already paid its delay.
+    if (wire.is_ack) {
+      rel_write_ack_frame(wire.slot);
+    } else {
+      rel_write_data(wire.slot, wire.seq);
+    }
+  }
+  for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
+    for (const std::uint64_t seq : rel_send_[slot].due(runtime_.now())) {
+      runtime_.metrics_.on_retransmit();
+      rel_transmit(slot, seq);
+    }
+  }
+}
+
+SteadyClock::time_point TcpRuntime::Worker::rel_next_deadline() const {
+  auto deadline = SteadyClock::time_point::max();
+  for (const auto at : out_reconnect_at_) {
+    if (at < deadline) deadline = at;
+  }
+  if (!delayed_.empty() && delayed_.begin()->first < deadline) {
+    deadline = delayed_.begin()->first;
+  }
+  for (const auto& sender : rel_send_) {
+    if (const auto next = sender.next_deadline()) {
+      const auto when = runtime_.epoch_ + std::chrono::nanoseconds(next->ns);
+      if (when < deadline) deadline = when;
+    }
+  }
+  return deadline;
+}
+
+void TcpRuntime::Worker::rel_reactor() {
+  // The poll set is rebuilt every iteration: in-fds get replaced by
+  // reconnecting peers, out-fds by our own re-dials, and the listener must
+  // always be watched for those dials.  refs[i] says what fds[i] is.
+  struct FdRef {
+    std::uint8_t type = 0;  // 0 = wake pipe, 1 = in, 2 = listener, 3 = out
+    std::size_t slot = 0;
+  };
+  std::vector<pollfd> fds;
+  std::vector<FdRef> refs;
+  std::deque<std::function<void(ProcessContext&, Process&)>> batch;
+  while (!stopping_.load()) {
+    poll_iterations_.fetch_add(1, std::memory_order_relaxed);
+    fds.clear();
+    refs.clear();
+    fds.push_back(pollfd{pipe_read_, POLLIN, 0});
+    refs.push_back(FdRef{0, 0});
+    for (std::size_t slot = 0; slot < in_fds_.size(); ++slot) {
+      if (in_fds_[slot] < 0) continue;
+      fds.push_back(pollfd{in_fds_[slot], POLLIN, 0});
+      refs.push_back(FdRef{1, slot});
+    }
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    refs.push_back(FdRef{2, 0});
+    for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
+      const int fd =
+          runtime_.channel_fd_[out_channels_[slot].value()].load();
+      if (fd < 0) continue;
+      // Watched for acks flowing backwards (and for EOF on peer loss).
+      fds.push_back(pollfd{fd, POLLIN, 0});
+      refs.push_back(FdRef{3, slot});
+    }
+
+    const int timeout = poll_timeout_ms();
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) break;
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      switch (refs[i].type) {
+        case 0: {
+          std::uint8_t sink[256];
+          (void)!::read(pipe_read_, sink, sizeof(sink));
+          break;
+        }
+        case 1:
+          if (!drain_fd(refs[i].slot)) {
+            // Peer's send side went away (injected reset or real close):
+            // quarantine the fd and wait for the reconnect dial.
+            retire_out_fd(in_fds_[refs[i].slot]);
+            in_fds_[refs[i].slot] = -1;
+          }
+          break;
+        case 2:
+          accept_runtime_connection();
+          break;
+        case 3:
+          rel_on_ack_fd(refs[i].slot);
+          break;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> guard{mutex_};
+      batch.swap(closures_);
+    }
+    for (auto& closure : batch) closure(*context_, *process_);
+    batch.clear();
+
+    fire_due_timers();
+    rel_fire_due();
+    flush_sends();
+  }
+  flush_sends();
+}
+
+// ---------------------------------------------------------------------------
 // TcpRuntime
 // ---------------------------------------------------------------------------
 
@@ -537,13 +1064,17 @@ TcpRuntime::TcpRuntime(Topology topology, std::vector<ProcessPtr> processes,
         *this, ProcessId(static_cast<std::uint32_t>(i)),
         std::move(processes[i]), root.fork()));
   }
-  channel_fd_.assign(topology_.num_channels(), -1);
+  channel_fd_ = std::vector<std::atomic<int>>(topology_.num_channels());
+  for (auto& fd : channel_fd_) fd.store(-1, std::memory_order_relaxed);
   epoch_ = SteadyClock::now();
 }
 
 TcpRuntime::~TcpRuntime() {
   shutdown();
-  for (int& fd : channel_fd_) close_fd(fd);
+  for (auto& slot : channel_fd_) {
+    const int fd = slot.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
 }
 
 bool TcpRuntime::start() {
@@ -574,7 +1105,7 @@ bool TcpRuntime::start() {
       ::close(fd);
       return false;
     }
-    channel_fd_[spec.id.value()] = fd;
+    channel_fd_[spec.id.value()].store(fd);
   }
   for (auto& worker : workers_) {
     if (!worker->accept_inbound()) return false;
@@ -592,7 +1123,8 @@ void TcpRuntime::shutdown() {
   // itself shutting down.  ::shutdown (unlike ::close) is safe while
   // another thread uses the fd, and pending inbox data is dropped by
   // contract.
-  for (const int fd : channel_fd_) {
+  for (const auto& slot : channel_fd_) {
+    const int fd = slot.load();
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
   for (auto& worker : workers_) worker->stop_and_join();
@@ -634,7 +1166,14 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
   if (message.message_id == 0) {
     message.message_id = next_message_id_.fetch_add(1);
   }
-  const int fd = channel_fd_[channel.value()];
+  if (config_.faults) {
+    // Reliability path: stage in the sending worker's retransmit window
+    // and transmit under the fault plan.  The channel fd is legitimately
+    // -1 mid-reconnect; the window replays once the new connection is up.
+    workers_[sender.value()]->rel_send_message(channel, message);
+    return;
+  }
+  const int fd = channel_fd_[channel.value()].load();
   DDBG_ASSERT(fd >= 0, "channel not connected");
   // do_send runs on the sender's own worker thread, so the frame encodes
   // into that worker's pooled buffer and queues for the next flush: a
@@ -645,7 +1184,7 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
 
 void TcpRuntime::half_close_channel(ChannelId channel) {
   DDBG_ASSERT(channel.value() < channel_fd_.size(), "unknown channel");
-  const int fd = channel_fd_[channel.value()];
+  const int fd = channel_fd_[channel.value()].load();
   if (fd >= 0) ::shutdown(fd, SHUT_WR);
 }
 

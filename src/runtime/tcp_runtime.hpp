@@ -22,7 +22,9 @@
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "net/fault_plan.hpp"
 #include "net/process.hpp"
+#include "net/reliable.hpp"
 #include "net/topology.hpp"
 #include "net/transport_hooks.hpp"
 
@@ -30,6 +32,15 @@ namespace ddbg {
 
 struct TcpRuntimeConfig {
   std::uint64_t seed = 1;
+  // Fault adversary.  When set, every frame carries a reliability header
+  // (per-channel sequence numbers out, cumulative acks back on the same
+  // socket), sends are held in a retransmit window until acked, and a
+  // connection reset — injected or real — triggers reconnect-with-resync:
+  // the source re-dials the destination's listener and replays every
+  // unacked frame, with the receiver suppressing what it already saw.
+  // Null (default) keeps the bare-TCP fast path untouched.
+  std::shared_ptr<FaultPlan> faults;
+  ReliableConfig reliable;
 };
 
 class TcpRuntime {
@@ -84,7 +95,10 @@ class TcpRuntime {
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
   // fd of the sending end of each channel (owned by the source's worker).
-  std::vector<int> channel_fd_;
+  // Atomic because with reliability enabled the source worker replaces the
+  // fd on reconnect while shutdown()/half_close_channel() read it from
+  // another thread.
+  std::vector<std::atomic<int>> channel_fd_;
   std::atomic<std::uint64_t> next_message_id_{1};
   // Per-runtime (not static): ids restart at 1 for every instance, so runs
   // are deterministic per instance and long test suites cannot wrap.

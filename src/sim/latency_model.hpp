@@ -47,12 +47,21 @@ class UniformLatency final : public LatencyModel {
 // hop strictly positive.
 class ExponentialLatency final : public LatencyModel {
  public:
+  // The exponential tail is unbounded but the simulator's clock is int64
+  // nanoseconds, and casting an out-of-range double to int64 is UB.  Any
+  // sample beyond this cap is clamped: one virtual hour is ~9 orders of
+  // magnitude above the means experiments use, so the clamp never distorts
+  // real sweeps, it only keeps pathological tail draws defined.
+  static constexpr Duration kMaxExtraDelay = Duration::seconds(3600);
+
   ExponentialLatency(Duration mean, Duration min_delay)
       : mean_(mean), min_(min_delay) {}
   Duration sample(ChannelId, Rng& rng) override {
-    const auto extra = static_cast<std::int64_t>(
-        rng.next_exponential(static_cast<double>(mean_.ns)));
-    return Duration{min_.ns + extra};
+    double extra = rng.next_exponential(static_cast<double>(mean_.ns));
+    if (extra > static_cast<double>(kMaxExtraDelay.ns)) {
+      extra = static_cast<double>(kMaxExtraDelay.ns);
+    }
+    return Duration{min_.ns + static_cast<std::int64_t>(extra)};
   }
 
  private:

@@ -71,6 +71,15 @@ Simulation::Simulation(Topology topology, std::vector<ProcessPtr> processes,
   channel_clear_time_.assign(topology_.num_channels(), TimePoint{0});
   channel_in_flight_.assign(topology_.num_channels(), 0);
   channel_send_seq_.assign(topology_.num_channels(), 0);
+  if (config_.faults) {
+    rel_send_.assign(topology_.num_channels(),
+                     ReliableSender(config_.reliable));
+    rel_recv_.assign(topology_.num_channels(), ReliableReceiver());
+    channel_attempts_.assign(topology_.num_channels(), 0);
+    channel_ack_attempts_.assign(topology_.num_channels(), 0);
+    retry_pending_.assign(topology_.num_channels(), 0);
+    reconnect_pending_.assign(topology_.num_channels(), 0);
+  }
 
   // Schedule on_start for every process at t=0, in id order.
   for (std::size_t i = 0; i < processes_.size(); ++i) {
@@ -228,6 +237,16 @@ void Simulation::dispatch(Event& event) {
       event.closure(ctx, *processes_[event.target.value()]);
       break;
     }
+    case Event::Kind::kRelFrame:
+      on_rel_frame(event);
+      break;
+    case Event::Kind::kRelAck:
+      rel_send_[event.channel.value()].ack(event.rel_seq);
+      break;
+    case Event::Kind::kRelRetry:
+      retry_pending_[event.channel.value()] = 0;
+      check_retries(event.channel);
+      break;
   }
 }
 
@@ -253,28 +272,34 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
   if (observer_ != nullptr) observer_->on_send(now_, channel, message);
 
+  ++channel_in_flight_[channel.value()];
+  metrics_.observe_backlog(channel.value(),
+                           channel_in_flight_[channel.value()]);
+
+  if (config_.faults) {
+    // Lossy transport: stage in the retransmit window, then subject the
+    // first physical transmission attempt to the fault plan.  In-order
+    // release is the receiver's job, so no FIFO floor here.
+    const std::uint64_t seq = rel_send_[channel.value()].stage(
+        std::move(message), wire_bytes, now_);
+    transmit_frame(channel, seq);
+    schedule_retry_check(channel);
+    return;
+  }
+
   // Latency is drawn from a stateless per-message stream keyed by
   // (seed, channel, per-channel sequence number) rather than a shared
   // generator.  Two runs that execute identical prefixes therefore see
   // identical delays for the shared prefix even if they diverge later —
   // the property the S_h == S_r equivalence experiment rests on.
   const std::uint64_t seq = channel_send_seq_[channel.value()]++;
-  Rng latency_rng(config_.seed ^
-                  (static_cast<std::uint64_t>(channel.value()) + 1) *
-                      0x9e3779b97f4a7c15ULL ^
-                  (seq + 1) * 0xc2b2ae3d27d4eb4fULL);
-  const Duration delay = config_.latency->sample(channel, latency_rng);
-  DDBG_ASSERT(delay.ns >= 0, "latency must be non-negative");
+  const Duration delay = sample_latency(channel, seq);
   TimePoint deliver_at = now_ + delay;
   // FIFO enforcement: never deliver before a previously sent message on the
   // same channel.
   TimePoint& clear_time = channel_clear_time_[channel.value()];
   if (deliver_at < clear_time) deliver_at = clear_time;
   clear_time = deliver_at;
-
-  ++channel_in_flight_[channel.value()];
-  metrics_.observe_backlog(channel.value(),
-                           channel_in_flight_[channel.value()]);
 
   auto event = std::make_unique<Event>();
   event->when = deliver_at;
@@ -284,6 +309,160 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   event->message = std::move(message);
   event->wire_bytes = wire_bytes;
   push_event(std::move(event));
+}
+
+Duration Simulation::sample_latency(ChannelId channel, std::uint64_t key) {
+  Rng latency_rng(config_.seed ^
+                  (static_cast<std::uint64_t>(channel.value()) + 1) *
+                      0x9e3779b97f4a7c15ULL ^
+                  (key + 1) * 0xc2b2ae3d27d4eb4fULL);
+  const Duration delay = config_.latency->sample(channel, latency_rng);
+  DDBG_ASSERT(delay.ns >= 0, "latency must be non-negative");
+  return delay;
+}
+
+void Simulation::transmit_frame(ChannelId channel, std::uint64_t seq) {
+  const std::size_t c = channel.value();
+  const ReliableSender::Staged* staged = rel_send_[c].peek(seq);
+  if (staged == nullptr) return;  // acked while a retry was queued
+  const std::uint64_t attempt = channel_attempts_[c]++;
+  const FaultDecision fault = config_.faults->decide(channel, attempt);
+  Duration delay = sample_latency(channel, attempt);
+
+  switch (fault.kind) {
+    case FaultKind::kDrop:
+    case FaultKind::kPartition:
+      metrics_.on_fault(fault_index(fault.kind));
+      return;  // frame vanishes; the retransmit timer recovers
+    case FaultKind::kReset: {
+      metrics_.on_fault(fault_index(fault.kind));
+      metrics_.on_channel_down();
+      // The frame is lost with the connection.  Model reconnection as a
+      // delayed resync: once the channel is back, every unacked frame is
+      // replayed (at most one reconnect in flight per channel).
+      if (reconnect_pending_[c] != 0) return;
+      reconnect_pending_[c] = 1;
+      schedule_call(now_ + config_.reliable.rto_initial, [this, channel] {
+        const std::size_t cc = channel.value();
+        reconnect_pending_[cc] = 0;
+        metrics_.on_reconnect();
+        const std::size_t replayed = rel_send_[cc].mark_all_due(now_);
+        metrics_.on_resync_replayed(replayed);
+        check_retries(channel);
+      });
+      return;
+    }
+    case FaultKind::kDuplicate: {
+      metrics_.on_fault(fault_index(fault.kind));
+      // Second copy rides a delay drawn from the ack stream's key space so
+      // it is independent of (and often overtakes) the first.
+      const Duration dup_delay =
+          sample_latency(channel, attempt ^ 0x8000000000000000ULL);
+      auto dup = std::make_unique<Event>();
+      dup->when = now_ + dup_delay;
+      dup->kind = Event::Kind::kRelFrame;
+      dup->target = topology_.channel(channel).destination;
+      dup->channel = channel;
+      dup->rel_seq = seq;
+      dup->message = staged->message;
+      dup->wire_bytes = static_cast<std::uint32_t>(staged->meta);
+      push_event(std::move(dup));
+      break;
+    }
+    case FaultKind::kReorder:
+    case FaultKind::kDelay:
+      metrics_.on_fault(fault_index(fault.kind));
+      delay = delay + fault.extra_delay;
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+
+  auto event = std::make_unique<Event>();
+  event->when = now_ + delay;
+  event->kind = Event::Kind::kRelFrame;
+  event->target = topology_.channel(channel).destination;
+  event->channel = channel;
+  event->rel_seq = seq;
+  event->message = staged->message;
+  event->wire_bytes = static_cast<std::uint32_t>(staged->meta);
+  push_event(std::move(event));
+}
+
+void Simulation::schedule_retry_check(ChannelId channel) {
+  const std::size_t c = channel.value();
+  if (retry_pending_[c] != 0) return;
+  const auto deadline = rel_send_[c].next_deadline();
+  if (!deadline.has_value()) return;
+  retry_pending_[c] = 1;
+  auto event = std::make_unique<Event>();
+  event->when = *deadline < now_ ? now_ : *deadline;
+  event->kind = Event::Kind::kRelRetry;
+  event->channel = channel;
+  push_event(std::move(event));
+}
+
+void Simulation::check_retries(ChannelId channel) {
+  const std::size_t c = channel.value();
+  for (const std::uint64_t seq : rel_send_[c].due(now_)) {
+    metrics_.on_retransmit();
+    transmit_frame(channel, seq);
+  }
+  schedule_retry_check(channel);
+}
+
+void Simulation::send_ack(ChannelId channel) {
+  const std::size_t c = channel.value();
+  const std::uint64_t attempt = channel_ack_attempts_[c]++;
+  const FaultDecision fault = config_.faults->decide_ack(channel, attempt);
+  if (fault.kind == FaultKind::kDrop) {
+    metrics_.on_fault(fault_index(fault.kind));
+    return;  // a later (re)transmission elicits a fresh ack
+  }
+  Duration delay =
+      sample_latency(channel, attempt ^ 0x4000000000000000ULL);
+  if (fault.kind == FaultKind::kDelay) {
+    metrics_.on_fault(fault_index(fault.kind));
+    delay = delay + fault.extra_delay;
+  }
+  auto event = std::make_unique<Event>();
+  event->when = now_ + delay;
+  event->kind = Event::Kind::kRelAck;
+  event->channel = channel;
+  event->rel_seq = rel_recv_[c].cum_ack();
+  push_event(std::move(event));
+}
+
+void Simulation::on_rel_frame(Event& event) {
+  const std::size_t c = event.channel.value();
+  std::vector<ReliableReceiver::Delivery> released;
+  const auto accept = rel_recv_[c].on_frame(
+      event.rel_seq, std::move(event.message), event.wire_bytes, released);
+  if (accept == ReliableReceiver::Accept::kDuplicate) {
+    metrics_.on_dup_suppressed();
+  }
+  for (auto& delivery : released) {
+    release_delivery(event.channel, event.target, std::move(delivery.message),
+                     static_cast<std::uint32_t>(delivery.meta));
+  }
+  // Ack every arrival, duplicates included: a re-ack is what stops the
+  // sender retransmitting a frame whose ack was lost.
+  send_ack(event.channel);
+}
+
+void Simulation::release_delivery(ChannelId channel, ProcessId target,
+                                  Message message, std::uint32_t wire_bytes) {
+  const std::size_t c = channel.value();
+  DDBG_ASSERT(channel_in_flight_[c] > 0, "release without a send");
+  --channel_in_flight_[c];
+  metrics_.on_deliver(channel.value(), traffic_class(message.kind),
+                      wire_bytes);
+  metrics_.on_deliver_batch(1);
+  if (observer_ != nullptr) {
+    observer_->on_deliver(now_, channel, message);
+  }
+  auto& ctx = *contexts_[target.value()];
+  processes_[target.value()]->on_message(ctx, channel, std::move(message));
 }
 
 TimerId Simulation::do_set_timer(ProcessId owner, Duration delay) {

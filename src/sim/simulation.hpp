@@ -20,7 +20,9 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "net/fault_plan.hpp"
 #include "net/process.hpp"
+#include "net/reliable.hpp"
 #include "net/topology.hpp"
 #include "net/transport_hooks.hpp"
 #include "sim/latency_model.hpp"
@@ -33,6 +35,13 @@ struct SimulationConfig {
   std::unique_ptr<LatencyModel> latency;
   // Hard stop for run_until_quiescent, to bound runaway programs.
   TimePoint max_time{Duration::seconds(3600).ns};
+  // Fault adversary.  When set, every transmission attempt consults the
+  // plan and the reliability layer (seq/ack/retransmit, net/reliable.hpp)
+  // re-establishes exactly-once FIFO delivery underneath the processes.
+  // When null (the default) the ideal-channel fast path runs untouched.
+  std::shared_ptr<FaultPlan> faults;
+  // Retransmit timing when `faults` is set.
+  ReliableConfig reliable;
 };
 
 class Simulation {
@@ -100,9 +109,22 @@ class Simulation {
   struct Event {
     TimePoint when;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    enum class Kind { kStart, kDeliver, kTimer, kCall, kClosure } kind;
+    // kRelFrame/kRelAck/kRelRetry exist only under a FaultPlan: a data
+    // frame arriving at the reliability receiver, a cumulative ack
+    // arriving back at the sender, and a retransmit-timer check.
+    enum class Kind {
+      kStart,
+      kDeliver,
+      kTimer,
+      kCall,
+      kClosure,
+      kRelFrame,
+      kRelAck,
+      kRelRetry,
+    } kind;
     ProcessId target;
     ChannelId channel;
+    std::uint64_t rel_seq = 0;  // kRelFrame: data seq; kRelAck: cum ack
     Message message;
     // Wire-encoded size, computed once at send time so delivery accounting
     // does not re-encode the message.
@@ -124,6 +146,19 @@ class Simulation {
   void dispatch(Event& event);
   void do_send(ProcessId sender, ChannelId channel, Message message);
   TimerId do_set_timer(ProcessId owner, Duration delay);
+
+  // ---- reliability layer (faults != nullptr only) ----
+  [[nodiscard]] Duration sample_latency(ChannelId channel, std::uint64_t key);
+  // One physical transmission attempt of staged frame `seq`, subjected to
+  // the fault plan.
+  void transmit_frame(ChannelId channel, std::uint64_t seq);
+  // Retransmit everything due on `channel` and re-arm the retry event.
+  void check_retries(ChannelId channel);
+  void schedule_retry_check(ChannelId channel);
+  void send_ack(ChannelId channel);
+  void on_rel_frame(Event& event);
+  void release_delivery(ChannelId channel, ProcessId target, Message message,
+                        std::uint32_t wire_bytes);
 
   Topology topology_;
   std::vector<ProcessPtr> processes_;
@@ -147,6 +182,14 @@ class Simulation {
   std::vector<std::size_t> channel_in_flight_;
   // Per-channel send counts, keying the stateless latency streams.
   std::vector<std::uint64_t> channel_send_seq_;
+
+  // Reliability state, indexed by channel; empty unless config_.faults.
+  std::vector<ReliableSender> rel_send_;
+  std::vector<ReliableReceiver> rel_recv_;
+  std::vector<std::uint64_t> channel_attempts_;      // data fault stream
+  std::vector<std::uint64_t> channel_ack_attempts_;  // ack fault stream
+  std::vector<char> retry_pending_;      // a kRelRetry event is queued
+  std::vector<char> reconnect_pending_;  // a post-reset resync is queued
 
   obs::MetricsRegistry metrics_;
   // Wire-size accounting encodes every sent message; the pool keeps that

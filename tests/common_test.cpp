@@ -2,6 +2,7 @@
 // serialization round-trips.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <unordered_set>
 
@@ -117,6 +118,46 @@ TEST(Rng, NextInInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInDegenerateRange) {
+  // low == high is a valid (single-point) range, not a modulo-by-zero.
+  Rng rng(19);
+  EXPECT_EQ(rng.next_in(5, 5), 5);
+  EXPECT_EQ(rng.next_in(-3, -3), -3);
+  EXPECT_EQ(rng.next_in(std::numeric_limits<std::int64_t>::max(),
+                        std::numeric_limits<std::int64_t>::max()),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(rng.next_in(std::numeric_limits<std::int64_t>::min(),
+                        std::numeric_limits<std::int64_t>::min()),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Rng, NextInExtremeRanges) {
+  Rng rng(23);
+  // The full-int64 span overflows a uint64 width by one; the implementation
+  // must fall back to a raw draw rather than computing span = 0.
+  std::set<std::int64_t> full_range;
+  for (int i = 0; i < 100; ++i) {
+    full_range.insert(rng.next_in(std::numeric_limits<std::int64_t>::min(),
+                                  std::numeric_limits<std::int64_t>::max()));
+  }
+  EXPECT_GT(full_range.size(), 90u);  // essentially all distinct draws
+  // A range that crosses zero and nearly spans the type stays in bounds.
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v =
+        rng.next_in(std::numeric_limits<std::int64_t>::min() + 2,
+                    std::numeric_limits<std::int64_t>::max() - 2);
+    EXPECT_GE(v, std::numeric_limits<std::int64_t>::min() + 2);
+    EXPECT_LE(v, std::numeric_limits<std::int64_t>::max() - 2);
+  }
+  // Both endpoints of a tiny range are reachable (inclusive bounds).
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.next_in(std::numeric_limits<std::int64_t>::max() - 1,
+                            std::numeric_limits<std::int64_t>::max()));
+  }
+  EXPECT_EQ(seen.size(), 2u);
 }
 
 TEST(Rng, DoubleInUnitInterval) {

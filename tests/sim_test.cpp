@@ -2,6 +2,7 @@
 // order under random latencies, timers, determinism, injection.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -229,6 +230,26 @@ TEST(Simulation, RunUntilConditionStopsEarly) {
       TimePoint{Duration::seconds(1).ns});
   EXPECT_TRUE(met);
   EXPECT_EQ(chain_ptr->fire_times.size(), 5u);
+}
+
+TEST(Simulation, ExponentialLatencyClampsPathologicalTail) {
+  // A mean near the int64 ceiling makes nearly every exponential draw
+  // overflow Duration's nanosecond clock; the sample must clamp to the
+  // documented cap instead of hitting double->int64 UB.
+  const Duration min_delay = Duration::micros(1);
+  ExponentialLatency model(
+      Duration{std::numeric_limits<std::int64_t>::max() / 2}, min_delay);
+  Rng rng(31);
+  bool clamped = false;
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = model.sample(ChannelId(0), rng);
+    EXPECT_GE(d.ns, min_delay.ns);
+    EXPECT_LE(d.ns, min_delay.ns + ExponentialLatency::kMaxExtraDelay.ns);
+    if (d.ns == min_delay.ns + ExponentialLatency::kMaxExtraDelay.ns) {
+      clamped = true;
+    }
+  }
+  EXPECT_TRUE(clamped);  // the cap demonstrably engaged
 }
 
 TEST(Simulation, ExponentialLatencyStillFifo) {

@@ -19,8 +19,10 @@ LATENCY_KEYS = {"count", "total_ns", "min_ns", "max_ns"}
 TRANSPORT_KEYS = {
     "pool_hits", "pool_misses", "deliver_batches", "deliver_batch_messages",
     "max_deliver_batch", "write_batches", "write_batch_frames",
-    "max_write_batch",
+    "max_write_batch", "faults_injected", "retransmits", "dup_suppressed",
+    "reconnects", "resync_replayed", "channel_down",
 }
+FAULT_KINDS = ["drop", "duplicate", "reorder", "delay", "partition", "reset"]
 RUNTIMES = {"sim", "threads", "tcp"}
 
 
@@ -87,8 +89,32 @@ def check_snapshot(snap, where):
            f"{where}: transport keys {sorted(transport)} != "
            f"{sorted(TRANSPORT_KEYS)}")
     for key, value in transport.items():
+        if key == "faults_injected":
+            continue
         expect(isinstance(value, int) and value >= 0,
                f"{where}.transport: {key} not a non-negative int")
+    faults = transport["faults_injected"]
+    expect(isinstance(faults, dict) and list(faults) == FAULT_KINDS,
+           f"{where}.transport: faults_injected keys "
+           f"{sorted(faults) if isinstance(faults, dict) else faults} != "
+           f"{FAULT_KINDS}")
+    for kind, value in faults.items():
+        expect(isinstance(value, int) and value >= 0,
+               f"{where}.transport: faults_injected.{kind} "
+               f"not a non-negative int")
+    # Recovery counters only move when their cause did: a resync implies a
+    # reconnect; a reconnect implies a reset fault or an observed channel
+    # loss; a suppressed duplicate implies an injected duplicate or a
+    # retransmitted/replayed frame that raced its own ack.
+    expect(transport["resync_replayed"] == 0 or transport["reconnects"] > 0,
+           f"{where}.transport: resync_replayed without reconnects")
+    expect(transport["reconnects"] == 0 or
+           faults["reset"] + transport["channel_down"] > 0,
+           f"{where}.transport: reconnects without reset/channel_down")
+    expect(transport["dup_suppressed"] == 0 or
+           faults["duplicate"] + transport["retransmits"] +
+           transport["resync_replayed"] > 0,
+           f"{where}.transport: dup_suppressed without a duplicate source")
     # Every send acquires one pooled buffer; preloaded (restored) channel
     # contents acquire without a send, hence >= rather than ==.
     expect(transport["pool_hits"] + transport["pool_misses"] >=

@@ -23,3 +23,4 @@ ddbg_bench(bench_e8_unordered_cp)
 ddbg_bench(bench_e9_halt_order)
 ddbg_bench(bench_e10_naive_halt)
 ddbg_bench(bench_ablation_routing)
+ddbg_bench(bench_scale)

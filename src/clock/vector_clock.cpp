@@ -14,6 +14,9 @@ CausalOrder VectorClock::compare(const VectorClock& other) const {
     const std::uint64_t b = i < other.counts_.size() ? other.counts_[i] : 0;
     if (a < b) less_somewhere = true;
     if (a > b) greater_somewhere = true;
+    // Divergence in both directions is already kConcurrent; the remaining
+    // components cannot change the verdict.
+    if (less_somewhere && greater_somewhere) return CausalOrder::kConcurrent;
   }
   if (less_somewhere && greater_somewhere) return CausalOrder::kConcurrent;
   if (less_somewhere) return CausalOrder::kBefore;

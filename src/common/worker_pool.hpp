@@ -1,0 +1,112 @@
+// A small fork-join worker pool for the parallel simulation engine.
+//
+// The pool owns `size()` long-lived threads.  run() hands every worker the
+// same callable (invoked with the worker index) and blocks until all of
+// them return — one barrier per call, which is exactly the shape of the
+// simulator's conservative time windows: fan the window's event shards out
+// to the workers, join, merge.  Affinity is by index: worker i always runs
+// task i, so per-worker state (event shards, staging lanes) needs no
+// locking — each lane is touched by one thread during the parallel section
+// and by the coordinating thread only between run() calls.
+//
+// Exceptions thrown by a task are captured and rethrown from run() on the
+// caller's thread (first one wins), so a failing DDBG_ASSERT inside a
+// worker surfaces like a sequential failure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ddbg {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> guard{mutex_};
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  // Run task(i) on worker i for every i in [0, size()); returns when all
+  // have finished.  Must not be called re-entrantly.
+  void run(const std::function<void(std::size_t)>& task) {
+    if (threads_.empty()) return;
+    {
+      std::lock_guard<std::mutex> guard{mutex_};
+      task_ = &task;
+      ++generation_;
+      remaining_ = threads_.size();
+    }
+    cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      done_cv_.wait(lock, [this] { return remaining_ == 0; });
+      task_ = nullptr;
+      if (error_) {
+        std::exception_ptr error = std::exchange(error_, nullptr);
+        std::rethrow_exception(error);
+      }
+    }
+  }
+
+ private:
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock{mutex_};
+        cv_.wait(lock, [&] {
+          return stopping_ || generation_ != seen_generation;
+        });
+        if (stopping_) return;
+        seen_generation = generation_;
+        task = task_;
+      }
+      try {
+        (*task)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> guard{mutex_};
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> guard{mutex_};
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace ddbg

@@ -62,6 +62,9 @@ class DebugShim::ShimContext final : public ProcessContext {
     return outer_->set_timer(delay);
   }
   void cancel_timer(TimerId timer) override { outer_->cancel_timer(timer); }
+  void run_ordered(std::function<void()> fn) override {
+    outer_->run_ordered(std::move(fn));
+  }
   [[nodiscard]] Rng& rng() override { return outer_->rng(); }
   [[nodiscard]] obs::MetricsRegistry* metrics() const override {
     return outer_->metrics();
@@ -146,7 +149,9 @@ void DebugShim::on_start(ProcessContext& ctx) {
       HaltingEngine::Callbacks{
           [this] { return capture_state(); },
           [this](HaltId wave, const std::vector<ProcessId>&) {
-            if (options_.on_halted) options_.on_halted(wave);
+            if (options_.on_halted) {
+              notify_ordered([this, wave] { options_.on_halted(wave); });
+            }
           },
           [this](const ProcessSnapshot& snapshot) {
             DDBG_ASSERT(current_ctx_ != nullptr,
@@ -157,8 +162,10 @@ void DebugShim::on_start(ProcessContext& ctx) {
                                    self_, halting_->last_halt_id(), snapshot));
             }
             if (options_.local_halt_report) {
-              options_.local_halt_report(self_, halting_->last_halt_id(),
-                                         snapshot);
+              notify_ordered([this, wave = halting_->last_halt_id(),
+                              snapshot] {
+                options_.local_halt_report(self_, wave, snapshot);
+              });
             }
           }});
   snapshot_.emplace(
@@ -175,8 +182,10 @@ void DebugShim::on_start(ProcessContext& ctx) {
                       self_, snapshot_->last_snapshot_id(), snapshot));
             }
             if (options_.local_snapshot_report) {
-              options_.local_snapshot_report(
-                  self_, snapshot_->last_snapshot_id(), snapshot);
+              notify_ordered([this, id = snapshot_->last_snapshot_id(),
+                              snapshot] {
+                options_.local_snapshot_report(self_, id, snapshot);
+              });
             }
           }});
 
@@ -277,7 +286,9 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
                     ctx.now());
       }
       if (options_.on_armed) {
-        options_.on_armed(self_, message.predicate->breakpoint);
+        notify_ordered([this, bp = message.predicate->breakpoint] {
+          options_.on_armed(self_, bp);
+        });
       }
       return;
     }
@@ -323,7 +334,11 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
         m->span_end(obs::Span::kArm, bp_span_key(command.breakpoint, self_),
                     ctx.now());
       }
-      if (options_.on_armed) options_.on_armed(self_, command.breakpoint);
+      if (options_.on_armed) {
+        notify_ordered([this, bp = command.breakpoint] {
+          options_.on_armed(self_, bp);
+        });
+      }
       return;
     }
     case CommandKind::kArmNotify: {
@@ -340,7 +355,11 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
         m->span_end(obs::Span::kArm, bp_span_key(command.breakpoint, self_),
                     ctx.now());
       }
-      if (options_.on_armed) options_.on_armed(self_, command.breakpoint);
+      if (options_.on_armed) {
+        notify_ordered([this, bp = command.breakpoint] {
+          options_.on_armed(self_, bp);
+        });
+      }
       return;
     }
     case CommandKind::kDisarmBreakpoint:
@@ -362,7 +381,9 @@ void DebugShim::handle_control(ProcessContext& ctx, const Command& command) {
 
 void DebugShim::do_resume(ProcessContext& ctx, std::uint64_t wave) {
   HaltingEngine::ResumeData data = halting_->resume();
-  if (options_.on_resumed) options_.on_resumed(HaltId(wave));
+  if (options_.on_resumed) {
+    notify_ordered([this, wave] { options_.on_resumed(HaltId(wave)); });
+  }
 
   // Replay everything that stayed "in the channels" while halted, in
   // arrival order, through the normal dispatch paths.  A halt marker for a
@@ -415,11 +436,25 @@ std::int64_t DebugShim::var(const std::string& name) const {
   return it != vars_.end() ? it->second : 0;
 }
 
+void DebugShim::notify_ordered(std::function<void()> fn) {
+  if (current_ctx_ != nullptr) {
+    current_ctx_->run_ordered(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
 void DebugShim::emit_event(LocalEvent event) {
   event.process = self_;
   event.local_seq = local_seq_++;
   if (current_ctx_ != nullptr) event.when = current_ctx_->now();
-  if (options_.trace_sink) options_.trace_sink(event);
+  if (options_.trace_sink) {
+    // The sink typically appends to a shared analysis trace; routing it
+    // through run_ordered keeps the recorded interleaving identical across
+    // execution modes (the parallel simulator replays these at window
+    // commit, in sequential-equivalent order).
+    notify_ordered([sink = &options_.trace_sink, event] { (*sink)(event); });
+  }
   detector_.on_local_event(event);
 }
 

@@ -47,6 +47,7 @@ SimDebugHarness::SimDebugHarness(const Topology& user_topology,
   sim_config.latency = std::move(config.latency);
   sim_config.faults = std::move(config.faults);
   sim_config.reliable = config.reliable;
+  sim_config.workers = config.workers;
   sim_ = std::make_unique<Simulation>(std::move(wired.topology),
                                       std::move(wired.processes),
                                       std::move(sim_config));

@@ -66,6 +66,9 @@ struct HarnessConfig {
   // Null keeps the reliable fast paths untouched.
   std::shared_ptr<FaultPlan> faults;
   ReliableConfig reliable;
+  // Simulator worker threads (SimulationConfig::workers); results are
+  // byte-identical for any value.  Ignored by the threaded runtime.
+  std::uint32_t workers = 1;
 };
 
 // Deterministic-simulator harness.

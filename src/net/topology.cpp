@@ -7,11 +7,22 @@
 
 namespace ddbg {
 
+namespace {
+
+[[nodiscard]] std::uint64_t pair_key(ProcessId source, ProcessId destination) {
+  return (static_cast<std::uint64_t>(source.value()) << 32) |
+         destination.value();
+}
+
+}  // namespace
+
 Topology::Topology(std::uint32_t num_processes) {
   for (std::uint32_t i = 0; i < num_processes; ++i) add_process();
 }
 
 ProcessId Topology::add_process() {
+  DDBG_ASSERT(out_channels_.size() < ProcessId::kInvalid,
+              "process id space exhausted");
   const ProcessId id(static_cast<std::uint32_t>(out_channels_.size()));
   out_channels_.emplace_back();
   in_channels_.emplace_back();
@@ -24,10 +35,16 @@ ChannelId Topology::add_channel(ProcessId source, ProcessId destination,
   DDBG_ASSERT(destination.value() < num_processes(),
               "channel destination must exist");
   DDBG_ASSERT(source != destination, "self-channels are not modeled");
+  DDBG_ASSERT(channels_.size() < ChannelId::kInvalid,
+              "channel id space exhausted");
   const ChannelId id(static_cast<std::uint32_t>(channels_.size()));
   channels_.push_back(ChannelSpec{id, source, destination, is_control});
   out_channels_[source.value()].push_back(id);
   in_channels_[destination.value()].push_back(id);
+  if (!is_control) {
+    // Keep the first data channel per pair (channel_between's contract).
+    data_channel_index_.try_emplace(pair_key(source, destination), id);
+  }
   return id;
 }
 
@@ -69,11 +86,10 @@ std::span<const ChannelId> Topology::in_channels(ProcessId p) const {
 
 std::optional<ChannelId> Topology::channel_between(
     ProcessId source, ProcessId destination) const {
-  for (const ChannelId c : out_channels(source)) {
-    const ChannelSpec& spec = channel(c);
-    if (spec.destination == destination && !spec.is_control) return c;
-  }
-  return std::nullopt;
+  DDBG_ASSERT(source.value() < num_processes(), "unknown process id");
+  const auto it = data_channel_index_.find(pair_key(source, destination));
+  if (it == data_channel_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 ChannelId Topology::control_to(ProcessId p) const {
@@ -230,9 +246,35 @@ Topology Topology::pipeline(std::uint32_t n) {
   return t;
 }
 
+Topology Topology::tree(std::uint32_t n, std::uint32_t branching) {
+  DDBG_ASSERT(n >= 2, "tree needs at least 2 processes");
+  DDBG_ASSERT(branching >= 1, "tree needs fan-out of at least 1");
+  Topology t(n);
+  // 2 channels per tree edge, n-1 edges.
+  t.channels_.reserve(2ULL * (n - 1));
+  for (std::uint32_t child = 1; child < n; ++child) {
+    const std::uint32_t parent = (child - 1) / branching;
+    t.add_channel(ProcessId(parent), ProcessId(child));
+    t.add_channel(ProcessId(child), ProcessId(parent));
+  }
+  return t;
+}
+
 Topology Topology::complete(std::uint32_t n) {
   DDBG_ASSERT(n >= 2, "complete graph needs at least 2 processes");
   Topology t(n);
+  // All ordered pairs: counted in 64 bits — n * (n - 1) overflows uint32
+  // from n = 65537, well inside the representable process-id range.
+  const std::uint64_t num_channels =
+      static_cast<std::uint64_t>(n) * (n - 1);
+  DDBG_ASSERT(num_channels < ChannelId::kInvalid,
+              "complete graph exceeds the channel id space");
+  t.channels_.reserve(num_channels);
+  t.data_channel_index_.reserve(num_channels);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.out_channels_[i].reserve(n - 1);
+    t.in_channels_[i].reserve(n - 1);
+  }
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = 0; j < n; ++j) {
       if (i != j) t.add_channel(ProcessId(i), ProcessId(j));

@@ -12,6 +12,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -90,6 +91,11 @@ class Topology {
   // Acyclic pipeline p0 -> p1 -> ... -> p(n-1): the paper's figure 2
   // producer-consumer shape generalized.
   [[nodiscard]] static Topology pipeline(std::uint32_t n);
+  // Rooted tree with fan-out `branching`, every edge bidirectional (parent
+  // <-> child), so the result is strongly connected.  The hierarchical
+  // shape for the scale sweeps: diameter O(log n) at O(n) channels.
+  [[nodiscard]] static Topology tree(std::uint32_t n,
+                                     std::uint32_t branching = 2);
   // All ordered pairs connected.
   [[nodiscard]] static Topology complete(std::uint32_t n);
   // Random strongly-connected digraph: a random ring through all processes
@@ -105,6 +111,12 @@ class Topology {
   std::vector<ChannelSpec> channels_;
   std::vector<std::vector<ChannelId>> out_channels_;
   std::vector<std::vector<ChannelId>> in_channels_;
+  // First data (non-control) channel per ordered (source, destination)
+  // pair, so channel_between is O(1) instead of an out-degree scan — on a
+  // complete graph at N=1024 that scan is 1023 entries per lookup.  Lookup
+  // only; nothing ever iterates this map, so its hash order cannot leak
+  // into any output.
+  std::unordered_map<std::uint64_t, ChannelId> data_channel_index_;
   ProcessId debugger_;
   // For each user process: control channels to/from the debugger.
   std::vector<ChannelId> control_to_;

@@ -64,7 +64,12 @@ MetricsRegistry::MetricsRegistry(std::string runtime_label,
 
 void MetricsRegistry::span_begin(Span span, std::uint64_t key, TimePoint now) {
   std::lock_guard<std::mutex> guard{span_mutex_};
-  open_spans_[static_cast<std::size_t>(span)].try_emplace(key, now.ns);
+  // Keep the earliest begin for a key: concurrent begin attempts (e.g. a
+  // halt wave observed by several workers in the same window) must resolve
+  // to the same span start regardless of arrival order.
+  auto& open = open_spans_[static_cast<std::size_t>(span)];
+  auto [it, inserted] = open.try_emplace(key, now.ns);
+  if (!inserted && now.ns < it->second) it->second = now.ns;
 }
 
 void MetricsRegistry::span_end(Span span, std::uint64_t key, TimePoint now) {

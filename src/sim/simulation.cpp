@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -7,28 +8,61 @@
 
 namespace ddbg {
 
-// ProcessContext implementation bound to one simulated process.
+namespace {
+
+// Provisional sequence ids for in-window children live above every real
+// seq the run can assign; within one lane they increase in creation order,
+// which equals true-seq order for same-lane comparisons (DESIGN.md).
+constexpr std::uint64_t kProvisionalBase = 1ULL << 63;
+
+// Transport message ids (assigned to marker/control messages the debug
+// shims did not pre-stamp) are per-channel streams: bit 63 tags them apart
+// from shim ids, the channel sits above a 32-bit per-channel counter.  The
+// id depends only on the channel's own send order, so the sequential and
+// parallel engines agree on every id — and therefore on every wire size.
+[[nodiscard]] std::uint64_t transport_message_id(ChannelId channel,
+                                                 std::uint64_t seq) {
+  DDBG_ASSERT(seq < (1ULL << 32), "per-channel message stream exhausted");
+  return (1ULL << 63) | (static_cast<std::uint64_t>(channel.value()) << 32) |
+         seq;
+}
+
+}  // namespace
+
+// ProcessContext implementation bound to one simulated process.  The
+// engine re-binds `at` (the dispatching event's virtual time) and `lane`
+// (the staging lane of the worker running the dispatch; null on every
+// sequential path) before each handler invocation.
 class SimProcessContext final : public ProcessContext {
  public:
   SimProcessContext(Simulation& sim, ProcessId self, Rng& rng)
       : sim_(sim), self_(self), rng_(rng) {}
 
+  void bind_dispatch(TimePoint at, Simulation::Lane* lane) {
+    at_ = at;
+    lane_ = lane;
+  }
+
   [[nodiscard]] ProcessId self() const override { return self_; }
-  [[nodiscard]] TimePoint now() const override { return sim_.now(); }
+  [[nodiscard]] TimePoint now() const override { return at_; }
   [[nodiscard]] const Topology& topology() const override {
     return sim_.topology();
   }
 
   void send(ChannelId channel, Message message) override {
-    sim_.do_send(self_, channel, std::move(message));
+    sim_.do_send(lane_, self_, at_, channel, std::move(message));
   }
 
   TimerId set_timer(Duration delay) override {
-    return sim_.do_set_timer(self_, delay);
+    return sim_.do_set_timer(lane_, self_, at_, delay);
   }
 
   void cancel_timer(TimerId timer) override {
-    sim_.cancelled_timers_.insert(timer);
+    sim_.cancelled_timers_[self_.value()].insert(timer);
+  }
+
+  void run_ordered(std::function<void()> fn) override {
+    sim_.run_ordered_effect(lane_, std::move(fn));
   }
 
   [[nodiscard]] Rng& rng() override { return rng_; }
@@ -44,6 +78,8 @@ class SimProcessContext final : public ProcessContext {
   Simulation& sim_;
   ProcessId self_;
   Rng& rng_;
+  TimePoint at_{0};
+  Simulation::Lane* lane_ = nullptr;
   bool stopped_ = false;
 };
 
@@ -68,6 +104,9 @@ Simulation::Simulation(Topology topology, std::vector<ProcessPtr> processes,
     contexts_.push_back(std::make_unique<SimProcessContext>(
         *this, ProcessId(static_cast<std::uint32_t>(i)), process_rngs_[i]));
   }
+  channel_msg_seq_.assign(topology_.num_channels(), 0);
+  process_timer_seq_.assign(processes_.size(), 0);
+  cancelled_timers_.resize(processes_.size());
   channel_clear_time_.assign(topology_.num_channels(), TimePoint{0});
   channel_in_flight_.assign(topology_.num_channels(), 0);
   channel_send_seq_.assign(topology_.num_channels(), 0);
@@ -109,6 +148,12 @@ std::size_t Simulation::total_in_flight() const {
   return total;
 }
 
+std::uint32_t Simulation::effective_workers() const {
+  if (config_.workers <= 1) return 1;
+  if (config_.latency->min_latency().ns <= 0) return 1;  // no lookahead
+  return std::min(config_.workers, topology_.num_processes());
+}
+
 void Simulation::push_event(std::unique_ptr<Event> event) {
   event->seq = next_seq_++;
   queue_.push(std::move(event));
@@ -121,12 +166,16 @@ bool Simulation::step() {
   queue_.pop();
   DDBG_ASSERT(event->when >= now_, "simulation time went backwards");
   now_ = event->when;
-  dispatch(*event);
+  dispatch(nullptr, *event);
   ++events_processed_;
   return true;
 }
 
 bool Simulation::run_until_quiescent() {
+  if (effective_workers() > 1) {
+    run_parallel(config_.max_time);
+    return queue_.empty();
+  }
   while (!queue_.empty()) {
     if (queue_.top()->when > config_.max_time) return false;
     step();
@@ -135,7 +184,11 @@ bool Simulation::run_until_quiescent() {
 }
 
 void Simulation::run_until(TimePoint until) {
-  while (!queue_.empty() && queue_.top()->when <= until) step();
+  if (effective_workers() > 1) {
+    run_parallel(until);
+  } else {
+    while (!queue_.empty() && queue_.top()->when <= until) step();
+  }
   if (now_ < until) now_ = until;
 }
 
@@ -149,13 +202,229 @@ bool Simulation::run_until_condition(const std::function<bool()>& condition,
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel engine.
+//
+// One iteration handles either a serial barrier event (kCall/kClosure: the
+// harness poking the run; it may touch anything, so nothing else is in
+// flight) or one conservative window [T0, T0 + min_latency).  Every event
+// already queued inside the window is extracted and routed to the worker
+// that owns its target process; the lookahead guarantees no event inside
+// the window can *create* work for another worker inside the same window,
+// so each worker can dispatch its shard in local (when, seq) order without
+// synchronization.  Effects whose order is observable — queue pushes (seq
+// assignment), in-flight/backlog accounting, pool hit/miss accounting,
+// observer callbacks, run_ordered notifications — are staged per dispatched
+// event and replayed at commit in the exact order the sequential loop would
+// have produced, which is what makes the two modes byte-identical.
+// ---------------------------------------------------------------------------
+
+void Simulation::run_parallel(TimePoint until) {
+  const std::uint32_t workers = effective_workers();
+  if (lanes_.size() != workers) {
+    DDBG_ASSERT(lanes_.empty(), "worker count is fixed once lanes exist");
+    for (std::size_t i = 0; i < workers; ++i) {
+      lanes_.emplace_back();
+      lanes_.back().index = i;
+    }
+    seq_bind_.resize(workers);
+    pool_threads_ = std::make_unique<WorkerPool>(workers);
+  }
+  const Duration delta = config_.latency->min_latency();
+  std::vector<std::unique_ptr<Event>> batch;
+  while (!queue_.empty() && queue_.top()->when <= until) {
+    const Event& top = *queue_.top();
+    if (top.kind == Event::Kind::kCall || top.kind == Event::Kind::kClosure) {
+      step();  // serial barrier: runs alone, exactly like the sequential loop
+      continue;
+    }
+    const TimePoint t0 = top.when;
+    TimePoint window_end = t0 + delta;
+    if (window_end.ns > until.ns + 1) window_end = TimePoint{until.ns + 1};
+
+    // Extract the window's batch, stopping short of any barrier event.
+    batch.clear();
+    TimePoint horizon = window_end;
+    while (!queue_.empty()) {
+      const Event& head = *queue_.top();
+      if (head.when >= window_end) break;
+      if (head.kind == Event::Kind::kCall ||
+          head.kind == Event::Kind::kClosure) {
+        // Children born at or after the barrier must dispatch after it.
+        horizon = head.when;
+        break;
+      }
+      batch.push_back(
+          std::move(const_cast<std::unique_ptr<Event>&>(queue_.top())));
+      queue_.pop();
+    }
+    DDBG_ASSERT(!batch.empty(), "window extracted no events");
+
+    if (batch.size() == 1) {
+      // Degenerate window: the barrier machinery would only add overhead,
+      // and serial dispatch is definitionally sequential-equivalent.
+      auto event = std::move(batch.front());
+      DDBG_ASSERT(event->when >= now_, "simulation time went backwards");
+      now_ = event->when;
+      dispatch(nullptr, *event);
+      ++events_processed_;
+      continue;
+    }
+
+    for (auto& event : batch) {
+      lanes_[owner_of(event->target)].heap.push(std::move(event));
+    }
+    for (Lane& lane : lanes_) {
+      lane.horizon = horizon;
+      lane.next_provisional = 0;
+    }
+    window_active_ = true;
+    pool_threads_->run([this](std::size_t i) { drain_lane(lanes_[i]); });
+    window_active_ = false;
+    commit_window();
+  }
+}
+
+void Simulation::drain_lane(Lane& lane) {
+  while (!lane.heap.empty()) {
+    auto event =
+        std::move(const_cast<std::unique_ptr<Event>&>(lane.heap.top()));
+    lane.heap.pop();
+    lane.records.emplace_back();
+    ExecRecord& record = lane.records.back();
+    record.when = event->when;
+    record.seq = event->seq;
+    record.provisional = event->seq >= kProvisionalBase;
+    lane.current = &record;
+    dispatch(&lane, *event);
+    lane.current = nullptr;
+  }
+}
+
+void Simulation::commit_window() {
+  while (true) {
+    // K-way merge of the lanes' record streams by (when, true seq).  A
+    // provisional head's true seq is always already bound: its parent
+    // replayed earlier in the same stream.
+    Lane* best = nullptr;
+    std::uint64_t best_seq = 0;
+    for (Lane& lane : lanes_) {
+      if (lane.records.empty()) continue;
+      const ExecRecord& head = lane.records.front();
+      std::uint64_t seq = head.seq;
+      if (head.provisional) {
+        const auto it = seq_bind_[lane.index].find(head.seq);
+        DDBG_ASSERT(it != seq_bind_[lane.index].end(),
+                    "in-window child replayed before its parent");
+        seq = it->second;
+      }
+      if (best == nullptr || head.when < best->records.front().when ||
+          (head.when == best->records.front().when && seq < best_seq)) {
+        best = &lane;
+        best_seq = seq;
+      }
+    }
+    if (best == nullptr) break;
+    ExecRecord record = std::move(best->records.front());
+    best->records.pop_front();
+    DDBG_ASSERT(record.when >= now_, "simulation time went backwards");
+    now_ = record.when;
+    for (Effect& effect : record.effects) {
+      switch (effect.kind) {
+        case Effect::Kind::kPoolAcquire: {
+          // Mirrors the sequential send path's acquire/release exactly, so
+          // the hit/miss split in the metrics comes out identical.
+          BufferPool::Lease lease = pool_.acquire();
+          metrics_.on_pool_acquire(lease.reused());
+          break;
+        }
+        case Effect::Kind::kSendFlight: {
+          const std::size_t c = effect.channel.value();
+          ++channel_in_flight_[c];
+          metrics_.observe_backlog(c, channel_in_flight_[c]);
+          break;
+        }
+        case Effect::Kind::kDeliverFlight: {
+          const std::size_t c = effect.channel.value();
+          DDBG_ASSERT(channel_in_flight_[c] > 0, "delivery without a send");
+          --channel_in_flight_[c];
+          break;
+        }
+        case Effect::Kind::kObserverSend:
+          observer_->on_send(effect.at, effect.channel, effect.message);
+          break;
+        case Effect::Kind::kObserverDeliver:
+          observer_->on_deliver(effect.at, effect.channel, effect.message);
+          break;
+        case Effect::Kind::kDeferred:
+          effect.fn();
+          break;
+        case Effect::Kind::kChild:
+          effect.child->seq = next_seq_++;
+          queue_.push(std::move(effect.child));
+          break;
+        case Effect::Kind::kChildLocal:
+          seq_bind_[best->index][effect.provisional] = next_seq_++;
+          break;
+      }
+    }
+    ++events_processed_;
+  }
+  for (auto& bindings : seq_bind_) bindings.clear();
+}
+
+void Simulation::emit_child(Lane* lane, std::unique_ptr<Event> event) {
+  if (lane == nullptr || lane->current == nullptr) {
+    push_event(std::move(event));
+    return;
+  }
+  Effect effect;
+  if (event->when < lane->horizon) {
+    // In-window child: dispatched by this worker within the window.  The
+    // lookahead bound makes cross-worker children impossible here — only
+    // same-process work (timers, retransmit checks, reconnect resyncs) can
+    // land inside the window.
+    DDBG_ASSERT(owner_of(event->target) == lane->index,
+                "lookahead violation: in-window child crosses workers "
+                "(latency model's min_latency() is not a lower bound?)");
+    DDBG_ASSERT(event->kind != Event::Kind::kCall &&
+                    event->kind != Event::Kind::kClosure,
+                "barrier events cannot be created during a window");
+    event->seq = kProvisionalBase + lane->next_provisional++;
+    effect.kind = Effect::Kind::kChildLocal;
+    effect.provisional = event->seq;
+    lane->current->effects.push_back(std::move(effect));
+    lane->heap.push(std::move(event));
+    return;
+  }
+  effect.kind = Effect::Kind::kChild;
+  effect.child = std::move(event);
+  lane->current->effects.push_back(std::move(effect));
+}
+
+void Simulation::run_ordered_effect(Lane* lane, std::function<void()> fn) {
+  if (lane == nullptr || lane->current == nullptr) {
+    fn();
+    return;
+  }
+  Effect effect;
+  effect.kind = Effect::Kind::kDeferred;
+  effect.fn = std::move(fn);
+  lane->current->effects.push_back(std::move(effect));
+}
+
+// ---------------------------------------------------------------------------
+// Event injection and dispatch.
+// ---------------------------------------------------------------------------
+
 void Simulation::preload_channel(ChannelId channel, Bytes payload) {
   DDBG_ASSERT(events_processed_ == 0,
               "preload_channel must run before the simulation starts");
   DDBG_ASSERT(channel.value() < topology_.num_channels(), "unknown channel");
   const ChannelSpec& spec = topology_.channel(channel);
   Message message = Message::application(std::move(payload));
-  message.message_id = next_message_id_++;
+  message.message_id =
+      transport_message_id(channel, ++channel_msg_seq_[channel.value()]);
   ++channel_in_flight_[channel.value()];
   std::uint32_t wire_bytes = 0;
   {
@@ -180,6 +449,7 @@ void Simulation::preload_channel(ChannelId channel, Bytes payload) {
 
 void Simulation::schedule_call(TimePoint when, std::function<void()> action) {
   DDBG_ASSERT(when >= now_, "cannot schedule in the past");
+  DDBG_ASSERT(!window_active_, "cannot inject calls during a parallel window");
   auto event = std::make_unique<Event>();
   event->when = when;
   event->kind = Event::Kind::kCall;
@@ -189,6 +459,7 @@ void Simulation::schedule_call(TimePoint when, std::function<void()> action) {
 
 void Simulation::post(ProcessId target,
                       std::function<void(ProcessContext&, Process&)> action) {
+  DDBG_ASSERT(!window_active_, "cannot post closures during a parallel window");
   auto event = std::make_unique<Event>();
   event->when = now_;
   event->kind = Event::Kind::kClosure;
@@ -197,93 +468,157 @@ void Simulation::post(ProcessId target,
   push_event(std::move(event));
 }
 
-void Simulation::dispatch(Event& event) {
+void Simulation::dispatch(Lane* lane, Event& event) {
+  const TimePoint at = event.when;
+  const auto context_for = [&](ProcessId p) -> SimProcessContext& {
+    auto& ctx = static_cast<SimProcessContext&>(*contexts_[p.value()]);
+    ctx.bind_dispatch(at, lane);
+    return ctx;
+  };
   switch (event.kind) {
     case Event::Kind::kStart: {
-      auto& ctx = *contexts_[event.target.value()];
+      auto& ctx = context_for(event.target);
       processes_[event.target.value()]->on_start(ctx);
       break;
     }
     case Event::Kind::kDeliver: {
       const std::size_t c = event.channel.value();
-      DDBG_ASSERT(channel_in_flight_[c] > 0, "delivery without a send");
-      --channel_in_flight_[c];
-      metrics_.on_deliver(event.channel.value(),
-                          traffic_class(event.message.kind),
+      metrics_.on_deliver(c, traffic_class(event.message.kind),
                           event.wire_bytes);
       // Event-at-a-time delivery: every batch is a single message, kept in
       // the counters so the parity invariant (batch messages == deliveries)
       // holds across all three runtimes.
       metrics_.on_deliver_batch(1);
-      if (observer_ != nullptr) {
-        observer_->on_deliver(now_, event.channel, event.message);
+      if (lane != nullptr && lane->current != nullptr) {
+        Effect flight;
+        flight.kind = Effect::Kind::kDeliverFlight;
+        flight.channel = event.channel;
+        lane->current->effects.push_back(std::move(flight));
+        if (observer_ != nullptr) {
+          Effect obs;
+          obs.kind = Effect::Kind::kObserverDeliver;
+          obs.channel = event.channel;
+          obs.at = at;
+          obs.message = event.message;
+          lane->current->effects.push_back(std::move(obs));
+        }
+      } else {
+        DDBG_ASSERT(channel_in_flight_[c] > 0, "delivery without a send");
+        --channel_in_flight_[c];
+        if (observer_ != nullptr) {
+          observer_->on_deliver(at, event.channel, event.message);
+        }
       }
-      auto& ctx = *contexts_[event.target.value()];
+      auto& ctx = context_for(event.target);
       processes_[event.target.value()]->on_message(ctx, event.channel,
                                                    std::move(event.message));
       break;
     }
     case Event::Kind::kTimer: {
-      if (cancelled_timers_.erase(event.timer) > 0) break;
-      auto& ctx = *contexts_[event.target.value()];
+      if (cancelled_timers_[event.target.value()].erase(event.timer) > 0) {
+        break;
+      }
+      auto& ctx = context_for(event.target);
       processes_[event.target.value()]->on_timer(ctx, event.timer);
       break;
     }
     case Event::Kind::kCall:
+      DDBG_ASSERT(lane == nullptr, "barrier events dispatch serially");
       event.call();
       break;
     case Event::Kind::kClosure: {
-      auto& ctx = *contexts_[event.target.value()];
+      DDBG_ASSERT(lane == nullptr, "barrier events dispatch serially");
+      auto& ctx = context_for(event.target);
       event.closure(ctx, *processes_[event.target.value()]);
       break;
     }
     case Event::Kind::kRelFrame:
-      on_rel_frame(event);
+      on_rel_frame(lane, event);
       break;
     case Event::Kind::kRelAck:
       rel_send_[event.channel.value()].ack(event.rel_seq);
       break;
     case Event::Kind::kRelRetry:
       retry_pending_[event.channel.value()] = 0;
-      check_retries(event.channel);
+      check_retries(lane, at, event.channel);
       break;
+    case Event::Kind::kRelRestore: {
+      const std::size_t c = event.channel.value();
+      reconnect_pending_[c] = 0;
+      metrics_.on_reconnect();
+      const std::size_t replayed = rel_send_[c].mark_all_due(at);
+      metrics_.on_resync_replayed(replayed);
+      check_retries(lane, at, event.channel);
+      break;
+    }
   }
 }
 
-void Simulation::do_send(ProcessId sender, ChannelId channel,
-                         Message message) {
+std::uint32_t Simulation::encoded_wire_bytes(Lane* lane,
+                                             const Message& message) {
+  // Wire-size accounting encodes into a pooled buffer so steady-state
+  // sends allocate nothing.  The pool itself is coordinator state, so a
+  // staging worker encodes into its lane scratch buffer and stages one
+  // acquire for the commit replay to account.
+  if (lane != nullptr && lane->current != nullptr) {
+    Effect effect;
+    effect.kind = Effect::Kind::kPoolAcquire;
+    lane->current->effects.push_back(std::move(effect));
+    lane->scratch.clear();
+    ByteWriter writer(lane->scratch);
+    message.encode(writer);
+    return static_cast<std::uint32_t>(writer.size());
+  }
+  BufferPool::Lease lease = pool_.acquire();
+  metrics_.on_pool_acquire(lease.reused());
+  ByteWriter writer(lease.bytes());
+  message.encode(writer);
+  return static_cast<std::uint32_t>(writer.size());
+}
+
+void Simulation::do_send(Lane* lane, ProcessId sender, TimePoint at,
+                         ChannelId channel, Message message) {
   const ChannelSpec& spec = topology_.channel(channel);
   DDBG_ASSERT(spec.source == sender,
               "process may only send on its own outgoing channels");
   // Debug shims pre-assign globally unique ids so traces can pair sends
-  // with receives; everything else (markers, control) gets a transport id.
-  if (message.message_id == 0) message.message_id = next_message_id_++;
-
-  // Wire-size accounting encodes into a pooled buffer so steady-state
-  // sends allocate nothing.
-  std::uint32_t wire_bytes = 0;
-  {
-    BufferPool::Lease lease = pool_.acquire();
-    metrics_.on_pool_acquire(lease.reused());
-    ByteWriter writer(lease.bytes());
-    message.encode(writer);
-    wire_bytes = static_cast<std::uint32_t>(writer.size());
+  // with receives; everything else (markers, control) gets a transport id
+  // from the channel's own deterministic stream.
+  if (message.message_id == 0) {
+    message.message_id =
+        transport_message_id(channel, ++channel_msg_seq_[channel.value()]);
   }
-  metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
-  if (observer_ != nullptr) observer_->on_send(now_, channel, message);
 
-  ++channel_in_flight_[channel.value()];
-  metrics_.observe_backlog(channel.value(),
-                           channel_in_flight_[channel.value()]);
+  const std::uint32_t wire_bytes = encoded_wire_bytes(lane, message);
+  metrics_.on_send(channel.value(), traffic_class(message.kind), wire_bytes);
+  if (lane != nullptr && lane->current != nullptr) {
+    if (observer_ != nullptr) {
+      Effect obs;
+      obs.kind = Effect::Kind::kObserverSend;
+      obs.channel = channel;
+      obs.at = at;
+      obs.message = message;
+      lane->current->effects.push_back(std::move(obs));
+    }
+    Effect flight;
+    flight.kind = Effect::Kind::kSendFlight;
+    flight.channel = channel;
+    lane->current->effects.push_back(std::move(flight));
+  } else {
+    if (observer_ != nullptr) observer_->on_send(at, channel, message);
+    ++channel_in_flight_[channel.value()];
+    metrics_.observe_backlog(channel.value(),
+                             channel_in_flight_[channel.value()]);
+  }
 
   if (config_.faults) {
     // Lossy transport: stage in the retransmit window, then subject the
     // first physical transmission attempt to the fault plan.  In-order
     // release is the receiver's job, so no FIFO floor here.
     const std::uint64_t seq = rel_send_[channel.value()].stage(
-        std::move(message), wire_bytes, now_);
-    transmit_frame(channel, seq);
-    schedule_retry_check(channel);
+        std::move(message), wire_bytes, at);
+    transmit_frame(lane, at, channel, seq);
+    schedule_retry_check(lane, at, channel);
     return;
   }
 
@@ -294,7 +629,7 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   // the property the S_h == S_r equivalence experiment rests on.
   const std::uint64_t seq = channel_send_seq_[channel.value()]++;
   const Duration delay = sample_latency(channel, seq);
-  TimePoint deliver_at = now_ + delay;
+  TimePoint deliver_at = at + delay;
   // FIFO enforcement: never deliver before a previously sent message on the
   // same channel.
   TimePoint& clear_time = channel_clear_time_[channel.value()];
@@ -308,7 +643,7 @@ void Simulation::do_send(ProcessId sender, ChannelId channel,
   event->channel = channel;
   event->message = std::move(message);
   event->wire_bytes = wire_bytes;
-  push_event(std::move(event));
+  emit_child(lane, std::move(event));
 }
 
 Duration Simulation::sample_latency(ChannelId channel, std::uint64_t key) {
@@ -321,7 +656,8 @@ Duration Simulation::sample_latency(ChannelId channel, std::uint64_t key) {
   return delay;
 }
 
-void Simulation::transmit_frame(ChannelId channel, std::uint64_t seq) {
+void Simulation::transmit_frame(Lane* lane, TimePoint at, ChannelId channel,
+                                std::uint64_t seq) {
   const std::size_t c = channel.value();
   const ReliableSender::Staged* staged = rel_send_[c].peek(seq);
   if (staged == nullptr) return;  // acked while a retry was queued
@@ -339,17 +675,17 @@ void Simulation::transmit_frame(ChannelId channel, std::uint64_t seq) {
       metrics_.on_channel_down();
       // The frame is lost with the connection.  Model reconnection as a
       // delayed resync: once the channel is back, every unacked frame is
-      // replayed (at most one reconnect in flight per channel).
+      // replayed (at most one reconnect in flight per channel).  The
+      // resync is sender-side work, so it rides a kRelRestore event
+      // targeting the channel source — never a serial barrier.
       if (reconnect_pending_[c] != 0) return;
       reconnect_pending_[c] = 1;
-      schedule_call(now_ + config_.reliable.rto_initial, [this, channel] {
-        const std::size_t cc = channel.value();
-        reconnect_pending_[cc] = 0;
-        metrics_.on_reconnect();
-        const std::size_t replayed = rel_send_[cc].mark_all_due(now_);
-        metrics_.on_resync_replayed(replayed);
-        check_retries(channel);
-      });
+      auto restore = std::make_unique<Event>();
+      restore->when = at + config_.reliable.rto_initial;
+      restore->kind = Event::Kind::kRelRestore;
+      restore->target = topology_.channel(channel).source;
+      restore->channel = channel;
+      emit_child(lane, std::move(restore));
       return;
     }
     case FaultKind::kDuplicate: {
@@ -359,14 +695,14 @@ void Simulation::transmit_frame(ChannelId channel, std::uint64_t seq) {
       const Duration dup_delay =
           sample_latency(channel, attempt ^ 0x8000000000000000ULL);
       auto dup = std::make_unique<Event>();
-      dup->when = now_ + dup_delay;
+      dup->when = at + dup_delay;
       dup->kind = Event::Kind::kRelFrame;
       dup->target = topology_.channel(channel).destination;
       dup->channel = channel;
       dup->rel_seq = seq;
       dup->message = staged->message;
       dup->wire_bytes = static_cast<std::uint32_t>(staged->meta);
-      push_event(std::move(dup));
+      emit_child(lane, std::move(dup));
       break;
     }
     case FaultKind::kReorder:
@@ -379,39 +715,41 @@ void Simulation::transmit_frame(ChannelId channel, std::uint64_t seq) {
   }
 
   auto event = std::make_unique<Event>();
-  event->when = now_ + delay;
+  event->when = at + delay;
   event->kind = Event::Kind::kRelFrame;
   event->target = topology_.channel(channel).destination;
   event->channel = channel;
   event->rel_seq = seq;
   event->message = staged->message;
   event->wire_bytes = static_cast<std::uint32_t>(staged->meta);
-  push_event(std::move(event));
+  emit_child(lane, std::move(event));
 }
 
-void Simulation::schedule_retry_check(ChannelId channel) {
+void Simulation::schedule_retry_check(Lane* lane, TimePoint at,
+                                      ChannelId channel) {
   const std::size_t c = channel.value();
   if (retry_pending_[c] != 0) return;
   const auto deadline = rel_send_[c].next_deadline();
   if (!deadline.has_value()) return;
   retry_pending_[c] = 1;
   auto event = std::make_unique<Event>();
-  event->when = *deadline < now_ ? now_ : *deadline;
+  event->when = *deadline < at ? at : *deadline;
   event->kind = Event::Kind::kRelRetry;
+  event->target = topology_.channel(channel).source;
   event->channel = channel;
-  push_event(std::move(event));
+  emit_child(lane, std::move(event));
 }
 
-void Simulation::check_retries(ChannelId channel) {
+void Simulation::check_retries(Lane* lane, TimePoint at, ChannelId channel) {
   const std::size_t c = channel.value();
-  for (const std::uint64_t seq : rel_send_[c].due(now_)) {
+  for (const std::uint64_t seq : rel_send_[c].due(at)) {
     metrics_.on_retransmit();
-    transmit_frame(channel, seq);
+    transmit_frame(lane, at, channel, seq);
   }
-  schedule_retry_check(channel);
+  schedule_retry_check(lane, at, channel);
 }
 
-void Simulation::send_ack(ChannelId channel) {
+void Simulation::send_ack(Lane* lane, TimePoint at, ChannelId channel) {
   const std::size_t c = channel.value();
   const std::uint64_t attempt = channel_ack_attempts_[c]++;
   const FaultDecision fault = config_.faults->decide_ack(channel, attempt);
@@ -426,14 +764,15 @@ void Simulation::send_ack(ChannelId channel) {
     delay = delay + fault.extra_delay;
   }
   auto event = std::make_unique<Event>();
-  event->when = now_ + delay;
+  event->when = at + delay;
   event->kind = Event::Kind::kRelAck;
+  event->target = topology_.channel(channel).source;
   event->channel = channel;
   event->rel_seq = rel_recv_[c].cum_ack();
-  push_event(std::move(event));
+  emit_child(lane, std::move(event));
 }
 
-void Simulation::on_rel_frame(Event& event) {
+void Simulation::on_rel_frame(Lane* lane, Event& event) {
   const std::size_t c = event.channel.value();
   std::vector<ReliableReceiver::Delivery> released;
   const auto accept = rel_recv_[c].on_frame(
@@ -442,38 +781,61 @@ void Simulation::on_rel_frame(Event& event) {
     metrics_.on_dup_suppressed();
   }
   for (auto& delivery : released) {
-    release_delivery(event.channel, event.target, std::move(delivery.message),
+    release_delivery(lane, event.when, event.channel, event.target,
+                     std::move(delivery.message),
                      static_cast<std::uint32_t>(delivery.meta));
   }
   // Ack every arrival, duplicates included: a re-ack is what stops the
   // sender retransmitting a frame whose ack was lost.
-  send_ack(event.channel);
+  send_ack(lane, event.when, event.channel);
 }
 
-void Simulation::release_delivery(ChannelId channel, ProcessId target,
-                                  Message message, std::uint32_t wire_bytes) {
+void Simulation::release_delivery(Lane* lane, TimePoint at, ChannelId channel,
+                                  ProcessId target, Message message,
+                                  std::uint32_t wire_bytes) {
   const std::size_t c = channel.value();
-  DDBG_ASSERT(channel_in_flight_[c] > 0, "release without a send");
-  --channel_in_flight_[c];
-  metrics_.on_deliver(channel.value(), traffic_class(message.kind),
-                      wire_bytes);
+  metrics_.on_deliver(c, traffic_class(message.kind), wire_bytes);
   metrics_.on_deliver_batch(1);
-  if (observer_ != nullptr) {
-    observer_->on_deliver(now_, channel, message);
+  if (lane != nullptr && lane->current != nullptr) {
+    Effect flight;
+    flight.kind = Effect::Kind::kDeliverFlight;
+    flight.channel = channel;
+    lane->current->effects.push_back(std::move(flight));
+    if (observer_ != nullptr) {
+      Effect obs;
+      obs.kind = Effect::Kind::kObserverDeliver;
+      obs.channel = channel;
+      obs.at = at;
+      obs.message = message;
+      lane->current->effects.push_back(std::move(obs));
+    }
+  } else {
+    DDBG_ASSERT(channel_in_flight_[c] > 0, "release without a send");
+    --channel_in_flight_[c];
+    if (observer_ != nullptr) observer_->on_deliver(at, channel, message);
   }
-  auto& ctx = *contexts_[target.value()];
+  auto& ctx = static_cast<SimProcessContext&>(*contexts_[target.value()]);
+  ctx.bind_dispatch(at, lane);
   processes_[target.value()]->on_message(ctx, channel, std::move(message));
 }
 
-TimerId Simulation::do_set_timer(ProcessId owner, Duration delay) {
+TimerId Simulation::do_set_timer(Lane* lane, ProcessId owner, TimePoint at,
+                                 Duration delay) {
   DDBG_ASSERT(delay.ns >= 0, "timer delay must be non-negative");
-  const TimerId id(next_timer_id_++);
+  // Timer ids are per-process streams packed as (owner << 20 | seq): like
+  // transport message ids, they depend only on the owner's own call order,
+  // never on the global interleaving.
+  DDBG_ASSERT(owner.value() < (1u << 12) - 1, "too many processes for "
+              "packed timer ids");
+  const std::uint32_t seq = ++process_timer_seq_[owner.value()];
+  DDBG_ASSERT(seq < (1u << 20), "per-process timer stream exhausted");
+  const TimerId id((owner.value() << 20) | seq);
   auto event = std::make_unique<Event>();
-  event->when = now_ + delay;
+  event->when = at + delay;
   event->kind = Event::Kind::kTimer;
   event->target = owner;
   event->timer = id;
-  push_event(std::move(event));
+  emit_child(lane, std::move(event));
   return id;
 }
 

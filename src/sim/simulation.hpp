@@ -7,12 +7,24 @@
 // (topology, processes, latency model, seed) — which is what lets the
 // equivalence experiment (E1) execute the *same* computation once under the
 // C&L recorder and once under the Halting Algorithm and compare states.
+//
+// With config.workers > 1 the engine executes conservatively windowed
+// parallel DES: processes are partitioned across a worker pool, each window
+// spans less than the latency model's min_latency() (the lookahead — no
+// message sent inside a window can be delivered inside it), workers dispatch
+// their shard of the window's events while staging every externally ordered
+// effect, and the coordinator commits the window by replaying the staged
+// effects in exact (virtual_time, tie_seq) order.  Sequence numbers, message
+// ids, metrics, observer callbacks and run_ordered notifications all come
+// out byte-identical to the sequential engine — same seed, same trace, on
+// any worker count.  See DESIGN.md "Parallel simulation".
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -20,6 +32,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "common/worker_pool.hpp"
 #include "net/fault_plan.hpp"
 #include "net/process.hpp"
 #include "net/reliable.hpp"
@@ -42,6 +55,12 @@ struct SimulationConfig {
   std::shared_ptr<FaultPlan> faults;
   // Retransmit timing when `faults` is set.
   ReliableConfig reliable;
+  // Worker threads for run_until / run_until_quiescent.  1 (the default)
+  // is the classic sequential loop.  More than 1 enables the windowed
+  // parallel engine; results are byte-identical either way.  Falls back to
+  // sequential when the latency model's min_latency() is zero (no
+  // lookahead) or there are fewer processes than workers would help with.
+  std::uint32_t workers = 1;
 };
 
 class Simulation {
@@ -61,11 +80,13 @@ class Simulation {
   // Process events with time <= until.
   void run_until(TimePoint until);
   void run_for(Duration d) { run_until(now() + d); }
-  // Process a single event; returns false if the queue is empty.
+  // Process a single event; returns false if the queue is empty.  Always
+  // sequential (single-event granularity has no window to parallelize).
   bool step();
 
   // Run until `condition()` holds (checked after every event) or
-  // `deadline`; returns whether the condition held.
+  // `deadline`; returns whether the condition held.  Sequential: the
+  // per-event condition check is the point.
   bool run_until_condition(const std::function<bool()>& condition,
                            TimePoint deadline);
 
@@ -78,7 +99,8 @@ class Simulation {
   void preload_channel(ChannelId channel, Bytes payload);
   // Execute `action` at virtual time `when` (>= now) in the simulation
   // loop.  This is how test harnesses and the debugger session script
-  // interactions with a deterministic run.
+  // interactions with a deterministic run.  Calls are serial barriers for
+  // the parallel engine: the window ends before one runs.
   void schedule_call(TimePoint when, std::function<void()> action);
   // Post a closure to run as a process-context event for `target`.
   void post(ProcessId target,
@@ -100,6 +122,9 @@ class Simulation {
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
   }
+  // Worker count the engine actually uses (1 when the parallel mode cannot
+  // apply: workers <= 1, no lookahead, or a single process).
+  [[nodiscard]] std::uint32_t effective_workers() const;
 
   void set_observer(TransportObserver* observer) { observer_ = observer; }
 
@@ -109,9 +134,10 @@ class Simulation {
   struct Event {
     TimePoint when;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    // kRelFrame/kRelAck/kRelRetry exist only under a FaultPlan: a data
-    // frame arriving at the reliability receiver, a cumulative ack
-    // arriving back at the sender, and a retransmit-timer check.
+    // kRelFrame/kRelAck/kRelRetry/kRelRestore exist only under a
+    // FaultPlan: a data frame arriving at the reliability receiver, a
+    // cumulative ack arriving back at the sender, a retransmit-timer
+    // check, and a post-reset reconnect resync.
     enum class Kind {
       kStart,
       kDeliver,
@@ -121,7 +147,12 @@ class Simulation {
       kRelFrame,
       kRelAck,
       kRelRetry,
+      kRelRestore,
     } kind;
+    // The process whose state the event touches; set for every kind except
+    // kCall.  This is the parallel partition key: rel-sender events
+    // (kRelAck/kRelRetry/kRelRestore) target the channel source, frames
+    // target the destination.
     ProcessId target;
     ChannelId channel;
     std::uint64_t rel_seq = 0;  // kRelFrame: data seq; kRelAck: cum ack
@@ -142,23 +173,95 @@ class Simulation {
     }
   };
 
+  // One staged side effect of a worker-dispatched event, replayed by the
+  // coordinator at window commit in exact sequential order.  Effects whose
+  // result is order-independent (pure counter adds) are not staged; see
+  // DESIGN.md for the split.
+  struct Effect {
+    enum class Kind : std::uint8_t {
+      kPoolAcquire,      // one pooled-buffer acquire (hit/miss accounting)
+      kSendFlight,       // ++in_flight + backlog watermark on `channel`
+      kDeliverFlight,    // --in_flight on `channel`
+      kObserverSend,     // observer_->on_send(at, channel, message)
+      kObserverDeliver,  // observer_->on_deliver(at, channel, message)
+      kDeferred,         // run_ordered() notification
+      kChild,            // queue `child` with the next sequential seq
+      kChildLocal,       // bind provisional id to the next sequential seq
+    };
+    Kind kind;
+    ChannelId channel{};
+    TimePoint at{};
+    Message message{};
+    std::function<void()> fn{};
+    std::unique_ptr<Event> child{};
+    std::uint64_t provisional = 0;
+  };
+
+  // Everything one worker-dispatched event did, in program order.
+  struct ExecRecord {
+    TimePoint when;
+    std::uint64_t seq = 0;     // true seq, or provisional id
+    bool provisional = false;  // seq is provisional (in-window child)
+    std::vector<Effect> effects;
+  };
+
+  // Per-worker staging lane.  Touched only by its worker between the
+  // window barriers, and only by the coordinator outside them.
+  struct Lane {
+    std::size_t index = 0;
+    // Events assigned to this worker for the current window, (when, seq)
+    // min-heap.  In-window children of local events join with provisional
+    // seqs, which preserve the true relative order (see DESIGN.md).
+    std::priority_queue<std::unique_ptr<Event>,
+                        std::vector<std::unique_ptr<Event>>, EventOrder>
+        heap;
+    std::deque<ExecRecord> records;
+    ExecRecord* current = nullptr;  // non-null only while dispatching
+    TimePoint horizon{0};           // dispatch-locally bound (exclusive)
+    std::uint64_t next_provisional = 0;
+    Bytes scratch;  // wire-size encoding buffer (pool_ is coordinator-only)
+  };
+
   void push_event(std::unique_ptr<Event> event);
-  void dispatch(Event& event);
-  void do_send(ProcessId sender, ChannelId channel, Message message);
-  TimerId do_set_timer(ProcessId owner, Duration delay);
+  // Route a freshly created event: sequential push (lane == nullptr or no
+  // dispatch in progress), local in-window dispatch, or staged for commit.
+  void emit_child(Lane* lane, std::unique_ptr<Event> event);
+  void dispatch(Lane* lane, Event& event);
+  void do_send(Lane* lane, ProcessId sender, TimePoint at, ChannelId channel,
+               Message message);
+  TimerId do_set_timer(Lane* lane, ProcessId owner, TimePoint at,
+                       Duration delay);
+  void run_ordered_effect(Lane* lane, std::function<void()> fn);
+
+  // ---- parallel engine ----
+  // Executes one scheduling unit with `until` inclusive: either a single
+  // serial barrier event (kCall/kClosure) or one conservative window.
+  // Returns false when no event at or before `until` remains.
+  void run_parallel(TimePoint until);
+  // Worker body: dispatch this lane's shard in local (when, seq) order.
+  void drain_lane(Lane& lane);
+  // Replay the window's staged effects in global (when, true seq) order.
+  void commit_window();
+  [[nodiscard]] std::size_t owner_of(ProcessId p) const {
+    return p.value() % lanes_.size();
+  }
 
   // ---- reliability layer (faults != nullptr only) ----
   [[nodiscard]] Duration sample_latency(ChannelId channel, std::uint64_t key);
   // One physical transmission attempt of staged frame `seq`, subjected to
   // the fault plan.
-  void transmit_frame(ChannelId channel, std::uint64_t seq);
+  void transmit_frame(Lane* lane, TimePoint at, ChannelId channel,
+                      std::uint64_t seq);
   // Retransmit everything due on `channel` and re-arm the retry event.
-  void check_retries(ChannelId channel);
-  void schedule_retry_check(ChannelId channel);
-  void send_ack(ChannelId channel);
-  void on_rel_frame(Event& event);
-  void release_delivery(ChannelId channel, ProcessId target, Message message,
+  void check_retries(Lane* lane, TimePoint at, ChannelId channel);
+  void schedule_retry_check(Lane* lane, TimePoint at, ChannelId channel);
+  void send_ack(Lane* lane, TimePoint at, ChannelId channel);
+  void on_rel_frame(Lane* lane, Event& event);
+  void release_delivery(Lane* lane, TimePoint at, ChannelId channel,
+                        ProcessId target, Message message,
                         std::uint32_t wire_bytes);
+  [[nodiscard]] std::uint32_t encoded_wire_bytes(Lane* lane,
+                                                 const Message& message);
 
   Topology topology_;
   std::vector<ProcessPtr> processes_;
@@ -172,18 +275,27 @@ class Simulation {
       queue_;
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_message_id_ = 1;
-  std::uint32_t next_timer_id_ = 1;
-  std::unordered_set<TimerId> cancelled_timers_;
+  // Transport message ids are per-channel streams (bit 63 tags them apart
+  // from the debug shims' per-process ids): the id depends only on the
+  // channel's own send order, never on the global interleaving, so the
+  // sequential and parallel engines assign identical ids.
+  std::vector<std::uint64_t> channel_msg_seq_;
+  // Timer ids are per-process streams for the same reason.
+  std::vector<std::uint32_t> process_timer_seq_;
+  std::vector<std::unordered_set<TimerId>> cancelled_timers_;
 
   // Per-channel bookkeeping: last scheduled delivery time (FIFO enforcement)
-  // and current in-flight count.
+  // and current in-flight count.  clear_time / send_seq are only ever
+  // touched from the channel source's dispatch context (single worker);
+  // in_flight is commit/coordinator state.
   std::vector<TimePoint> channel_clear_time_;
   std::vector<std::size_t> channel_in_flight_;
   // Per-channel send counts, keying the stateless latency streams.
   std::vector<std::uint64_t> channel_send_seq_;
 
   // Reliability state, indexed by channel; empty unless config_.faults.
+  // Sender-side state is touched only by the channel source's dispatch
+  // context, receiver-side only by the destination's.
   std::vector<ReliableSender> rel_send_;
   std::vector<ReliableReceiver> rel_recv_;
   std::vector<std::uint64_t> channel_attempts_;      // data fault stream
@@ -191,9 +303,19 @@ class Simulation {
   std::vector<char> retry_pending_;      // a kRelRetry event is queued
   std::vector<char> reconnect_pending_;  // a post-reset resync is queued
 
+  // Parallel engine state; lanes_ is sized on first parallel run (deque:
+  // lanes hold move-only staging state and never relocate).
+  std::deque<Lane> lanes_;
+  std::unique_ptr<WorkerPool> pool_threads_;
+  bool window_active_ = false;  // worker phase in progress (asserts)
+  // Commit-time binding of provisional child ids to true seqs, per lane.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> seq_bind_;
+
   obs::MetricsRegistry metrics_;
   // Wire-size accounting encodes every sent message; the pool keeps that
-  // from allocating per send.  Single-threaded like the simulator itself.
+  // from allocating per send.  Coordinator-only, like the queue: workers
+  // stage a kPoolAcquire effect and encode into their lane scratch buffer
+  // instead, so commit replays the exact sequential hit/miss stream.
   BufferPool pool_;
   TransportObserver* observer_ = nullptr;
   std::uint64_t events_processed_ = 0;

@@ -17,7 +17,6 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_set>
 
 #include "net/process.hpp"
 

@@ -2,10 +2,37 @@
 // graph, including a cross-check of the two ordering mechanisms.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "clock/happened_before.hpp"
 #include "clock/lamport.hpp"
 #include "clock/vector_clock.hpp"
 #include "common/serialization.hpp"
+
+// Global allocation counter for the hot-path allocation tests below.
+// Replacing operator new is binary-wide, so keep the hooks trivial.
+namespace {
+std::atomic<std::size_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace ddbg {
 namespace {
@@ -193,6 +220,44 @@ TEST(HappenedBefore, AgreesWithVectorClocks) {
   EXPECT_TRUE(vc_a1.before(vc_b1));
   EXPECT_TRUE(graph.concurrent(a3, b1));
   EXPECT_TRUE(vc_a3.concurrent_with(vc_b1));
+}
+
+// Vector-clock merge and comparison sit on the per-message hot path (every
+// stamped send/receive); once the clocks have reached their full width,
+// neither operation may allocate.
+TEST(VectorClock, MergeAndCompareAreAllocationFreeOnceSized) {
+  constexpr std::uint32_t kProcs = 64;
+  VectorClock a;
+  VectorClock b;
+  a.tick(ProcessId(kProcs - 1));  // size both to full width up front
+  b.tick(ProcessId(kProcs - 1));
+  for (std::uint32_t i = 0; i < kProcs; i += 3) a.tick(ProcessId(i));
+  for (std::uint32_t i = 1; i < kProcs; i += 2) b.tick(ProcessId(i));
+
+  const std::size_t before = g_allocation_count.load();
+  for (int round = 0; round < 100; ++round) {
+    a.merge(b);
+    b.merge(a);
+    (void)a.compare(b);
+    (void)b.compare(a);
+    a.tick(ProcessId(round % kProcs));
+    b.on_receive(ProcessId((round + 7) % kProcs), a);
+  }
+  EXPECT_EQ(g_allocation_count.load(), before)
+      << "merge/compare/tick allocated on pre-sized clocks";
+}
+
+TEST(VectorClock, CompareAgainstWiderClockIsAllocationFree) {
+  VectorClock narrow;
+  VectorClock wide;
+  narrow.tick(ProcessId(2));
+  wide.tick(ProcessId(40));
+  wide.tick(ProcessId(3));
+  const std::size_t before = g_allocation_count.load();
+  // Zero-extension comparison in both directions, no temporaries.
+  EXPECT_EQ(narrow.compare(wide), CausalOrder::kConcurrent);
+  EXPECT_EQ(wide.compare(narrow), CausalOrder::kConcurrent);
+  EXPECT_EQ(g_allocation_count.load(), before);
 }
 
 }  // namespace

@@ -7,8 +7,12 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "core/debug_shim.hpp"
+#include "core/event.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/tcp_runtime.hpp"
@@ -323,6 +327,95 @@ TEST(MetricsParity, TransportStatsViewMatchesRegistry) {
   EXPECT_EQ(stats.bytes_sent, totals.bytes_sent);
   EXPECT_EQ(stats.app_messages_sent, totals.sent[kApp]);
   EXPECT_EQ(stats.messages_sent, kExpectedTokens);
+}
+
+// ---------------------------------------------------------------------------
+// Golden outputs
+// ---------------------------------------------------------------------------
+
+// Byte-for-byte pins of the trace and the ddbg.metrics.v1 JSON for a tiny
+// fixed run.  This is the regression tripwire for any ordering leak — an
+// unordered container iterated into a trace, a metrics field emitted in
+// hash order, or the parallel engine replaying effects out of sequence
+// changes these literal bytes.
+TEST(MetricsGolden, TinyTokenRingTraceAndJsonArePinned) {
+  constexpr const char* kGoldenTrace =
+      "p0/process_started @L1 seq0\n"
+      "p0/channel_created on c0 @L2 seq1\n"
+      "p1/process_started @L1 seq0\n"
+      "p1/channel_created on c1 @L2 seq1\n"
+      "p0/procedure_entered(forward_token) @L3 seq2\n"
+      "p0/message_sent on c0 @L4 seq3\n"
+      "p1/message_received on c0 @L5 seq2\n"
+      "p1/user_event(token)=1 @L6 seq3\n"
+      "p1/state_change(tokens_seen)=1 @L7 seq4\n"
+      "p1/procedure_entered(forward_token) @L8 seq5\n"
+      "p1/message_sent on c1 @L9 seq6\n"
+      "p0/message_received on c1 @L10 seq4\n"
+      "p0/user_event(token)=2 @L11 seq5\n"
+      "p0/state_change(tokens_seen)=1 @L12 seq6\n"
+      "p0/user_event(token_retired)=2 @L13 seq7\n"
+      "p0/process_terminated @L14 seq8\n";
+  constexpr const char* kGoldenJson =
+      R"({"schema":"ddbg.metrics.v1","runtime":"sim","elapsed_ns":4000000,)"
+      R"("totals":{"messages_sent":2,"messages_delivered":2,"bytes_sent":45,)"
+      R"("bytes_delivered":45,"sent":{"app":2,"halt_marker":0,)"
+      R"("snapshot_marker":0,"predicate_marker":0,"control":0},"delivered":{)"
+      R"("app":2,"halt_marker":0,"snapshot_marker":0,"predicate_marker":0,)"
+      R"("control":0}},"transport":{"pool_hits":1,"pool_misses":1,)"
+      R"("deliver_batches":2,"deliver_batch_messages":2,"max_deliver_batch":1,)"
+      R"("write_batches":0,"write_batch_frames":0,"max_write_batch":0,)"
+      R"("faults_injected":{"drop":0,"duplicate":0,"reorder":0,"delay":0,)"
+      R"("partition":0,"reset":0},"retransmits":0,"dup_suppressed":0,)"
+      R"("reconnects":0,"resync_replayed":0,"channel_down":0},"processes":[{)"
+      R"("id":0,"bytes_sent":22,"bytes_delivered":23,"max_queue_depth":0,)"
+      R"("sent":{"app":1,"halt_marker":0,"snapshot_marker":0,)"
+      R"("predicate_marker":0,"control":0},"delivered":{"app":1,)"
+      R"("halt_marker":0,"snapshot_marker":0,"predicate_marker":0,)"
+      R"("control":0}},{"id":1,"bytes_sent":23,"bytes_delivered":22,)"
+      R"("max_queue_depth":0,"sent":{"app":1,"halt_marker":0,)"
+      R"("snapshot_marker":0,"predicate_marker":0,"control":0},"delivered":{)"
+      R"("app":1,"halt_marker":0,"snapshot_marker":0,"predicate_marker":0,)"
+      R"("control":0}}],"channels":[{"id":0,"source":0,"destination":1,)"
+      R"("control":false,"bytes_sent":22,"bytes_delivered":22,)"
+      R"("send_blocked_ns":0,"max_backlog":1,"sent":{"app":1,)"
+      R"("halt_marker":0,"snapshot_marker":0,"predicate_marker":0,)"
+      R"("control":0},"delivered":{"app":1,"halt_marker":0,)"
+      R"("snapshot_marker":0,"predicate_marker":0,"control":0}},{"id":1,)"
+      R"("source":1,"destination":0,"control":false,"bytes_sent":23,)"
+      R"("bytes_delivered":23,"send_blocked_ns":0,"max_backlog":1,"sent":{)"
+      R"("app":1,"halt_marker":0,"snapshot_marker":0,"predicate_marker":0,)"
+      R"("control":0},"delivered":{"app":1,"halt_marker":0,)"
+      R"("snapshot_marker":0,"predicate_marker":0,"control":0}}],)"
+      R"("latencies":{"halt_wave":{"count":0,"total_ns":0,"min_ns":0,)"
+      R"("max_ns":0},"snapshot_wave":{"count":0,"total_ns":0,"min_ns":0,)"
+      R"("max_ns":0},"breakpoint_notify":{"count":0,"total_ns":0,"min_ns":0,)"
+      R"("max_ns":0},"arm":{"count":0,"total_ns":0,"min_ns":0,"max_ns":0}}})";
+
+  for (const std::uint32_t workers : {1u, 2u}) {
+    std::ostringstream trace;
+    DebugShim::Options options;
+    options.trace_sink = [&trace](const LocalEvent& event) {
+      trace << event.describe() << "\n";
+    };
+    Topology topology = Topology::ring(2);
+    std::vector<ProcessPtr> users;
+    for (int i = 0; i < 2; ++i) {
+      TokenRingConfig token_config;
+      token_config.rounds = 1;
+      users.push_back(std::make_unique<TokenRingProcess>(token_config));
+    }
+    SimulationConfig config;
+    config.seed = 1;
+    config.latency = constant_latency(Duration::millis(1));
+    config.workers = workers;
+    Simulation sim(topology, wrap_in_shims(topology, std::move(users), options),
+                   std::move(config));
+    ASSERT_TRUE(sim.run_until_quiescent());
+    EXPECT_EQ(trace.str(), kGoldenTrace) << "workers=" << workers;
+    EXPECT_EQ(sim.metrics().snapshot(sim.now()).to_json(), kGoldenJson)
+        << "workers=" << workers;
+  }
 }
 
 }  // namespace

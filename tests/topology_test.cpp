@@ -158,5 +158,59 @@ TEST(Topology, DescribeMentionsCounts) {
   EXPECT_NE(t.describe().find("3 processes"), std::string::npos);
 }
 
+TEST(Topology, TreeIsStronglyConnectedAndShaped) {
+  const Topology t = Topology::tree(10, 2);
+  EXPECT_EQ(t.num_processes(), 10u);
+  EXPECT_EQ(t.num_channels(), 18u);  // 2 per tree edge
+  EXPECT_TRUE(t.strongly_connected());
+  // Child 4's parent under branching 2 is (4 - 1) / 2 = 1.
+  EXPECT_TRUE(t.channel_between(ProcessId(1), ProcessId(4)).has_value());
+  EXPECT_TRUE(t.channel_between(ProcessId(4), ProcessId(1)).has_value());
+  EXPECT_FALSE(t.channel_between(ProcessId(0), ProcessId(4)).has_value());
+
+  const Topology wide = Topology::tree(7, 3);
+  EXPECT_TRUE(wide.strongly_connected());
+  EXPECT_EQ(wide.out_channels(ProcessId(0)).size(), 3u);
+}
+
+// The large-N generator checks: complete() at N = 1024 builds ~1M channels
+// with 64-bit count arithmetic, and channel_between stays O(1) (an
+// out-degree scan here would make this test conspicuously slow).
+TEST(Topology, LargeGeneratorsAndConstantTimeLookup) {
+  const std::uint32_t n = 1024;
+  const Topology complete = Topology::complete(n);
+  EXPECT_EQ(complete.num_channels(),
+            static_cast<std::size_t>(n) * (n - 1));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(complete.out_channels(ProcessId(i)).size(), n - 1);
+    EXPECT_EQ(complete.in_channels(ProcessId(i)).size(), n - 1);
+  }
+  // Every ordered pair resolves; spot the full first row and diagonal.
+  for (std::uint32_t j = 1; j < n; ++j) {
+    const auto c = complete.channel_between(ProcessId(0), ProcessId(j));
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(complete.channel(*c).destination, ProcessId(j));
+  }
+  EXPECT_FALSE(
+      complete.channel_between(ProcessId(5), ProcessId(5)).has_value());
+
+  const Topology ring = Topology::ring(n);
+  EXPECT_EQ(ring.num_channels(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(ring.channel_between(ProcessId(n - 1), ProcessId(0)));
+
+  const Topology tree = Topology::tree(n, 4);
+  EXPECT_EQ(tree.num_channels(), 2u * (n - 1));
+  EXPECT_TRUE(tree.strongly_connected());
+}
+
+TEST(Topology, ChannelBetweenReturnsFirstDataChannel) {
+  Topology t(2);
+  const ChannelId first = t.add_channel(ProcessId(0), ProcessId(1));
+  t.add_channel(ProcessId(0), ProcessId(1));  // parallel duplicate
+  const auto found = t.channel_between(ProcessId(0), ProcessId(1));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, first);
+}
+
 }  // namespace
 }  // namespace ddbg

@@ -1,5 +1,7 @@
 #include "core/commands.hpp"
 
+#include <algorithm>
+
 namespace ddbg {
 
 Bytes Command::encode() const {
@@ -15,6 +17,9 @@ Bytes Command::encode() const {
   writer.u8(report.has_value() ? 1 : 0);
   if (report.has_value()) report->encode(writer);
   writer.str(text);
+  writer.varint(reports.size());
+  for (const ProcessSnapshot& snapshot : reports) snapshot.encode(writer);
+  writer.bytes(inner);
   return std::move(writer).take();
 }
 
@@ -24,7 +29,7 @@ Result<Command> Command::decode(std::span<const std::uint8_t> data) {
 
   auto kind = reader.u8();
   if (!kind.ok()) return kind.error();
-  if (kind.value() > static_cast<std::uint8_t>(CommandKind::kStateReport)) {
+  if (kind.value() > static_cast<std::uint8_t>(CommandKind::kTierUnicast)) {
     return Error(ErrorCode::kParseError, "unknown command kind");
   }
   cmd.kind = static_cast<CommandKind>(kind.value());
@@ -68,6 +73,23 @@ Result<Command> Command::decode(std::span<const std::uint8_t> data) {
   auto text = reader.str();
   if (!text.ok()) return text.error();
   cmd.text = std::move(text).value();
+
+  auto num_reports = reader.varint();
+  if (!num_reports.ok()) return num_reports.error();
+  // Clamp the reserve so a corrupt count cannot trigger a huge allocation;
+  // decode of the missing snapshots fails on its own below.
+  cmd.reports.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          num_reports.value(), 1024)));
+  for (std::uint64_t i = 0; i < num_reports.value(); ++i) {
+    auto snapshot = ProcessSnapshot::decode(reader);
+    if (!snapshot.ok()) return snapshot.error();
+    cmd.reports.push_back(std::move(snapshot).value());
+  }
+
+  auto inner = reader.bytes();
+  if (!inner.ok()) return inner.error();
+  cmd.inner = std::move(inner).value();
 
   if (!reader.exhausted()) {
     return Error(ErrorCode::kParseError, "trailing bytes after command");
@@ -176,6 +198,43 @@ Command Command::state_report(ProcessId reporter, ProcessSnapshot snapshot) {
   cmd.kind = CommandKind::kStateReport;
   cmd.reporter = reporter;
   cmd.report = std::move(snapshot);
+  return cmd;
+}
+
+Command Command::aggregated_halt_report(ProcessId reporter,
+                                        std::uint64_t halt_id,
+                                        std::vector<ProcessSnapshot> snapshots) {
+  Command cmd;
+  cmd.kind = CommandKind::kAggregatedHaltReport;
+  cmd.reporter = reporter;
+  cmd.wave_id = halt_id;
+  cmd.reports = std::move(snapshots);
+  return cmd;
+}
+
+Command Command::aggregated_snapshot_report(
+    ProcessId reporter, std::uint64_t snapshot_id,
+    std::vector<ProcessSnapshot> snapshots) {
+  Command cmd;
+  cmd.kind = CommandKind::kAggregatedSnapshotReport;
+  cmd.reporter = reporter;
+  cmd.wave_id = snapshot_id;
+  cmd.reports = std::move(snapshots);
+  return cmd;
+}
+
+Command Command::tier_broadcast(Bytes inner) {
+  Command cmd;
+  cmd.kind = CommandKind::kTierBroadcast;
+  cmd.inner = std::move(inner);
+  return cmd;
+}
+
+Command Command::tier_unicast(ProcessId target, Bytes inner) {
+  Command cmd;
+  cmd.kind = CommandKind::kTierUnicast;
+  cmd.target = target;
+  cmd.inner = std::move(inner);
   return cmd;
 }
 

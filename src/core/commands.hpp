@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/serialization.hpp"
@@ -33,6 +34,12 @@ enum class CommandKind : std::uint8_t {
   kNotifySatisfied = 8,  // unordered CP: one term was satisfied here
   kRouteMarker = 9,      // forward this predicate marker to `target`
   kStateReport = 10,
+
+  // debugger tier (aggregator <-> aggregator/root); see with_debugger_tree()
+  kAggregatedHaltReport = 11,      // merged subtree contribution to S_h
+  kAggregatedSnapshotReport = 12,  // merged subtree contribution to S_r
+  kTierBroadcast = 13,  // carry `inner` command to every user in the subtree
+  kTierUnicast = 14,    // carry `inner` command to user `target` only
 };
 
 [[nodiscard]] constexpr const char* to_string(CommandKind kind) {
@@ -48,6 +55,11 @@ enum class CommandKind : std::uint8_t {
     case CommandKind::kNotifySatisfied: return "notify_satisfied";
     case CommandKind::kRouteMarker: return "route_marker";
     case CommandKind::kStateReport: return "state_report";
+    case CommandKind::kAggregatedHaltReport: return "aggregated_halt_report";
+    case CommandKind::kAggregatedSnapshotReport:
+      return "aggregated_snapshot_report";
+    case CommandKind::kTierBroadcast: return "tier_broadcast";
+    case CommandKind::kTierUnicast: return "tier_unicast";
   }
   return "?";
 }
@@ -67,6 +79,12 @@ struct Command {
   ProcessId reporter;             // process -> debugger commands
   std::optional<ProcessSnapshot> report;  // kHaltReport/kSnapshotReport/kStateReport
   std::string text;               // freeform description
+  // kAggregated*Report: every user snapshot collected in the sender's
+  // subtree, moved (never copied) up the convergecast path.
+  std::vector<ProcessSnapshot> reports;
+  // kTierBroadcast / kTierUnicast: the encoded command to deliver to the
+  // destination user process(es).
+  Bytes inner;
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static Result<Command> decode(
@@ -100,6 +118,14 @@ struct Command {
                                             bool monitor = false);
   [[nodiscard]] static Command state_report(ProcessId reporter,
                                             ProcessSnapshot snapshot);
+  [[nodiscard]] static Command aggregated_halt_report(
+      ProcessId reporter, std::uint64_t halt_id,
+      std::vector<ProcessSnapshot> snapshots);
+  [[nodiscard]] static Command aggregated_snapshot_report(
+      ProcessId reporter, std::uint64_t snapshot_id,
+      std::vector<ProcessSnapshot> snapshots);
+  [[nodiscard]] static Command tier_broadcast(Bytes inner);
+  [[nodiscard]] static Command tier_unicast(ProcessId target, Bytes inner);
 };
 
 }  // namespace ddbg

@@ -36,8 +36,8 @@ class DebugShim::ShimContext final : public ProcessContext {
     // debugging system's business.
     DDBG_ASSERT(message.kind == MessageKind::kApplication,
                 "user processes may only send application messages");
-    shim_.vclock_.tick(shim_.self_);
     if (shim_.options_.stamp_vector_clocks) {
+      shim_.vclock_.tick(shim_.self_);
       message.vclock = shim_.vclock_;
     }
     message.lamport = shim_.lamport_.on_send();
@@ -74,7 +74,9 @@ class DebugShim::ShimContext final : public ProcessContext {
     LocalEvent event;
     event.kind = LocalEventKind::kProcessTerminated;
     event.lamport = shim_.lamport_.tick();
-    shim_.vclock_.tick(shim_.self_);
+    if (shim_.options_.stamp_vector_clocks) {
+      shim_.vclock_.tick(shim_.self_);
+    }
     event.vclock = shim_.vclock_;
     shim_.emit_event(std::move(event));
     outer_->stop_self();
@@ -144,6 +146,7 @@ void DebugShim::on_start(ProcessContext& ctx) {
   topology_ = &ctx.topology();
   DDBG_ASSERT(ctx.self() == self_, "shim bound to the wrong process slot");
 
+  const bool suppress = options_.suppress_redundant_markers;
   halting_.emplace(
       self_, topology_,
       HaltingEngine::Callbacks{
@@ -167,7 +170,8 @@ void DebugShim::on_start(ProcessContext& ctx) {
                 options_.local_halt_report(self_, wave, snapshot);
               });
             }
-          }});
+          }},
+      suppress);
   snapshot_.emplace(
       self_, topology_,
       SnapshotEngine::Callbacks{
@@ -187,13 +191,14 @@ void DebugShim::on_start(ProcessContext& ctx) {
                 options_.local_snapshot_report(self_, id, snapshot);
               });
             }
-          }});
+          }},
+      suppress);
 
   {
     LocalEvent event;
     event.kind = LocalEventKind::kProcessStarted;
     event.lamport = lamport_.tick();
-    vclock_.tick(self_);
+    if (options_.stamp_vector_clocks) vclock_.tick(self_);
     event.vclock = vclock_;
     emit_event(std::move(event));
   }
@@ -203,7 +208,7 @@ void DebugShim::on_start(ProcessContext& ctx) {
     event.kind = LocalEventKind::kChannelCreated;
     event.channel = c;
     event.lamport = lamport_.tick();
-    vclock_.tick(self_);
+    if (options_.stamp_vector_clocks) vclock_.tick(self_);
     event.vclock = vclock_;
     emit_event(std::move(event));
   }
@@ -294,7 +299,9 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
     }
     case MessageKind::kApplication: {
       snapshot_->observe_app_message(in, message);
-      vclock_.on_receive(self_, message.vclock);
+      if (options_.stamp_vector_clocks) {
+        vclock_.on_receive(self_, message.vclock);
+      }
       const std::uint64_t receive_lamport =
           lamport_.on_receive(message.lamport);
 
@@ -404,7 +411,7 @@ void DebugShim::event(std::string_view name, std::int64_t value) {
   event.name = std::string(name);
   event.value = value;
   event.lamport = lamport_.tick();
-  vclock_.tick(self_);
+  if (options_.stamp_vector_clocks) vclock_.tick(self_);
   event.vclock = vclock_;
   emit_event(std::move(event));
 }
@@ -414,7 +421,7 @@ void DebugShim::enter_procedure(std::string_view name) {
   event.kind = LocalEventKind::kProcedureEntered;
   event.name = std::string(name);
   event.lamport = lamport_.tick();
-  vclock_.tick(self_);
+  if (options_.stamp_vector_clocks) vclock_.tick(self_);
   event.vclock = vclock_;
   emit_event(std::move(event));
 }
@@ -426,7 +433,7 @@ void DebugShim::set_var(std::string_view name, std::int64_t value) {
   event.name = std::string(name);
   event.value = value;
   event.lamport = lamport_.tick();
-  vclock_.tick(self_);
+  if (options_.stamp_vector_clocks) vclock_.tick(self_);
   event.vclock = vclock_;
   emit_event(std::move(event));
 }

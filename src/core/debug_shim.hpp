@@ -56,6 +56,13 @@ class DebugShim final : public Process, public DebugApi {
     // of using direct application channels when they exist.  Ablation knob
     // for the routing design decision (see DESIGN.md / bench_ablation).
     bool route_markers_via_debugger = false;
+    // Skip the redundant halt/snapshot marker echo back onto control
+    // out-channels when the wave was learned *from* a control channel (the
+    // debugger tier demonstrably knows it already).  Markers on application
+    // channels are never suppressed — they close the receiver's channel
+    // state (Lemma 2.2).  Off reproduces the plain flood for equivalence
+    // testing.
+    bool suppress_redundant_markers = true;
     // Invoked for every local event (analysis trace).
     std::function<void(const LocalEvent&)> trace_sink;
     // Invoked when this process halts / resumes (tests, experiments).

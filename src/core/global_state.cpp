@@ -75,9 +75,17 @@ Result<ProcessSnapshot> ProcessSnapshot::decode(ByteReader& reader) {
   return snap;
 }
 
-void GlobalState::add(ProcessSnapshot snapshot) {
+void GlobalState::add(ProcessSnapshot&& snapshot) {
   const ProcessId p = snapshot.process;
   snapshots_[p] = std::move(snapshot);
+}
+
+std::vector<ProcessSnapshot> GlobalState::take_all() {
+  std::vector<ProcessSnapshot> all;
+  all.reserve(snapshots_.size());
+  for (auto& [p, snapshot] : snapshots_) all.push_back(std::move(snapshot));
+  snapshots_.clear();
+  return all;
 }
 
 const ProcessSnapshot& GlobalState::at(ProcessId p) const {
@@ -107,13 +115,20 @@ std::optional<std::string> GlobalState::first_difference(
              mine.description + " vs " + theirs.description + ")";
     }
     // Compare channel states by channel id; order within the vector is
-    // normalized by sorting copies.
-    auto sorted = [](std::vector<ChannelState> channels) {
-      std::sort(channels.begin(), channels.end(),
+    // normalized by sorting copies, and empty entries are dropped first so a
+    // sparse recording (only non-empty channels) compares equal to a dense
+    // one that materialized every incoming channel.
+    auto sorted = [](const std::vector<ChannelState>& channels) {
+      std::vector<ChannelState> kept;
+      kept.reserve(channels.size());
+      for (const ChannelState& cs : channels) {
+        if (!cs.messages.empty()) kept.push_back(cs);
+      }
+      std::sort(kept.begin(), kept.end(),
                 [](const ChannelState& a, const ChannelState& b) {
                   return a.channel < b.channel;
                 });
-      return channels;
+      return kept;
     };
     const auto mine_sorted = sorted(mine.in_channels);
     const auto theirs_sorted = sorted(theirs.in_channels);

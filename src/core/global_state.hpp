@@ -37,7 +37,9 @@ struct ProcessSnapshot {
   ProcessId process;
   Bytes state;              // opaque application state bytes
   std::string description;  // human-readable state rendering
-  // Incoming-channel states, one entry per incoming application channel.
+  // Incoming-channel states, sparse: only channels that recorded at least
+  // one in-flight payload appear; an absent channel means it was empty at
+  // the cut (equivalence treats the two the same).
   std::vector<ChannelState> in_channels;
   // Section 2.2.4: the names accumulated on the halt marker this process
   // halted on (empty for a spontaneous initiator or a C&L recording).
@@ -58,7 +60,11 @@ class GlobalState {
 
   [[nodiscard]] HaltId id() const { return id_; }
 
-  void add(ProcessSnapshot snapshot);
+  // The aggregation path moves snapshots all the way from the reporting
+  // process into the assembled state; the lvalue overload copies explicitly
+  // for callers that still need theirs.
+  void add(ProcessSnapshot&& snapshot);
+  void add(const ProcessSnapshot& snapshot) { add(ProcessSnapshot(snapshot)); }
   [[nodiscard]] bool has(ProcessId p) const {
     return snapshots_.contains(p);
   }
@@ -67,6 +73,9 @@ class GlobalState {
   [[nodiscard]] const std::map<ProcessId, ProcessSnapshot>& snapshots() const {
     return snapshots_;
   }
+  // Moves every snapshot out (ascending process id) and empties the state;
+  // the convergecast uses this to re-ship merged fragments without copying.
+  [[nodiscard]] std::vector<ProcessSnapshot> take_all();
 
   // Theorem-2 equivalence: same processes, same state bytes, same channel
   // contents.  halt_path, clocks and capture times are *not* compared (they

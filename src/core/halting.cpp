@@ -1,12 +1,16 @@
 #include "core/halting.hpp"
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddbg {
 
 HaltingEngine::HaltingEngine(ProcessId self, const Topology* topology,
-                             Callbacks callbacks)
-    : self_(self), topology_(topology), callbacks_(std::move(callbacks)) {
+                             Callbacks callbacks, bool suppress_control_echo)
+    : self_(self),
+      topology_(topology),
+      callbacks_(std::move(callbacks)),
+      suppress_control_echo_(suppress_control_echo) {
   DDBG_ASSERT(topology_ != nullptr, "HaltingEngine needs a topology");
   DDBG_ASSERT(callbacks_.capture_state != nullptr,
               "HaltingEngine needs a capture_state callback");
@@ -16,17 +20,26 @@ bool HaltingEngine::is_app_channel(ChannelId c) const {
   return !topology_->channel(c).is_control;
 }
 
+void HaltingEngine::record_channel_message(ChannelId in,
+                                           const Bytes& payload) {
+  const auto [it, inserted] =
+      channel_slot_.try_emplace(in.value(), snapshot_.in_channels.size());
+  if (inserted) snapshot_.in_channels.push_back(ChannelState{in, {}});
+  snapshot_.in_channels[it->second].messages.push_back(payload);
+}
+
 void HaltingEngine::initiate(ProcessContext& ctx) {
   if (halted_) return;  // a process can halt only once per wave
   // Marker-Sending Rule: increment last_halt_id, then Halt Routine.
   ++last_halt_id_;
   snapshot_ = callbacks_.capture_state();
   snapshot_.halt_path.clear();  // spontaneous: nobody halted before us
-  halt_routine(ctx);
+  halt_routine(ctx, /*from_control=*/false);
 }
 
 void HaltingEngine::on_halt_marker(ProcessContext& ctx, ChannelId in,
                                    const HaltMarkerData& data) {
+  const bool from_control = !is_app_channel(in);
   if (data.halt_id.value() > last_halt_id_) {
     // New wave: adopt its id and halt.
     last_halt_id_ = data.halt_id.value();
@@ -35,11 +48,11 @@ void HaltingEngine::on_halt_marker(ProcessContext& ctx, ChannelId in,
       // already halted, so the Halt Routine must not run again (it would
       // re-enter the halted state illegally); adopt the newer wave in
       // place instead.
-      adopt_wave(ctx, data);
+      adopt_wave(ctx, data, from_control);
     } else {
       snapshot_ = callbacks_.capture_state();
       snapshot_.halt_path = data.halt_path;
-      halt_routine(ctx);
+      halt_routine(ctx, from_control);
     }
     // The channel the first marker arrived on is empty (the sender halted
     // immediately after sending it): mark it done with no recorded messages.
@@ -58,7 +71,7 @@ void HaltingEngine::on_halt_marker(ProcessContext& ctx, ChannelId in,
 }
 
 void HaltingEngine::adopt_wave(ProcessContext& ctx,
-                               const HaltMarkerData& data) {
+                               const HaltMarkerData& data, bool from_control) {
   // Already halted when a newer wave's marker arrives.  The process state
   // is unchanged — it was captured when we halted and nothing has run
   // since — so it stands for the new wave too; only the wave bookkeeping
@@ -69,29 +82,22 @@ void HaltingEngine::adopt_wave(ProcessContext& ctx,
   channels_done_.clear();
   snapshot_.halt_path = data.halt_path;
   snapshot_.captured_at = ctx.now();
-  for (ChannelState& state : snapshot_.in_channels) state.messages.clear();
+  snapshot_.in_channels.clear();
+  channel_slot_.clear();
   for (const auto& [channel, message] : buffered_) {
     if (message.kind != MessageKind::kApplication) continue;
-    const std::size_t slot = channel.value() < channel_slot_.size()
-                                 ? channel_slot_[channel.value()]
-                                 : SIZE_MAX;
-    if (slot != SIZE_MAX) {
-      snapshot_.in_channels[slot].messages.push_back(message.payload);
-    }
+    if (!is_app_channel(channel)) continue;
+    record_channel_message(channel, message.payload);
   }
   // Forward the new wave's markers exactly as the Halt Routine would,
   // extending the halt path with our own name (section 2.2.4).
-  std::vector<ProcessId> path = data.halt_path;
-  path.push_back(self_);
-  for (const ChannelId c : topology_->out_channels(self_)) {
-    ctx.send(c, Message::halt_marker(HaltId(last_halt_id_), path));
-  }
+  forward_markers(ctx, data.halt_path, from_control);
   if (callbacks_.on_halt) {
     callbacks_.on_halt(HaltId(last_halt_id_), snapshot_.halt_path);
   }
 }
 
-void HaltingEngine::halt_routine(ProcessContext& ctx) {
+void HaltingEngine::halt_routine(ProcessContext& ctx, bool from_control) {
   DDBG_ASSERT(!halted_, "halt routine entered twice");
   halted_ = true;
   completion_reported_ = false;
@@ -101,27 +107,36 @@ void HaltingEngine::halt_routine(ProcessContext& ctx) {
 
   snapshot_.captured_at = ctx.now();
 
-  // Prepare per-incoming-application-channel state slots.
+  // Channel-state slots are created lazily on the first recorded payload
+  // (sparse: an empty channel never materializes an entry).
   snapshot_.in_channels.clear();
-  channel_slot_.assign(topology_->num_channels(), SIZE_MAX);
-  for (const ChannelId c : topology_->in_channels(self_)) {
-    if (!is_app_channel(c)) continue;
-    channel_slot_[c.value()] = snapshot_.in_channels.size();
-    snapshot_.in_channels.push_back(ChannelState{c, {}});
-  }
+  channel_slot_.clear();
 
   // Forward markers on every outgoing channel, appending our own name to
   // the halt path (section 2.2.4), then halt.
-  std::vector<ProcessId> path = snapshot_.halt_path;
-  path.push_back(self_);
-  for (const ChannelId c : topology_->out_channels(self_)) {
-    ctx.send(c, Message::halt_marker(HaltId(last_halt_id_), path));
-  }
+  forward_markers(ctx, snapshot_.halt_path, from_control);
 
   if (callbacks_.on_halt) {
     callbacks_.on_halt(HaltId(last_halt_id_), snapshot_.halt_path);
   }
   check_complete();  // a process with no incoming app/control channels
+}
+
+void HaltingEngine::forward_markers(ProcessContext& ctx,
+                                    const std::vector<ProcessId>& base_path,
+                                    bool from_control) {
+  std::vector<ProcessId> path = base_path;
+  path.push_back(self_);
+  for (const ChannelId c : topology_->out_channels(self_)) {
+    // Markers on application channels are load-bearing (the receiver closes
+    // that channel's state on them); only the echo back to the debugger
+    // tier is redundant, and only when the tier told us about the wave.
+    if (suppress_control_echo_ && from_control && !is_app_channel(c)) {
+      if (obs::MetricsRegistry* m = ctx.metrics()) m->on_marker_suppressed();
+      continue;
+    }
+    ctx.send(c, Message::halt_marker(HaltId(last_halt_id_), path));
+  }
 }
 
 bool HaltingEngine::complete() const {
@@ -148,13 +163,8 @@ bool HaltingEngine::intercept_message(ChannelId in, const Message& message) {
   // Application messages arriving before this channel's marker are part of
   // the channel's recorded state (Lemma 2.2).
   if (message.kind == MessageKind::kApplication &&
-      !channels_done_.contains(in)) {
-    const std::size_t slot =
-        in.value() < channel_slot_.size() ? channel_slot_[in.value()]
-                                          : SIZE_MAX;
-    if (slot != SIZE_MAX) {
-      snapshot_.in_channels[slot].messages.push_back(message.payload);
-    }
+      !channels_done_.contains(in) && is_app_channel(in)) {
+    record_channel_message(in, message.payload);
   }
   return true;
 }
@@ -175,6 +185,7 @@ HaltingEngine::ResumeData HaltingEngine::resume() {
   halted_ = false;
   completion_reported_ = false;
   channels_done_.clear();
+  channel_slot_.clear();
   snapshot_ = ProcessSnapshot{};
   return data;
 }

@@ -25,6 +25,7 @@
 
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -49,8 +50,14 @@ class HaltingEngine {
     std::function<void(const ProcessSnapshot&)> on_complete;
   };
 
-  HaltingEngine(ProcessId self, const Topology* topology,
-                Callbacks callbacks);
+  // `suppress_control_echo`: when a wave was learned from a control channel
+  // (i.e. from the debugger tier), do not echo its marker back onto control
+  // out-channels — the tier already knows the wave.  Markers on application
+  // channels are never suppressed: the out-channel p->q is q's in-channel,
+  // and q needs that marker to close its channel state (Lemma 2.2).  Set to
+  // false to reproduce the original flood behaviour for equivalence tests.
+  HaltingEngine(ProcessId self, const Topology* topology, Callbacks callbacks,
+                bool suppress_control_echo = true);
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] std::uint64_t last_halt_id() const { return last_halt_id_; }
@@ -91,17 +98,27 @@ class HaltingEngine {
   [[nodiscard]] const ProcessSnapshot& snapshot() const;
 
  private:
-  void halt_routine(ProcessContext& ctx);
+  void halt_routine(ProcessContext& ctx, bool from_control);
   // Switch an already-halted process onto a newer wave: restart the wave
   // bookkeeping and forward the new markers without re-running the Halt
   // Routine (which asserts it is never entered twice).
-  void adopt_wave(ProcessContext& ctx, const HaltMarkerData& data);
+  void adopt_wave(ProcessContext& ctx, const HaltMarkerData& data,
+                  bool from_control);
+  // Send this wave's markers on every outgoing channel (minus suppressed
+  // control echoes), appending self_ to `base_path` (section 2.2.4).
+  void forward_markers(ProcessContext& ctx,
+                       const std::vector<ProcessId>& base_path,
+                       bool from_control);
   void check_complete();
   [[nodiscard]] bool is_app_channel(ChannelId c) const;
+  // Find-or-create the sparse channel-state slot for `in` and record one
+  // in-flight payload.
+  void record_channel_message(ChannelId in, const Bytes& payload);
 
   ProcessId self_;
   const Topology* topology_;
   Callbacks callbacks_;
+  bool suppress_control_echo_ = true;
 
   std::uint64_t last_halt_id_ = 0;  // initially zero, per the paper
   bool halted_ = false;
@@ -112,8 +129,10 @@ class HaltingEngine {
   ProcessSnapshot snapshot_;
   // Incoming channels whose halt marker for the current wave has arrived.
   std::unordered_set<ChannelId> channels_done_;
-  // Index into snapshot_.in_channels by channel id.
-  std::vector<std::size_t> channel_slot_;
+  // Sparse index into snapshot_.in_channels: slots are created on the first
+  // recorded payload, so an idle wave costs O(active channels), not
+  // O(topology channels).
+  std::unordered_map<std::uint32_t, std::size_t> channel_slot_;
 
   std::vector<std::pair<ChannelId, Message>> buffered_;
   std::vector<TimerId> buffered_timers_;

@@ -1,10 +1,16 @@
 #include "core/snapshot.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ddbg {
 
 SnapshotEngine::SnapshotEngine(ProcessId self, const Topology* topology,
-                               Callbacks callbacks)
-    : self_(self), topology_(topology), callbacks_(std::move(callbacks)) {
+                               Callbacks callbacks,
+                               bool suppress_control_echo)
+    : self_(self),
+      topology_(topology),
+      callbacks_(std::move(callbacks)),
+      suppress_control_echo_(suppress_control_echo) {
   DDBG_ASSERT(topology_ != nullptr, "SnapshotEngine needs a topology");
   DDBG_ASSERT(callbacks_.capture_state != nullptr,
               "SnapshotEngine needs a capture_state callback");
@@ -17,7 +23,7 @@ bool SnapshotEngine::is_app_channel(ChannelId c) const {
 void SnapshotEngine::initiate(ProcessContext& ctx) {
   if (recording_) return;
   ++last_snapshot_id_;
-  record_state(ctx);
+  record_state(ctx, /*from_control=*/false);
   check_complete();
 }
 
@@ -26,7 +32,7 @@ void SnapshotEngine::on_marker(ProcessContext& ctx, ChannelId in,
   if (data.snapshot_id > last_snapshot_id_) {
     // First marker of a new wave: record state; this channel is empty.
     last_snapshot_id_ = data.snapshot_id;
-    record_state(ctx);
+    record_state(ctx, /*from_control=*/!is_app_channel(in));
     channels_done_.insert(in);
     check_complete();
     return;
@@ -39,7 +45,7 @@ void SnapshotEngine::on_marker(ProcessContext& ctx, ChannelId in,
   // Stale marker from a completed wave: ignore.
 }
 
-void SnapshotEngine::record_state(ProcessContext& ctx) {
+void SnapshotEngine::record_state(ProcessContext& ctx, bool from_control) {
   DDBG_ASSERT(!recording_, "record_state entered twice");
   recording_ = true;
   channels_done_.clear();
@@ -48,18 +54,21 @@ void SnapshotEngine::record_state(ProcessContext& ctx) {
   snapshot_.halt_path.clear();  // recordings carry no halt path
   snapshot_.captured_at = ctx.now();
 
+  // Channel-state slots are created lazily on the first observed in-flight
+  // payload (sparse: an empty channel never materializes an entry).
   snapshot_.in_channels.clear();
-  channel_slot_.assign(topology_->num_channels(), SIZE_MAX);
-  for (const ChannelId c : topology_->in_channels(self_)) {
-    if (!is_app_channel(c)) continue;
-    channel_slot_[c.value()] = snapshot_.in_channels.size();
-    snapshot_.in_channels.push_back(ChannelState{c, {}});
-  }
+  channel_slot_.clear();
 
   // Marker-Sending Rule: one marker per outgoing channel, before any
   // further message.  (This handler sends them immediately, so nothing can
-  // be interleaved.)
+  // be interleaved.)  Markers on application channels are load-bearing —
+  // the receiver closes that channel's state on them — but the echo back
+  // to the debugger tier is redundant when the tier started this wave.
   for (const ChannelId c : topology_->out_channels(self_)) {
+    if (suppress_control_echo_ && from_control && !is_app_channel(c)) {
+      if (obs::MetricsRegistry* m = ctx.metrics()) m->on_marker_suppressed();
+      continue;
+    }
     ctx.send(c, Message::snapshot_marker(last_snapshot_id_));
   }
 }
@@ -69,11 +78,11 @@ void SnapshotEngine::observe_app_message(ChannelId in,
   if (!recording_) return;
   if (message.kind != MessageKind::kApplication) return;
   if (channels_done_.contains(in)) return;
-  const std::size_t slot =
-      in.value() < channel_slot_.size() ? channel_slot_[in.value()] : SIZE_MAX;
-  if (slot != SIZE_MAX) {
-    snapshot_.in_channels[slot].messages.push_back(message.payload);
-  }
+  if (!is_app_channel(in)) return;
+  const auto [it, inserted] =
+      channel_slot_.try_emplace(in.value(), snapshot_.in_channels.size());
+  if (inserted) snapshot_.in_channels.push_back(ChannelState{in, {}});
+  snapshot_.in_channels[it->second].messages.push_back(message.payload);
 }
 
 void SnapshotEngine::check_complete() {

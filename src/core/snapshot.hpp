@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -34,8 +35,11 @@ class SnapshotEngine {
     std::function<void(const ProcessSnapshot&)> on_complete;
   };
 
+  // `suppress_control_echo`: as in HaltingEngine — when a wave was learned
+  // from a control channel, skip the redundant marker echo back onto
+  // control out-channels (never onto application channels).
   SnapshotEngine(ProcessId self, const Topology* topology,
-                 Callbacks callbacks);
+                 Callbacks callbacks, bool suppress_control_echo = true);
 
   [[nodiscard]] bool recording() const { return recording_; }
   [[nodiscard]] std::uint64_t last_snapshot_id() const {
@@ -55,20 +59,22 @@ class SnapshotEngine {
   void observe_app_message(ChannelId in, const Message& message);
 
  private:
-  void record_state(ProcessContext& ctx);
+  void record_state(ProcessContext& ctx, bool from_control);
   void check_complete();
   [[nodiscard]] bool is_app_channel(ChannelId c) const;
 
   ProcessId self_;
   const Topology* topology_;
   Callbacks callbacks_;
+  bool suppress_control_echo_ = true;
 
   std::uint64_t last_snapshot_id_ = 0;
   bool recording_ = false;
 
   ProcessSnapshot snapshot_;
   std::unordered_set<ChannelId> channels_done_;
-  std::vector<std::size_t> channel_slot_;
+  // Sparse index into snapshot_.in_channels (see HaltingEngine).
+  std::unordered_map<std::uint32_t, std::size_t> channel_slot_;
 };
 
 }  // namespace ddbg

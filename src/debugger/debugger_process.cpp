@@ -1,5 +1,7 @@
 #include "debugger/debugger_process.hpp"
 
+#include <utility>
+
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
 
@@ -21,18 +23,21 @@ void DebuggerProcess::on_start(ProcessContext& ctx) {
   self_ = ctx.self();
   DDBG_ASSERT(topology_->has_debugger() && topology_->is_debugger(self_),
               "DebuggerProcess must occupy the topology's debugger slot");
+  const auto children = topology_->tier_children(self_);
+  children_.assign(children.begin(), children.end());
+  if (auto* m = ctx.metrics()) m->observe_tree_fanout(children_.size());
 }
 
-void DebuggerProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
+void DebuggerProcess::on_message(ProcessContext& ctx, ChannelId in,
                                  Message message) {
   switch (message.kind) {
     case MessageKind::kHaltMarker:
       DDBG_ASSERT(message.halt.has_value(), "halt marker without data");
-      handle_halt_marker(ctx, *message.halt);
+      handle_halt_marker(ctx, in, *message.halt);
       return;
     case MessageKind::kSnapshotMarker:
       DDBG_ASSERT(message.snapshot.has_value(), "snapshot marker w/o data");
-      handle_snapshot_marker(ctx, *message.snapshot);
+      handle_snapshot_marker(ctx, in, *message.snapshot);
       return;
     case MessageKind::kControl: {
       auto command = Command::decode(message.payload);
@@ -41,7 +46,7 @@ void DebuggerProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
                      << command.error().to_string();
         return;
       }
-      handle_command(ctx, command.value());
+      handle_command(ctx, std::move(command).value());
       return;
     }
     default:
@@ -49,15 +54,44 @@ void DebuggerProcess::on_message(ProcessContext& ctx, ChannelId /*in*/,
   }
 }
 
+ProcessId DebuggerProcess::route_child(ProcessId target) const {
+  for (const ProcessId child : children_) {
+    const auto [lo, hi] = topology_->tier_user_range(child);
+    if (target.value() >= lo && target.value() < hi) return child;
+  }
+  DDBG_ASSERT(false, "control target outside every tier child's subtree");
+  return ProcessId();
+}
+
 void DebuggerProcess::send_control(ProcessContext& ctx, ProcessId target,
                                    const Command& command) {
-  ctx.send(topology_->control_to(target), Message::control(command.encode()));
+  const ProcessId child = route_child(target);
+  if (child == target) {
+    // Flat mode, or a user directly under the root: one hop.
+    ctx.send(topology_->control_to(target),
+             Message::control(command.encode()));
+    return;
+  }
+  // Tree mode: wrap in a unicast envelope; the aggregators route it down to
+  // the leaf that owns `target`.
+  ctx.send(topology_->control_to(child),
+           Message::control(
+               Command::tier_unicast(target, command.encode()).encode()));
 }
 
 void DebuggerProcess::broadcast_control(ProcessContext& ctx,
                                         const Command& command) {
-  for (const ProcessId p : topology_->user_process_ids()) {
-    send_control(ctx, p, command);
+  const Bytes encoded = command.encode();
+  Bytes envelope;  // built lazily: flat topologies never need it
+  for (const ProcessId child : children_) {
+    if (topology_->is_aggregator(child)) {
+      if (envelope.empty()) {
+        envelope = Command::tier_broadcast(encoded).encode();
+      }
+      ctx.send(topology_->control_to(child), Message::control(envelope));
+    } else {
+      ctx.send(topology_->control_to(child), Message::control(encoded));
+    }
   }
 }
 
@@ -78,7 +112,26 @@ DebuggerProcess::WaveInfo& DebuggerProcess::wave_entry(
   return it->second;
 }
 
-void DebuggerProcess::handle_halt_marker(ProcessContext& ctx,
+void DebuggerProcess::forward_wave(ProcessContext& ctx, ProcessId origin,
+                                   const Message& marker) {
+  std::size_t sent = 0;
+  for (const ProcessId child : children_) {
+    // An aggregator child that relayed this wave up already flooded its own
+    // subtree; echoing it back would only bounce.  A *user* child always
+    // gets the marker, even the originator — it needs one on its control
+    // in-channel to close that channel's recorded state (Lemma 2.2).
+    if (child == origin && topology_->is_aggregator(child)) {
+      if (auto* m = ctx.metrics()) m->on_marker_suppressed();
+      continue;
+    }
+    ctx.send(topology_->control_to(child), marker);
+    ++sent;
+  }
+  std::lock_guard<std::mutex> guard{mutex_};
+  markers_forwarded_ += sent;
+}
+
+void DebuggerProcess::handle_halt_marker(ProcessContext& ctx, ChannelId in,
                                          const HaltMarkerData& data) {
   // All mutating entry points run on the debugger's own thread; mutex_ only
   // shields the state observer threads read.  Never hold it across
@@ -90,27 +143,24 @@ void DebuggerProcess::handle_halt_marker(ProcessContext& ctx,
     if (data.halt_id.value() > last_halt_id_) {
       // New wave: adopt it and run the forwarding half of the Halt Routine
       // — but never halt (section 2.2.3: "the debugger process d never
-      // really halts").  Forwarding on every control channel is what
-      // reaches the processes the application topology cannot.
+      // really halts").  Forwarding down every tier edge is what reaches
+      // the processes the application topology cannot.
       last_halt_id_ = data.halt_id.value();
       wave_entry(halt_waves_, last_halt_id_, ctx);
-      markers_forwarded_ += topology_->num_user_processes();
       adopted = true;
     }
   }
   if (adopted) {
     std::vector<ProcessId> path = data.halt_path;
     path.push_back(self_);
-    for (const ProcessId p : topology_->user_process_ids()) {
-      ctx.send(topology_->control_to(p),
-               Message::halt_marker(data.halt_id, path));
-    }
+    forward_wave(ctx, topology_->channel(in).source,
+                 Message::halt_marker(data.halt_id, path));
   }
   // Markers of the current or older waves need no action here; the
   // per-process halt paths are collected from the halt reports.
 }
 
-void DebuggerProcess::handle_snapshot_marker(ProcessContext& ctx,
+void DebuggerProcess::handle_snapshot_marker(ProcessContext& ctx, ChannelId in,
                                              const SnapshotMarkerData& data) {
   bool adopted = false;
   {
@@ -118,37 +168,53 @@ void DebuggerProcess::handle_snapshot_marker(ProcessContext& ctx,
     if (data.snapshot_id > last_snapshot_id_) {
       last_snapshot_id_ = data.snapshot_id;
       wave_entry(snapshot_waves_, last_snapshot_id_, ctx);
-      markers_forwarded_ += topology_->num_user_processes();
       adopted = true;
     }
   }
   if (adopted) {
-    for (const ProcessId p : topology_->user_process_ids()) {
-      ctx.send(topology_->control_to(p),
-               Message::snapshot_marker(data.snapshot_id));
-    }
+    forward_wave(ctx, topology_->channel(in).source,
+                 Message::snapshot_marker(data.snapshot_id));
   }
 }
 
-void DebuggerProcess::handle_command(ProcessContext& ctx,
-                                     const Command& command) {
+void DebuggerProcess::check_wave_complete(ProcessContext& ctx, WaveInfo& wave,
+                                          bool halt) {
+  if (wave.complete || wave.state.size() != topology_->num_user_processes()) {
+    return;
+  }
+  wave.complete = true;
+  wave.completed_at = ctx.now();
+  if (auto* m = ctx.metrics()) {
+    m->span_end(halt ? obs::Span::kHaltWave : obs::Span::kSnapshotWave,
+                wave.id, ctx.now());
+  }
+  if (halt) {
+    DDBG_INFO() << "debugger: halt wave " << wave.id << " complete at "
+                << to_string(wave.completed_at);
+  }
+}
+
+void DebuggerProcess::handle_command(ProcessContext& ctx, Command command) {
   switch (command.kind) {
     case CommandKind::kHaltReport: {
       std::lock_guard<std::mutex> guard{mutex_};
       WaveInfo& wave = wave_entry(halt_waves_, command.wave_id, ctx);
       DDBG_ASSERT(command.report.has_value(), "halt report without snapshot");
       wave.halt_paths[command.reporter] = command.report->halt_path;
-      wave.state.add(*command.report);
-      if (wave.state.size() == topology_->num_user_processes() &&
-          !wave.complete) {
-        wave.complete = true;
-        wave.completed_at = ctx.now();
-        if (auto* m = ctx.metrics()) {
-          m->span_end(obs::Span::kHaltWave, wave.id, ctx.now());
-        }
-        DDBG_INFO() << "debugger: halt wave " << wave.id << " complete at "
-                    << to_string(wave.completed_at);
+      wave.state.add(std::move(*command.report));
+      check_wave_complete(ctx, wave, /*halt=*/true);
+      return;
+    }
+    case CommandKind::kAggregatedHaltReport: {
+      // Convergecast: a child aggregator's merged subtree arrives as one
+      // report; every snapshot moves straight into the assembling S_h.
+      std::lock_guard<std::mutex> guard{mutex_};
+      WaveInfo& wave = wave_entry(halt_waves_, command.wave_id, ctx);
+      for (ProcessSnapshot& snapshot : command.reports) {
+        wave.halt_paths[snapshot.process] = snapshot.halt_path;
+        wave.state.add(std::move(snapshot));
       }
+      check_wave_complete(ctx, wave, /*halt=*/true);
       return;
     }
     case CommandKind::kSnapshotReport: {
@@ -156,15 +222,17 @@ void DebuggerProcess::handle_command(ProcessContext& ctx,
       WaveInfo& wave = wave_entry(snapshot_waves_, command.wave_id, ctx);
       DDBG_ASSERT(command.report.has_value(),
                   "snapshot report without snapshot");
-      wave.state.add(*command.report);
-      if (wave.state.size() == topology_->num_user_processes() &&
-          !wave.complete) {
-        wave.complete = true;
-        wave.completed_at = ctx.now();
-        if (auto* m = ctx.metrics()) {
-          m->span_end(obs::Span::kSnapshotWave, wave.id, ctx.now());
-        }
+      wave.state.add(std::move(*command.report));
+      check_wave_complete(ctx, wave, /*halt=*/false);
+      return;
+    }
+    case CommandKind::kAggregatedSnapshotReport: {
+      std::lock_guard<std::mutex> guard{mutex_};
+      WaveInfo& wave = wave_entry(snapshot_waves_, command.wave_id, ctx);
+      for (ProcessSnapshot& snapshot : command.reports) {
+        wave.state.add(std::move(snapshot));
       }
+      check_wave_complete(ctx, wave, /*halt=*/false);
       return;
     }
     case CommandKind::kBreakpointHit: {
@@ -359,10 +427,10 @@ std::uint64_t DebuggerProcess::initiate_halt(ProcessContext& ctx) {
     std::lock_guard<std::mutex> guard{mutex_};
     wave = ++last_halt_id_;
     wave_entry(halt_waves_, wave, ctx);
-    markers_forwarded_ += topology_->num_user_processes();
+    markers_forwarded_ += children_.size();
   }
-  for (const ProcessId p : topology_->user_process_ids()) {
-    ctx.send(topology_->control_to(p),
+  for (const ProcessId child : children_) {
+    ctx.send(topology_->control_to(child),
              Message::halt_marker(HaltId(wave), {self_}));
   }
   return wave;
@@ -374,10 +442,10 @@ std::uint64_t DebuggerProcess::initiate_snapshot(ProcessContext& ctx) {
     std::lock_guard<std::mutex> guard{mutex_};
     wave = ++last_snapshot_id_;
     wave_entry(snapshot_waves_, wave, ctx);
-    markers_forwarded_ += topology_->num_user_processes();
+    markers_forwarded_ += children_.size();
   }
-  for (const ProcessId p : topology_->user_process_ids()) {
-    ctx.send(topology_->control_to(p), Message::snapshot_marker(wave));
+  for (const ProcessId child : children_) {
+    ctx.send(topology_->control_to(child), Message::snapshot_marker(wave));
   }
   return wave;
 }

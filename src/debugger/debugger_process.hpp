@@ -8,6 +8,13 @@
 // it "never really halts": it only propagates, collects reports and serves
 // the interactive session.
 //
+// Under Topology::with_debugger_tree() this process is the *root* of a
+// debugger tier: markers and control commands fan out over its direct tier
+// children (AggregatorProcess nodes) instead of n control channels, and
+// subtree reports arrive pre-merged as kAggregated*Report convergecast
+// messages.  With a flat with_debugger() topology the children are exactly
+// the user processes, so behaviour is unchanged.
+//
 // All mutable state is guarded by a mutex so an interactive session thread
 // (or a test) can read results while the debugger's own thread handles
 // messages.  Mutating entry points that send messages must run in process
@@ -96,10 +103,21 @@ class DebuggerProcess final : public Process {
   [[nodiscard]] std::uint64_t markers_forwarded() const;
 
  private:
-  void handle_halt_marker(ProcessContext& ctx, const HaltMarkerData& data);
-  void handle_snapshot_marker(ProcessContext& ctx,
+  void handle_halt_marker(ProcessContext& ctx, ChannelId in,
+                          const HaltMarkerData& data);
+  void handle_snapshot_marker(ProcessContext& ctx, ChannelId in,
                               const SnapshotMarkerData& data);
-  void handle_command(ProcessContext& ctx, const Command& command);
+  void handle_command(ProcessContext& ctx, Command command);
+  // Mark the wave complete once every user process has reported.  Caller
+  // holds mutex_.
+  void check_wave_complete(ProcessContext& ctx, WaveInfo& wave, bool halt);
+  // Broadcast a wave marker over the tier children, skipping the aggregator
+  // child it arrived from (flat mode: all children are users, none skipped).
+  void forward_wave(ProcessContext& ctx, ProcessId origin,
+                    const Message& marker);
+  // The direct tier child whose subtree covers user process `target` (the
+  // target itself in flat mode).
+  [[nodiscard]] ProcessId route_child(ProcessId target) const;
   // Send the arm commands for a breakpoint (initial arming and monitor-mode
   // re-arming).
   void arm_spec(ProcessContext& ctx, BreakpointId bp,
@@ -112,6 +130,9 @@ class DebuggerProcess final : public Process {
 
   const Topology* topology_ = nullptr;  // bound in on_start
   ProcessId self_;
+  // Direct tier children (all user processes in flat mode, the top layer of
+  // aggregators in tree mode).  Immutable after on_start.
+  std::vector<ProcessId> children_;
 
   mutable std::mutex mutex_;
   std::uint64_t last_halt_id_ = 0;

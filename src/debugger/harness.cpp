@@ -1,16 +1,19 @@
 #include "debugger/harness.hpp"
 
+#include "debugger/aggregator.hpp"
+
 namespace ddbg {
 
 namespace {
 
 struct WiredSystem {
-  Topology topology;  // with debugger
+  Topology topology;  // with debugger (tier)
   std::vector<ProcessPtr> processes;
   DebuggerProcess* debugger = nullptr;
 };
 
 WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
+                 std::uint32_t debugger_fanout,
                  DebugShim::Options shim_options,
                  std::shared_ptr<std::atomic<std::size_t>> armed_count) {
   // Count armed watches harness-wide, chaining any hook the caller set.
@@ -23,9 +26,16 @@ WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
     if (user_hook) user_hook(p, bp);
   };
   WiredSystem wired;
-  wired.topology = user_topology.with_debugger();
+  wired.topology = debugger_fanout == 0
+                       ? user_topology.with_debugger()
+                       : user_topology.with_debugger_tree(debugger_fanout);
   wired.processes =
       wrap_in_shims(wired.topology, std::move(users), std::move(shim_options));
+  // Tier processes occupy the slots after the users, root (the debugger)
+  // last; process ids must line up with the topology's slots.
+  for (std::uint32_t i = 0; i < wired.topology.num_aggregators(); ++i) {
+    wired.processes.push_back(std::make_unique<AggregatorProcess>());
+  }
   auto debugger = std::make_unique<DebuggerProcess>();
   wired.debugger = debugger.get();
   wired.processes.push_back(std::move(debugger));
@@ -38,6 +48,7 @@ SimDebugHarness::SimDebugHarness(const Topology& user_topology,
                                  std::vector<ProcessPtr> users,
                                  HarnessConfig config) {
   WiredSystem wired = wire(user_topology, std::move(users),
+                           config.debugger_fanout,
                            std::move(config.shim_options), armed_count_);
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();
@@ -66,6 +77,7 @@ RuntimeDebugHarness::RuntimeDebugHarness(const Topology& user_topology,
                                          std::vector<ProcessPtr> users,
                                          HarnessConfig config) {
   WiredSystem wired = wire(user_topology, std::move(users),
+                           config.debugger_fanout,
                            std::move(config.shim_options), armed_count_);
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();

@@ -60,6 +60,11 @@ class RuntimeHost final : public SessionHost {
 
 struct HarnessConfig {
   std::uint64_t seed = 1;
+  // 0 = flat debugger (one control channel pair per user, the paper's
+  // single-`d` model).  >= 2 = hierarchical debugger tier built with
+  // Topology::with_debugger_tree(fanout): users hang off leaf aggregators,
+  // aggregators off higher aggregators, the root plays `d`.
+  std::uint32_t debugger_fanout = 0;
   std::unique_ptr<LatencyModel> latency;  // simulator only
   DebugShim::Options shim_options;
   // Fault adversary, forwarded to the substrate (net/fault_plan.hpp).

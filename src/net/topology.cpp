@@ -54,19 +54,109 @@ Topology Topology::with_debugger() const {
   const ProcessId d = extended.add_process();
   extended.debugger_ = d;
   const std::uint32_t users = num_processes();
-  extended.control_to_.resize(users);
-  extended.control_from_.resize(users);
+  extended.num_tier_ = 1;
+  extended.init_tier_metadata();
   for (std::uint32_t i = 0; i < users; ++i) {
     const ProcessId p(i);
     extended.control_to_[i] = extended.add_channel(d, p, /*is_control=*/true);
     extended.control_from_[i] =
         extended.add_channel(p, d, /*is_control=*/true);
+    extended.tier_parent_[i] = d;
+    extended.tier_children_[d.value()].push_back(p);
   }
   return extended;
 }
 
+Topology Topology::with_debugger_tree(std::uint32_t fanout) const {
+  DDBG_ASSERT(!has_debugger(), "topology already has a debugger process");
+  DDBG_ASSERT(fanout >= 2, "debugger tier needs fan-out of at least 2");
+  Topology extended = *this;
+  const std::uint32_t users = num_processes();
+  // Count the tier up front so metadata vectors can be sized once.
+  std::uint32_t tier = 0;
+  for (std::uint32_t width = users; width > 1;
+       width = (width + fanout - 1) / fanout) {
+    tier += (width + fanout - 1) / fanout;
+  }
+  if (users == 1) tier = 1;  // degenerate: the root alone oversees one user
+  extended.num_tier_ = tier;
+  extended.tier_fanout_ = fanout;
+  for (std::uint32_t i = 0; i < tier; ++i) extended.add_process();
+  extended.debugger_ = ProcessId(users + tier - 1);  // root appended last
+  extended.init_tier_metadata();
+
+  // Build level by level: group the current level `fanout` at a time under
+  // freshly numbered parents, keeping user order so every subtree covers a
+  // contiguous user range.
+  std::vector<ProcessId> level;
+  level.reserve(users);
+  for (std::uint32_t i = 0; i < users; ++i) level.emplace_back(i);
+  std::uint32_t next_tier_id = users;
+  while (level.size() > 1 || next_tier_id == users) {
+    const std::size_t groups = (level.size() + fanout - 1) / fanout;
+    std::vector<ProcessId> parents;
+    parents.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const ProcessId parent(next_tier_id++);
+      std::uint32_t lo = 0xffffffffu;
+      std::uint32_t hi = 0;
+      const std::size_t begin = g * fanout;
+      const std::size_t end = std::min(begin + fanout, level.size());
+      for (std::size_t c = begin; c < end; ++c) {
+        const ProcessId child = level[c];
+        extended.control_to_[child.value()] =
+            extended.add_channel(parent, child, /*is_control=*/true);
+        extended.control_from_[child.value()] =
+            extended.add_channel(child, parent, /*is_control=*/true);
+        extended.tier_parent_[child.value()] = parent;
+        extended.tier_children_[parent.value()].push_back(child);
+        const auto range = extended.tier_user_range_[child.value()];
+        lo = std::min(lo, range.first);
+        hi = std::max(hi, range.second);
+      }
+      extended.tier_user_range_[parent.value()] = {lo, hi};
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+  }
+  DDBG_ASSERT(level.size() == 1 && level[0] == extended.debugger_,
+              "tier construction must end at the root");
+  return extended;
+}
+
+void Topology::init_tier_metadata() {
+  const std::uint32_t n = num_processes();
+  tier_parent_.assign(n, ProcessId());
+  tier_children_.assign(n, {});
+  tier_user_range_.assign(n, {0, 0});
+  const std::uint32_t users = num_user_processes();
+  for (std::uint32_t i = 0; i < users; ++i) tier_user_range_[i] = {i, i + 1};
+  for (std::uint32_t i = users; i < n; ++i) tier_user_range_[i] = {0, users};
+  control_to_.resize(n);
+  control_from_.resize(n);
+}
+
 std::uint32_t Topology::num_user_processes() const {
-  return has_debugger() ? num_processes() - 1 : num_processes();
+  return num_processes() - num_tier_;
+}
+
+ProcessId Topology::tier_parent(ProcessId p) const {
+  DDBG_ASSERT(has_debugger(), "no debugger in this topology");
+  DDBG_ASSERT(p.value() < tier_parent_.size(), "unknown process id");
+  return tier_parent_[p.value()];
+}
+
+std::span<const ProcessId> Topology::tier_children(ProcessId p) const {
+  DDBG_ASSERT(has_debugger(), "no debugger in this topology");
+  DDBG_ASSERT(p.value() < tier_children_.size(), "unknown process id");
+  return tier_children_[p.value()];
+}
+
+std::pair<std::uint32_t, std::uint32_t> Topology::tier_user_range(
+    ProcessId p) const {
+  DDBG_ASSERT(has_debugger(), "no debugger in this topology");
+  DDBG_ASSERT(p.value() < tier_user_range_.size(), "unknown process id");
+  return tier_user_range_[p.value()];
 }
 
 const ChannelSpec& Topology::channel(ChannelId id) const {
@@ -94,13 +184,15 @@ std::optional<ChannelId> Topology::channel_between(
 
 ChannelId Topology::control_to(ProcessId p) const {
   DDBG_ASSERT(has_debugger(), "no debugger in this topology");
-  DDBG_ASSERT(p.value() < control_to_.size(), "not a user process");
+  DDBG_ASSERT(p != debugger_, "the tier root has no parent channel");
+  DDBG_ASSERT(p.value() < control_to_.size(), "unknown process id");
   return control_to_[p.value()];
 }
 
 ChannelId Topology::control_from(ProcessId p) const {
   DDBG_ASSERT(has_debugger(), "no debugger in this topology");
-  DDBG_ASSERT(p.value() < control_from_.size(), "not a user process");
+  DDBG_ASSERT(p != debugger_, "the tier root has no parent channel");
+  DDBG_ASSERT(p.value() < control_from_.size(), "unknown process id");
   return control_from_[p.value()];
 }
 

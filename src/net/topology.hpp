@@ -7,12 +7,19 @@
 // with_debugger() realizes the extended model of section 2.2.3 / figure 3:
 // an extra debugger process `d` with a control channel to and from every
 // user process, which makes any topology strongly connected.
+//
+// with_debugger_tree() generalizes that single `d` into a spanning tree of
+// aggregator processes (broadcast/convergecast in the style of Aspnes'
+// notes): every user process keeps exactly one control channel pair, but it
+// now leads to a leaf aggregator instead of the root, so no single process
+// owns O(n) control channels.  The root of the tier plays the paper's `d`.
 #pragma once
 
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -44,6 +51,13 @@ class Topology {
   // has one control channel to and one from every existing process.
   [[nodiscard]] Topology with_debugger() const;
 
+  // Returns a copy of this topology extended with a debugger *tier*: user
+  // processes are grouped `fanout` at a time under leaf aggregators, those
+  // aggregators under higher aggregators, until a single root remains.  The
+  // root is the debugger process; every non-root process has exactly one
+  // control channel to and one from its tier parent.  Requires fanout >= 2.
+  [[nodiscard]] Topology with_debugger_tree(std::uint32_t fanout) const;
+
   // ---- queries ----
   [[nodiscard]] std::uint32_t num_processes() const {
     return static_cast<std::uint32_t>(out_channels_.size());
@@ -70,9 +84,36 @@ class Topology {
   [[nodiscard]] bool is_debugger(ProcessId p) const {
     return has_debugger() && p == debugger_;
   }
-  // Control channel from the debugger to p / from p to the debugger.
+  // Control channel from p's tier parent to p / from p to its tier parent.
+  // With a flat debugger the parent of every user process is the debugger
+  // itself, so these keep their original meaning.
   [[nodiscard]] ChannelId control_to(ProcessId p) const;
   [[nodiscard]] ChannelId control_from(ProcessId p) const;
+
+  // ---- debugger tier queries ----
+  // Number of debugger-tier processes (aggregators + root); 1 for a flat
+  // debugger, 0 without one.
+  [[nodiscard]] std::uint32_t num_tier_processes() const { return num_tier_; }
+  [[nodiscard]] std::uint32_t num_aggregators() const {
+    return num_tier_ > 0 ? num_tier_ - 1 : 0;
+  }
+  // Tier processes are appended after the user processes, root last.
+  [[nodiscard]] bool is_aggregator(ProcessId p) const {
+    return has_debugger() && p != debugger_ &&
+           p.value() >= num_user_processes();
+  }
+  // Fan-out the tier was built with; 0 for a flat with_debugger() topology.
+  [[nodiscard]] std::uint32_t tier_fanout() const { return tier_fanout_; }
+  // Tier parent of p (the debugger itself in flat mode); invalid for the
+  // root.  Defined for every process once a debugger exists.
+  [[nodiscard]] ProcessId tier_parent(ProcessId p) const;
+  // Direct tier children of p (empty for user processes).  For a flat
+  // debugger the root's children are all user processes, in id order.
+  [[nodiscard]] std::span<const ProcessId> tier_children(ProcessId p) const;
+  // Contiguous half-open range [lo, hi) of user process ids covered by p's
+  // subtree ([p, p+1) for a user process itself).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> tier_user_range(
+      ProcessId p) const;
 
   [[nodiscard]] std::vector<ProcessId> process_ids() const;
   [[nodiscard]] std::vector<ProcessId> user_process_ids() const;
@@ -108,6 +149,10 @@ class Topology {
                                        double edge_probability, Rng& rng);
 
  private:
+  // Sizes the tier metadata vectors once the debugger (tier) processes have
+  // been appended; callers then fill parents/children/ranges.
+  void init_tier_metadata();
+
   std::vector<ChannelSpec> channels_;
   std::vector<std::vector<ChannelId>> out_channels_;
   std::vector<std::vector<ChannelId>> in_channels_;
@@ -118,9 +163,17 @@ class Topology {
   // into any output.
   std::unordered_map<std::uint64_t, ChannelId> data_channel_index_;
   ProcessId debugger_;
-  // For each user process: control channels to/from the debugger.
+  // For each non-root process: control channels to/from its tier parent
+  // (the debugger itself when the tier is flat).
   std::vector<ChannelId> control_to_;
   std::vector<ChannelId> control_from_;
+  // Debugger-tier shape; see with_debugger_tree().  All vectors are indexed
+  // by process id and sized num_processes() once a debugger exists.
+  std::uint32_t num_tier_ = 0;
+  std::uint32_t tier_fanout_ = 0;
+  std::vector<ProcessId> tier_parent_;
+  std::vector<std::vector<ProcessId>> tier_children_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tier_user_range_;
 };
 
 }  // namespace ddbg

@@ -217,12 +217,23 @@ struct TransportSnapshot {
   std::uint64_t channel_down = 0;     // sends that hit a closed/failed peer
 };
 
+// Debugger-tier counters (hierarchical debugger; see with_debugger_tree).
+// All zero under a flat debugger or no debugger at all.
+struct TierSnapshot {
+  std::uint64_t tree_fanout = 0;       // widest tier node observed (gauge)
+  std::uint64_t acks_aggregated = 0;   // combined subtree reports sent up
+  std::uint64_t markers_suppressed = 0;  // redundant wave markers not sent
+};
+
 struct MetricsSnapshot {
   std::string runtime;  // "sim" | "threads" | "tcp"
   std::int64_t elapsed_ns = 0;
   TotalsSnapshot totals;
   TransportSnapshot transport;
+  TierSnapshot tier;
   std::vector<ProcessSnapshotCounters> processes;
+  // Sparse: only channels with any recorded activity appear (an idle
+  // channel contributes nothing to totals, so the cross-sums still hold).
   std::vector<ChannelSnapshot> channels;
   LatencySnapshot spans[kNumSpans];
 
@@ -298,6 +309,13 @@ class MetricsRegistry {
     transport_.resync_replayed.add(frames);
   }
   void on_channel_down() noexcept { transport_.channel_down.inc(); }
+  // Debugger-tier counters.  Fired by aggregators / the wave engines, so a
+  // given slot has one writer per tier process — same relaxed discipline.
+  void observe_tree_fanout(std::uint64_t children) noexcept {
+    tier_.tree_fanout.observe(children);
+  }
+  void on_ack_aggregated() noexcept { tier_.acks_aggregated.inc(); }
+  void on_marker_suppressed() noexcept { tier_.markers_suppressed.inc(); }
 
   // ---- latency spans (rare control-plane events; mutex-guarded) ----
   // Opens a span unless one with the same key is already open (the
@@ -336,6 +354,12 @@ class MetricsRegistry {
     MaxGauge max_backlog;
   };
 
+  struct TierCells {
+    MaxGauge tree_fanout;
+    Counter acks_aggregated;
+    Counter markers_suppressed;
+  };
+
   struct TransportCells {
     Counter pool_hits;
     Counter pool_misses;
@@ -358,6 +382,7 @@ class MetricsRegistry {
   std::vector<ChannelCells> channels_;
   std::vector<MaxGauge> process_queue_depth_;
   TransportCells transport_;
+  TierCells tier_;
 
   LatencyStat span_stats_[kNumSpans];
   std::mutex span_mutex_;

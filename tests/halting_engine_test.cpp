@@ -95,9 +95,10 @@ TEST(HaltingEngine, MarkerReceiptAdoptsWaveAndForwards) {
   EXPECT_EQ(markers[0].second.halt_path[0], ProcessId(0));
   EXPECT_EQ(markers[0].second.halt_path[1], fx.self);
   // The first marker's channel is empty; with one in-channel the local
-  // snapshot is immediately complete.
+  // snapshot is immediately complete.  Channel states are sparse: an empty
+  // channel records no entry at all.
   ASSERT_EQ(fx.completions.size(), 1u);
-  EXPECT_TRUE(fx.completions[0].in_channels[0].messages.empty());
+  EXPECT_TRUE(fx.completions[0].in_channels.empty());
   EXPECT_EQ(fx.completions[0].halt_path.size(), 1u);
 }
 
@@ -361,7 +362,8 @@ TEST(SnapshotEngine, FirstMarkerMeansEmptyChannel) {
   SnapshotEngine engine = fx.make_engine();
   engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{4});
   ASSERT_EQ(fx.completions.size(), 1u);
-  EXPECT_TRUE(fx.completions[0].in_channels[0].messages.empty());
+  // Sparse channel states: an empty channel records no entry at all.
+  EXPECT_TRUE(fx.completions[0].in_channels.empty());
   EXPECT_EQ(engine.last_snapshot_id(), 4u);
 }
 
@@ -371,7 +373,7 @@ TEST(SnapshotEngine, PostMarkerTrafficNotRecorded) {
   engine.on_marker(fx.ctx, fx.in_channel(), SnapshotMarkerData{1});
   engine.observe_app_message(fx.in_channel(), Message::application(Bytes{9}));
   ASSERT_EQ(fx.completions.size(), 1u);
-  EXPECT_TRUE(fx.completions[0].in_channels[0].messages.empty());
+  EXPECT_TRUE(fx.completions[0].in_channels.empty());
 }
 
 TEST(SnapshotEngine, SequentialWaves) {

@@ -166,6 +166,74 @@ TEST(Command, NotifySatisfiedRoundTrip) {
   EXPECT_EQ(d.stage_index, 2u);
 }
 
+TEST(Command, AggregatedHaltReportRoundTrip) {
+  std::vector<ProcessSnapshot> snapshots(2);
+  snapshots[0].process = ProcessId(3);
+  snapshots[0].state = Bytes{1, 2, 3};
+  snapshots[0].halt_path = {ProcessId(9), ProcessId(8)};
+  snapshots[0].in_channels.push_back(
+      ChannelState{ChannelId(5), {Bytes{4}, Bytes{5, 5}}});
+  snapshots[1].process = ProcessId(4);
+  snapshots[1].description = "idle";
+
+  const Command d = command_round_trip(
+      Command::aggregated_halt_report(ProcessId(10), 7, snapshots));
+  EXPECT_EQ(d.kind, CommandKind::kAggregatedHaltReport);
+  EXPECT_EQ(d.reporter, ProcessId(10));
+  EXPECT_EQ(d.wave_id, 7u);
+  ASSERT_EQ(d.reports.size(), 2u);
+  EXPECT_EQ(d.reports[0].process, ProcessId(3));
+  EXPECT_EQ(d.reports[0].state, (Bytes{1, 2, 3}));
+  ASSERT_EQ(d.reports[0].halt_path.size(), 2u);
+  EXPECT_EQ(d.reports[0].halt_path[1], ProcessId(8));
+  ASSERT_EQ(d.reports[0].in_channels.size(), 1u);
+  EXPECT_EQ(d.reports[0].in_channels[0].messages[1], (Bytes{5, 5}));
+  EXPECT_EQ(d.reports[1].process, ProcessId(4));
+  EXPECT_EQ(d.reports[1].description, "idle");
+}
+
+TEST(Command, AggregatedSnapshotReportRoundTrip) {
+  std::vector<ProcessSnapshot> snapshots(1);
+  snapshots[0].process = ProcessId(0);
+  snapshots[0].state = Bytes{6};
+  const Command d = command_round_trip(
+      Command::aggregated_snapshot_report(ProcessId(5), 2, snapshots));
+  EXPECT_EQ(d.kind, CommandKind::kAggregatedSnapshotReport);
+  EXPECT_EQ(d.reporter, ProcessId(5));
+  EXPECT_EQ(d.wave_id, 2u);
+  ASSERT_EQ(d.reports.size(), 1u);
+  EXPECT_EQ(d.reports[0].state, (Bytes{6}));
+}
+
+TEST(Command, AggregatedReportEmptyRoundTrip) {
+  const Command d = command_round_trip(
+      Command::aggregated_halt_report(ProcessId(1), 1, {}));
+  EXPECT_EQ(d.kind, CommandKind::kAggregatedHaltReport);
+  EXPECT_TRUE(d.reports.empty());
+}
+
+TEST(Command, TierBroadcastRoundTrip) {
+  const Bytes inner = Command::resume(4).encode();
+  const Command d = command_round_trip(Command::tier_broadcast(inner));
+  EXPECT_EQ(d.kind, CommandKind::kTierBroadcast);
+  EXPECT_EQ(d.inner, inner);
+  // The envelope's payload decodes back to the carried command.
+  auto unwrapped = Command::decode(d.inner);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped.value().kind, CommandKind::kResume);
+  EXPECT_EQ(unwrapped.value().wave_id, 4u);
+}
+
+TEST(Command, TierUnicastRoundTrip) {
+  const Bytes inner =
+      Command::arm_predicate(BreakpointId(2), Bytes{7, 7}, 0).encode();
+  const Command d =
+      command_round_trip(Command::tier_unicast(ProcessId(6), inner));
+  EXPECT_EQ(d.kind, CommandKind::kTierUnicast);
+  EXPECT_EQ(d.target, ProcessId(6));
+  EXPECT_EQ(d.inner, inner);
+}
+
 TEST(Command, DecodeRejectsTruncation) {
   Bytes encoded = Command::resume(3).encode();
   encoded.resize(encoded.size() / 2);

@@ -367,7 +367,9 @@ TEST(MetricsGolden, TinyTokenRingTraceAndJsonArePinned) {
       R"("write_batches":0,"write_batch_frames":0,"max_write_batch":0,)"
       R"("faults_injected":{"drop":0,"duplicate":0,"reorder":0,"delay":0,)"
       R"("partition":0,"reset":0},"retransmits":0,"dup_suppressed":0,)"
-      R"("reconnects":0,"resync_replayed":0,"channel_down":0},"processes":[{)"
+      R"("reconnects":0,"resync_replayed":0,"channel_down":0},"tier":{)"
+      R"("tree_fanout":0,"acks_aggregated":0,"markers_suppressed":0},)"
+      R"("processes":[{)"
       R"("id":0,"bytes_sent":22,"bytes_delivered":23,"max_queue_depth":0,)"
       R"("sent":{"app":1,"halt_marker":0,"snapshot_marker":0,)"
       R"("predicate_marker":0,"control":0},"delivered":{"app":1,)"

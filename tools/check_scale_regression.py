@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare bench_scale wall-clock numbers against a committed baseline.
+
+Both inputs are BENCH_scale.json files ("ddbg.bench.metrics.v1" envelopes)
+whose run labels embed the measured wall time, e.g.
+
+    "tree n=256 seq wall_ms=41.03"
+    "tier n=256 fanout=16 halt wall_ms=5.62"
+
+Labels are matched after stripping the volatile wall_ms=/speedup= fields;
+for every label present in both files the current wall time is compared to
+the baseline and a regression beyond the threshold (default 25%) is
+reported.  Exits non-zero on regressions unless --warn-only is given (CI
+shared runners are noisy, so the smoke job warns rather than gates).
+
+Usage:  tools/check_scale_regression.py baseline.json current.json
+            [--threshold 0.25] [--warn-only]
+Stdlib only.
+"""
+import argparse
+import json
+import re
+import sys
+
+WALL_RE = re.compile(r"wall_ms=([0-9.]+)")
+VOLATILE_RE = re.compile(r"\s*(?:wall_ms|speedup)=[0-9.]+")
+
+
+def load_walls(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ddbg.bench.metrics.v1":
+        raise ValueError(f"{path}: not a ddbg.bench.metrics.v1 envelope")
+    walls = {}
+    for run in doc.get("runs", []):
+        label = run.get("label", "")
+        match = WALL_RE.search(label)
+        if not match:
+            continue
+        key = VOLATILE_RE.sub("", label).strip()
+        walls[key] = float(match.group(1))
+    return walls
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="bench_scale wall-clock regression check")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit zero")
+    args = parser.parse_args(argv[1:])
+
+    base = load_walls(args.baseline)
+    cur = load_walls(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("check_scale_regression: no common labels between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 0 if args.warn_only else 1
+
+    regressions = 0
+    for key in shared:
+        ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions += 1
+            flag = f"  <-- REGRESSION (>{args.threshold:.0%} slower)"
+        print(f"{key}: baseline {base[key]:.2f} ms, "
+              f"current {cur[key]:.2f} ms ({ratio:.2f}x){flag}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key}: no baseline (new configuration)")
+
+    if regressions:
+        print(f"{regressions} regression(s) beyond "
+              f"{args.threshold:.0%} of baseline", file=sys.stderr)
+        return 0 if args.warn_only else 1
+    print(f"ok: {len(shared)} labels within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -23,6 +23,7 @@ TRANSPORT_KEYS = {
     "reconnects", "resync_replayed", "channel_down",
 }
 FAULT_KINDS = ["drop", "duplicate", "reorder", "delay", "partition", "reset"]
+TIER_KEYS = {"tree_fanout", "acks_aggregated", "markers_suppressed"}
 RUNTIMES = {"sim", "threads", "tcp"}
 
 
@@ -129,6 +130,24 @@ def check_snapshot(snap, where):
     expect(transport["write_batch_frames"] >= transport["max_write_batch"],
            f"{where}.transport: max_write_batch exceeds total frames")
 
+    tier = snap.get("tier")
+    expect(isinstance(tier, dict) and set(tier) == TIER_KEYS,
+           f"{where}: tier keys "
+           f"{sorted(tier) if isinstance(tier, dict) else tier} != "
+           f"{sorted(TIER_KEYS)}")
+    for key, value in tier.items():
+        expect(isinstance(value, int) and value >= 0,
+               f"{where}.tier: {key} not a non-negative int")
+    # Aggregated acks only exist where a debugger tier observed children.
+    expect(tier["acks_aggregated"] == 0 or tier["tree_fanout"] > 0,
+           f"{where}.tier: acks_aggregated without any tree fanout")
+    # A suppressed marker is a wave echo that was not sent: some wave
+    # markers must have gone out for an echo to exist at all.
+    expect(tier["markers_suppressed"] == 0 or
+           totals["sent"]["halt_marker"] +
+           totals["sent"]["snapshot_marker"] > 0,
+           f"{where}.tier: markers_suppressed without any wave markers")
+
     processes = snap.get("processes")
     expect(isinstance(processes, list), f"{where}: missing processes")
     for i, proc in enumerate(processes):
@@ -163,6 +182,16 @@ def check_snapshot(snap, where):
            f"{sorted(latencies) if isinstance(latencies, dict) else latencies}")
     for name in SPAN_NAMES:
         check_latency(latencies[name], f"{where}.latencies.{name}")
+
+    # Convergecast bound: each completed wave produces at most one combined
+    # report per non-root tier node, and there are fewer tier nodes than
+    # processes, so acks_aggregated <= waves * (num_processes - 1).
+    waves = (latencies["halt_wave"]["count"] +
+             latencies["snapshot_wave"]["count"])
+    if waves > 0 and len(processes) > 1:
+        expect(tier["acks_aggregated"] <= waves * (len(processes) - 1),
+               f"{where}.tier: acks_aggregated {tier['acks_aggregated']} "
+               f"exceeds {waves} waves x {len(processes) - 1} nodes")
 
 
 def check_file(path):

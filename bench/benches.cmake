@@ -24,3 +24,4 @@ ddbg_bench(bench_e9_halt_order)
 ddbg_bench(bench_e10_naive_halt)
 ddbg_bench(bench_ablation_routing)
 ddbg_bench(bench_scale)
+ddbg_bench(bench_tcp_soak)

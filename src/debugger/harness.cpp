@@ -102,4 +102,33 @@ DebugShim& RuntimeDebugHarness::shim(ProcessId p) {
   return *shim;
 }
 
+TcpDebugHarness::TcpDebugHarness(const Topology& user_topology,
+                                 std::vector<ProcessPtr> users,
+                                 HarnessConfig config) {
+  WiredSystem wired = wire(user_topology, std::move(users),
+                           config.debugger_fanout,
+                           std::move(config.shim_options), armed_count_);
+  debugger_ = wired.debugger;
+  debugger_id_ = wired.topology.debugger_id();
+
+  TcpRuntimeConfig tcp_config;
+  tcp_config.seed = config.seed;
+  tcp_config.faults = std::move(config.faults);
+  tcp_config.reliable = config.reliable;
+  tcp_ = std::make_unique<TcpRuntime>(std::move(wired.topology),
+                                      std::move(wired.processes),
+                                      tcp_config);
+  host_ = std::make_unique<TcpHost>(*tcp_);
+  session_ =
+      std::make_unique<DebuggerSession>(*host_, *debugger_, debugger_id_);
+}
+
+TcpDebugHarness::~TcpDebugHarness() { shutdown(); }
+
+DebugShim& TcpDebugHarness::shim(ProcessId p) {
+  auto* shim = dynamic_cast<DebugShim*>(&tcp_->process(p));
+  DDBG_ASSERT(shim != nullptr, "process is not wrapped in a DebugShim");
+  return *shim;
+}
+
 }  // namespace ddbg

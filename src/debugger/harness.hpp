@@ -18,6 +18,7 @@
 #include "debugger/debugger_process.hpp"
 #include "debugger/session.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/tcp_runtime.hpp"
 #include "sim/simulation.hpp"
 
 namespace ddbg {
@@ -56,6 +57,24 @@ class RuntimeHost final : public SessionHost {
 
  private:
   Runtime& runtime_;
+};
+
+class TcpHost final : public SessionHost {
+ public:
+  explicit TcpHost(TcpRuntime& runtime) : runtime_(runtime) {}
+
+  void post(ProcessId target,
+            std::function<void(ProcessContext&, Process&)> action) override {
+    runtime_.post(target, std::move(action));
+  }
+
+  bool wait(const std::function<bool()>& condition,
+            Duration timeout) override {
+    return TcpRuntime::wait_until(condition, timeout);
+  }
+
+ private:
+  TcpRuntime& runtime_;
 };
 
 struct HarnessConfig {
@@ -141,6 +160,45 @@ class RuntimeDebugHarness {
   DebuggerProcess* debugger_ = nullptr;  // owned by runtime_
   ProcessId debugger_id_;
   std::unique_ptr<RuntimeHost> host_;
+  std::unique_ptr<DebuggerSession> session_;
+};
+
+// TCP-loopback harness: the same wiring crossing real sockets.  With a
+// debugger tier, every convergecast hop is a multiplexed TCP frame, so
+// halt/breakpoint/resume tests at moderate N exercise the epoll reactor
+// under genuine kernel backpressure.
+class TcpDebugHarness {
+ public:
+  TcpDebugHarness(const Topology& user_topology,
+                  std::vector<ProcessPtr> users, HarnessConfig config = {});
+  ~TcpDebugHarness();
+
+  [[nodiscard]] bool start() { return tcp_->start(); }
+  void shutdown() { tcp_->shutdown(); }
+
+  [[nodiscard]] TcpRuntime& tcp() { return *tcp_; }
+  [[nodiscard]] DebuggerSession& session() { return *session_; }
+  [[nodiscard]] DebuggerProcess& debugger() { return *debugger_; }
+  [[nodiscard]] const Topology& topology() const {
+    return tcp_->topology();
+  }
+  [[nodiscard]] ProcessId debugger_id() const { return debugger_id_; }
+  [[nodiscard]] DebugShim& shim(ProcessId p);
+  [[nodiscard]] std::size_t armed_count() const {
+    return armed_count_->load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool wait_for_armed(std::size_t watches, Duration timeout) {
+    return TcpRuntime::wait_until(
+        [this, watches] { return armed_count() >= watches; }, timeout);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<std::size_t>> armed_count_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
+  std::unique_ptr<TcpRuntime> tcp_;
+  DebuggerProcess* debugger_ = nullptr;  // owned by tcp_
+  ProcessId debugger_id_;
+  std::unique_ptr<TcpHost> host_;
   std::unique_ptr<DebuggerSession> session_;
 };
 

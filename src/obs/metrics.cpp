@@ -116,6 +116,12 @@ MetricsSnapshot MetricsRegistry::snapshot(TimePoint now) const {
   snap.transport.write_batches = transport_.write_batches.get();
   snap.transport.write_batch_frames = transport_.write_batch_frames.get();
   snap.transport.max_write_batch = transport_.max_write_batch.get();
+  snap.transport.epoll_wakeups = transport_.epoll_wakeups.get();
+  snap.transport.frames_per_wakeup_max =
+      transport_.frames_per_wakeup_max.get();
+  snap.transport.eagain_deferrals = transport_.eagain_deferrals.get();
+  snap.transport.mux_channels_per_socket =
+      transport_.mux_channels_per_socket.get();
   for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
     snap.transport.faults_injected[k] = transport_.faults_injected[k].get();
   }
@@ -236,6 +242,14 @@ std::string MetricsSnapshot::to_json() const {
   append_u64(out, transport.write_batch_frames);
   out += ",\"max_write_batch\":";
   append_u64(out, transport.max_write_batch);
+  out += ",\"epoll_wakeups\":";
+  append_u64(out, transport.epoll_wakeups);
+  out += ",\"frames_per_wakeup_max\":";
+  append_u64(out, transport.frames_per_wakeup_max);
+  out += ",\"eagain_deferrals\":";
+  append_u64(out, transport.eagain_deferrals);
+  out += ",\"mux_channels_per_socket\":";
+  append_u64(out, transport.mux_channels_per_socket);
   out += ",\"faults_injected\":{";
   for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
     if (k != 0) out += ',';

@@ -207,6 +207,12 @@ struct TransportSnapshot {
   std::uint64_t write_batches = 0;        // socket writes (one sendmsg each)
   std::uint64_t write_batch_frames = 0;   // frames across those writes
   std::uint64_t max_write_batch = 0;
+  // Epoll reactor mechanics (TCP runtime).  All zero on the sim/threads
+  // substrates, which have no reactor.
+  std::uint64_t epoll_wakeups = 0;  // epoll_wait returns across all workers
+  std::uint64_t frames_per_wakeup_max = 0;  // most frames parsed per wakeup
+  std::uint64_t eagain_deferrals = 0;  // sendmsg EAGAIN/partial -> EPOLLOUT
+  std::uint64_t mux_channels_per_socket = 0;  // widest channel->socket fan-in
   // Fault injection + reliability layer.  All zero when no FaultPlan is
   // active (the fault-off path never touches them).
   std::uint64_t faults_injected[kNumFaultKinds] = {};
@@ -297,6 +303,15 @@ class MetricsRegistry {
     transport_.write_batch_frames.add(frames);
     transport_.max_write_batch.observe(frames);
   }
+  // Epoll reactor counters (TCP runtime only).
+  void on_epoll_wakeup() noexcept { transport_.epoll_wakeups.inc(); }
+  void observe_frames_per_wakeup(std::size_t frames) noexcept {
+    transport_.frames_per_wakeup_max.observe(frames);
+  }
+  void on_eagain_deferral() noexcept { transport_.eagain_deferrals.inc(); }
+  void observe_mux_channels(std::uint64_t channels) noexcept {
+    transport_.mux_channels_per_socket.observe(channels);
+  }
   // Fault/reliability counters.  `kind_index` is fault_index(FaultKind),
   // i.e. the slot in kFaultKindNames.
   void on_fault(std::size_t kind_index) noexcept {
@@ -369,6 +384,10 @@ class MetricsRegistry {
     Counter write_batches;
     Counter write_batch_frames;
     MaxGauge max_write_batch;
+    Counter epoll_wakeups;
+    MaxGauge frames_per_wakeup_max;
+    Counter eagain_deferrals;
+    MaxGauge mux_channels_per_socket;
     Counter faults_injected[kNumFaultKinds];
     Counter retransmits;
     Counter dup_suppressed;

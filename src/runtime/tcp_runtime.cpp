@@ -1,12 +1,15 @@
 #include "runtime/tcp_runtime.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <deque>
@@ -26,15 +29,30 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-// Frames batched into one sendmsg call; small because a handler rarely
-// emits more, and each iovec points at a whole frame (header included).
-constexpr std::size_t kMaxWriteBatch = 16;
+// Every frame body starts with the 4-byte channel id it belongs to — the
+// demultiplexing key on a shared pair socket.
+constexpr std::size_t kChannelPrefixSize = 4;
 
-// Write the whole buffer, retrying on short writes.  Loopback writes of
-// debugger-sized frames essentially never block for long.  MSG_NOSIGNAL:
-// during shutdown the peer's worker may already have closed its end, and a
-// plain write would raise SIGPIPE and kill the process instead of failing
-// the send.
+// Adaptive write budget: the most bytes one gathered sendmsg may carry.
+// Starts small (a handler burst fits in one call), doubles while the pair
+// stays backpressured, and decays once the queue drains.
+constexpr std::size_t kWriteBudgetMin = 16 * 1024;
+constexpr std::size_t kWriteBudgetMax = 1024 * 1024;
+// Frames per gathered write; a cap on iovec array size, not on batching —
+// the reactor loops until the budget or the socket buffer is exhausted.
+constexpr std::size_t kMaxWriteIov = 64;
+
+constexpr int kMaxEpollEvents = 64;
+
+// epoll user-data tags for the two non-pair fds; pair connections use
+// their slot index directly.
+constexpr std::uint64_t kTagWake = ~std::uint64_t{0};
+constexpr std::uint64_t kTagListen = ~std::uint64_t{0} - 1;
+
+// Write the whole buffer on a *blocking* fd, retrying on short writes.
+// Only the tiny connection hellos use this; data flows through the
+// nonblocking reactor path.  MSG_NOSIGNAL: a dead peer must fail the
+// send, not SIGPIPE the process.
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
@@ -49,42 +67,28 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   return true;
 }
 
-// Gathered write of `count` iovecs totalling `total` bytes, retrying on
-// short writes by advancing the iovec array in place.  sendmsg rather than
-// writev so the write keeps MSG_NOSIGNAL (writev has no flags parameter,
-// and a dead peer must fail the send, not SIGPIPE the process).
-bool write_all_iov(int fd, iovec* iov, std::size_t count, std::size_t total) {
-  std::size_t written = 0;
-  while (written < total) {
-    msghdr msg{};
-    msg.msg_iov = iov;
-    msg.msg_iovlen = count;
-    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-    std::size_t advance = static_cast<std::size_t>(n);
-    while (advance > 0 && count > 0) {
-      if (advance >= iov[0].iov_len) {
-        advance -= iov[0].iov_len;
-        ++iov;
-        --count;
-      } else {
-        iov[0].iov_base = static_cast<std::uint8_t*>(iov[0].iov_base) + advance;
-        iov[0].iov_len -= advance;
-        advance = 0;
-      }
-    }
-  }
-  return true;
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 void close_fd(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
+  }
+}
+
+void apply_pair_socket_options(int fd, const TcpRuntimeConfig& config) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (config.sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config.sndbuf_bytes,
+                 sizeof(config.sndbuf_bytes));
+  }
+  if (config.rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config.rcvbuf_bytes,
+                 sizeof(config.rcvbuf_bytes));
   }
 }
 
@@ -101,10 +105,10 @@ class TcpRuntime::Worker {
   Worker(TcpRuntime& runtime, ProcessId id, ProcessPtr process, Rng rng);
   ~Worker();
 
-  bool init_sockets();           // create listener
+  bool init_sockets();           // create listener + wake pipe
   [[nodiscard]] std::uint16_t port() const { return port_; }
-  [[nodiscard]] int listen_fd() const { return listen_fd_; }
-  // Accept all expected inbound connections and map them to channels.
+  // Accept the startup connection for every pair this worker is the
+  // acceptor side of.
   bool accept_inbound();
 
   void start();
@@ -115,9 +119,10 @@ class TcpRuntime::Worker {
   TimerId add_timer(Duration delay);
   void cancel_timer(TimerId timer);
 
-  // Encode `message` into a pooled frame and queue it for flush_sends().
-  // Runs on this worker's own thread only (the sender's), like all sends.
-  void stage_send(ChannelId channel, int fd, const Message& message);
+  // Encode `message` into a pooled frame (channel id + body) and queue it
+  // on the channel's pair connection.  Runs on this worker's own thread
+  // only (the sender's), like all sends.
+  void stage_send(ChannelId channel, const Message& message);
 
   // Reliability-layer entry point for do_send (runtime_.config_.faults
   // only): stage in the retransmit window and attempt transmission under
@@ -133,34 +138,72 @@ class TcpRuntime::Worker {
   }
 
  private:
+  // One multiplexed connection endpoint.  Slots are stable for the
+  // worker's lifetime; only the fd inside comes and goes (epoll interest
+  // follows it, so a dead fd is never re-polled).
+  struct PairConn {
+    std::uint32_t pair = 0;
+    std::uint8_t side = 0;  // 0 = dialer end (pair.a), 1 = acceptor end
+    int fd = -1;
+    bool read_open = false;
+    bool write_open = false;
+    bool want_write = false;      // EPOLLOUT armed (queue hit EAGAIN)
+    std::uint32_t epoll_mask = 0;  // currently registered interest
+    std::size_t write_budget = kWriteBudgetMin;
+    FrameParser parser;
+    struct QueuedFrame {
+      ChannelId channel;
+      BufferPool::Lease frame;
+    };
+    std::deque<QueuedFrame> outq;
+    std::size_t front_offset = 0;  // bytes of outq.front() already written
+    SteadyClock::time_point blocked_since{};
+    ChannelId blocked_channel{};
+    // Dialer-side redial backoff; max() = no redial scheduled.
+    SteadyClock::time_point reconnect_at = SteadyClock::time_point::max();
+  };
+
   void thread_main();
   void wake();
-  // Returns false once nothing more will arrive on the slot's fd (peer
-  // closed, error, or corrupt framing): the caller retires it.
-  [[nodiscard]] bool drain_fd(std::size_t slot);
-  void parse_frames(std::size_t slot);
+  void setup_conns();
+  void setup_epoll();
+  void update_epoll_interest(std::size_t slot);
+  void epoll_add_conn(std::size_t slot);
+  void handle_readable(std::size_t slot, std::uint32_t events);
+  void parse_pair_frames(std::size_t slot);
   void fire_due_timers();
+  [[nodiscard]] int next_timeout_ms();
+
+  // ---- send path ----
+  void queue_frame(ChannelId channel, BufferPool::Lease frame);
+  void queue_frame_on(std::size_t slot, ChannelId channel,
+                      BufferPool::Lease frame);
   void flush_sends();
-  [[nodiscard]] int poll_timeout_ms();
+  void try_flush(std::size_t slot);
+  void continue_flush(std::size_t slot);
+  // Retire fully written frames against `written` bytes; returns how many
+  // frames completed.
+  std::size_t advance_out_queue(PairConn& conn, std::size_t written);
+  void fail_write_side(std::size_t slot);
+
+  // ---- connection lifecycle ----
+  // Tear the pair endpoint down (epoll DEL, quarantine the fd, flush
+  // state).  With faults, the dialer side schedules a redial and the
+  // acceptor side waits for the peer's dial.
+  void conn_down(std::size_t slot, bool count_loss);
+  void retire_fd_from_epoll(int fd);
 
   // ---- reliability layer (runtime_.config_.faults only) ----
-  // All state below is owned by this worker's thread: sender-side windows
-  // and attempt counters for its out-channels, receiver-side sequencers
-  // for its in-slots.
-  void rel_reactor();  // replaces the static-poll-set loop
   [[nodiscard]] std::size_t out_slot(ChannelId channel) const;
   void rel_transmit(std::size_t slot, std::uint64_t seq);
   void rel_write_data(std::size_t slot, std::uint64_t seq);
-  void rel_write_ack(std::size_t in_slot);        // fault-checked
-  void rel_write_ack_frame(std::size_t in_slot);  // unconditional build
-  void rel_parse_in_frames(std::size_t slot);
-  void rel_on_ack_fd(std::size_t slot);
-  void rel_begin_reconnect(std::size_t slot);
+  void rel_write_ack(std::size_t in_slot, std::size_t conn_slot);
+  void rel_write_ack_frame(std::size_t in_slot, std::size_t conn_slot);
   void rel_try_reconnect(std::size_t slot);
   void rel_fire_due();
+  void resync_pair(std::uint32_t pair);
   [[nodiscard]] SteadyClock::time_point rel_next_deadline() const;
   void accept_runtime_connection();
-  void retire_out_fd(int fd);
 
   TcpRuntime& runtime_;
   ProcessId id_;
@@ -172,41 +215,41 @@ class TcpRuntime::Worker {
   std::uint16_t port_ = 0;
   int pipe_read_ = -1;
   int pipe_write_ = -1;
+  int epoll_fd_ = -1;
 
-  // Inbound connections, parallel arrays: fd, channel, frame reassembly.
-  std::vector<int> in_fds_;
+  // deque, not vector: PairConn holds move-only pooled leases and must
+  // never be relocated (epoll events reference slots by index).
+  std::deque<PairConn> conns_;
+  // pair index -> the conn slot this worker sends on (side 0 for a
+  // self-pair, the worker's only side otherwise).
+  std::unordered_map<std::uint32_t, std::uint32_t> send_slot_of_pair_;
+  // Demultiplexing tables: channel id -> dense slot in the in/out arrays.
+  std::unordered_map<std::uint32_t, std::uint32_t> in_slot_of_channel_;
+  std::unordered_map<std::uint32_t, std::uint32_t> out_slot_of_channel_;
   std::vector<ChannelId> in_channels_;
-  std::vector<FrameParser> in_parsers_;
+  std::vector<ChannelId> out_channels_;
 
-  // Outbound frames staged by this worker's handlers since the last flush.
-  // Thread-local by construction (only this worker's thread stages and
-  // flushes), so no lock.
-  struct PendingSend {
-    ChannelId channel;
-    int fd = -1;
-    bool is_ack = false;
-    BufferPool::Lease frame;
-  };
-  std::vector<PendingSend> pending_sends_;
   BufferPool pool_;
+  std::size_t frames_this_wakeup_ = 0;
+  // Scratch: in-slots that received data in the current parse batch (one
+  // cumulative ack each).
+  std::vector<std::uint32_t> ack_pending_;
 
   // Reliability state; sized only when a FaultPlan is configured.
-  std::vector<ChannelId> out_channels_;  // channels this worker sources
-  std::vector<FrameParser> out_parsers_;  // acks arriving on out fds
-  std::vector<ReliableSender> rel_send_;  // by out slot
-  std::vector<std::uint64_t> out_attempts_;  // data fault stream
-  std::vector<SteadyClock::time_point> out_reconnect_at_;  // max() = none
-  std::vector<ReliableReceiver> in_recv_;  // by in slot
+  std::vector<ReliableSender> rel_send_;   // by out slot
+  std::vector<std::uint64_t> out_attempts_;  // data fault stream, by out slot
+  std::vector<ReliableReceiver> in_recv_;    // by in slot
   std::vector<std::uint64_t> in_ack_attempts_;  // ack fault stream
   // Frames held back by delay/reorder faults, fired by the reactor.
   struct DelayedWire {
     bool is_ack = false;
-    std::size_t slot = 0;   // out slot (data) / in slot (ack)
-    std::uint64_t seq = 0;  // data only
+    std::size_t slot = 0;       // out slot (data) / in slot (ack)
+    std::size_t conn_slot = 0;  // ack only: the conn the data arrived on
+    std::uint64_t seq = 0;      // data only
   };
   std::multimap<SteadyClock::time_point, DelayedWire> delayed_;
   // Replaced connection fds are shut down but closed only at destruction,
-  // so a racing shutdown() snapshot of channel_fd_ can never hit a reused
+  // so a racing shutdown() snapshot of pair_fd_ can never hit a reused
   // descriptor number.
   std::vector<int> retired_fds_;
 
@@ -253,25 +296,33 @@ TcpRuntime::Worker::Worker(TcpRuntime& runtime, ProcessId id,
                            ProcessPtr process, Rng rng)
     : runtime_(runtime), id_(id), process_(std::move(process)), rng_(rng) {
   context_ = std::make_unique<TcpProcessContext>(*this);
+  for (const ChannelId channel : runtime_.topology_.out_channels(id_)) {
+    out_slot_of_channel_.emplace(
+        channel.value(), static_cast<std::uint32_t>(out_channels_.size()));
+    out_channels_.push_back(channel);
+  }
+  for (const ChannelId channel : runtime_.topology_.in_channels(id_)) {
+    in_slot_of_channel_.emplace(
+        channel.value(), static_cast<std::uint32_t>(in_channels_.size()));
+    in_channels_.push_back(channel);
+  }
   if (runtime_.config_.faults) {
-    for (const ChannelId channel : runtime_.topology_.out_channels(id_)) {
-      out_channels_.push_back(channel);
-    }
-    const std::size_t n = out_channels_.size();
-    out_parsers_.resize(n);
-    rel_send_.assign(n, ReliableSender(runtime_.config_.reliable));
-    out_attempts_.assign(n, 0);
-    out_reconnect_at_.assign(n, SteadyClock::time_point::max());
+    rel_send_.assign(out_channels_.size(),
+                     ReliableSender(runtime_.config_.reliable));
+    out_attempts_.assign(out_channels_.size(), 0);
+    in_recv_.resize(in_channels_.size());
+    in_ack_attempts_.assign(in_channels_.size(), 0);
   }
 }
 
 TcpRuntime::Worker::~Worker() {
   stop_and_join();
-  for (int& fd : in_fds_) close_fd(fd);
+  for (PairConn& conn : conns_) close_fd(conn.fd);
   for (int& fd : retired_fds_) close_fd(fd);
   close_fd(listen_fd_);
   close_fd(pipe_read_);
   close_fd(pipe_write_);
+  close_fd(epoll_fd_);
 }
 
 bool TcpRuntime::Worker::init_sockets() {
@@ -279,6 +330,7 @@ bool TcpRuntime::Worker::init_sockets() {
   if (::pipe(pipe_fds) != 0) return false;
   pipe_read_ = pipe_fds[0];
   pipe_write_ = pipe_fds[1];
+  if (!set_nonblocking(pipe_read_)) return false;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return false;
@@ -290,7 +342,9 @@ bool TcpRuntime::Worker::init_sockets() {
       0) {
     return false;
   }
-  if (::listen(listen_fd_, 128) != 0) return false;
+  // start() dials every pair before any worker accepts, so the backlog
+  // must hold this worker's whole acceptor-side fan-in.
+  if (::listen(listen_fd_, 1024) != 0) return false;
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
       0) {
@@ -301,33 +355,38 @@ bool TcpRuntime::Worker::init_sockets() {
 }
 
 bool TcpRuntime::Worker::accept_inbound() {
-  const std::size_t expected =
-      runtime_.topology().in_channels(id_).size();
+  std::size_t expected = 0;
+  for (const std::uint32_t p : runtime_.pairs_of_process_[id_.value()]) {
+    if (runtime_.pairs_[p].b == id_.value()) ++expected;
+  }
   for (std::size_t i = 0; i < expected; ++i) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return false;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    // Hello frame: the 4-byte channel id this connection realizes.
+    // Hello frame: the 4-byte pair index this connection realizes.
     std::uint8_t hello[4];
     std::size_t got = 0;
     while (got < sizeof(hello)) {
       const ssize_t n = ::read(fd, hello + got, sizeof(hello) - got);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
         ::close(fd);
         return false;
       }
       got += static_cast<std::size_t>(n);
     }
-    std::uint32_t channel_id = 0;
-    std::memcpy(&channel_id, hello, sizeof(channel_id));
-    in_fds_.push_back(fd);
-    in_channels_.push_back(ChannelId(channel_id));
-    in_parsers_.emplace_back();
-    if (runtime_.config_.faults) {
-      in_recv_.emplace_back();
-      in_ack_attempts_.push_back(0);
+    std::uint32_t pair = 0;
+    std::memcpy(&pair, hello, sizeof(pair));
+    if (pair >= runtime_.pairs_.size() ||
+        runtime_.pairs_[pair].b != id_.value()) {
+      ::close(fd);
+      return false;
     }
+    apply_pair_socket_options(fd, runtime_.config_);
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      return false;
+    }
+    runtime_.pair_fd_[2 * pair + 1].store(fd);
   }
   return true;
 }
@@ -383,7 +442,12 @@ void TcpRuntime::Worker::cancel_timer(TimerId timer) {
   timer_deadline_.erase(it);
 }
 
-int TcpRuntime::Worker::poll_timeout_ms() {
+// The single wakeup-deadline computation: pending closures, the nearest
+// user timer, and — with faults — every reliability deadline (retransmit
+// RTOs, delayed frames, redial backoffs) all clamp the same epoll_wait
+// timeout.  A long reconnect backoff can therefore never oversleep a user
+// timer or vice versa; whichever deadline is nearest bounds the sleep.
+int TcpRuntime::Worker::next_timeout_ms() {
   auto deadline = SteadyClock::time_point::max();
   {
     std::lock_guard<std::mutex> guard{mutex_};
@@ -420,173 +484,294 @@ void TcpRuntime::Worker::fire_due_timers() {
   }
 }
 
-void TcpRuntime::Worker::parse_frames(std::size_t slot) {
-  FrameParser& parser = in_parsers_[slot];
-  std::size_t frames = 0;
-  while (const auto body = parser.next()) {
-    ByteReader reader(*body);
-    auto message = Message::decode(reader);
-    if (!message.ok()) {
-      DDBG_ERROR() << "tcp: bad frame on " << to_string(in_channels_[slot])
-                   << ": " << message.error().to_string();
-      continue;
+// ---------------------------------------------------------------------------
+// Worker: epoll reactor
+// ---------------------------------------------------------------------------
+
+void TcpRuntime::Worker::setup_conns() {
+  for (const std::uint32_t p : runtime_.pairs_of_process_[id_.value()]) {
+    const HostPair& pair = runtime_.pairs_[p];
+    if (pair.a == id_.value()) {
+      send_slot_of_pair_[p] = static_cast<std::uint32_t>(conns_.size());
+      PairConn& conn = conns_.emplace_back();
+      conn.pair = p;
+      conn.side = 0;
+      conn.fd = runtime_.pair_fd_[2 * p].load();
+      conn.read_open = conn.write_open = conn.fd >= 0;
     }
-    ++frames;
-    runtime_.metrics_.on_deliver(in_channels_[slot].value(),
-                                 traffic_class(message.value().kind),
-                                 static_cast<std::uint32_t>(body->size()));
-    process_->on_message(*context_, in_channels_[slot],
-                         std::move(message).value());
+    if (pair.b == id_.value()) {
+      // The acceptor end sends here unless this is a self-pair (then side
+      // 0, registered above, is the send end and this one only receives).
+      if (pair.a != pair.b) {
+        send_slot_of_pair_[p] = static_cast<std::uint32_t>(conns_.size());
+      }
+      PairConn& conn = conns_.emplace_back();
+      conn.pair = p;
+      conn.side = 1;
+      conn.fd = runtime_.pair_fd_[2 * p + 1].load();
+      conn.read_open = conn.write_open = conn.fd >= 0;
+    }
   }
-  if (frames > 0) runtime_.metrics_.on_deliver_batch(frames);
 }
 
-bool TcpRuntime::Worker::drain_fd(std::size_t slot) {
-  FrameParser& parser = in_parsers_[slot];
+void TcpRuntime::Worker::setup_epoll() {
+  epoll_fd_ = ::epoll_create1(0);
+  DDBG_ASSERT(epoll_fd_ >= 0, "epoll_create1 failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kTagWake;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, pipe_read_, &ev);
+  if (runtime_.config_.faults) {
+    // The listener only matters for reconnect dials, which only the fault
+    // path performs.
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagListen;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
+    if (conns_[slot].fd >= 0) epoll_add_conn(slot);
+  }
+}
+
+void TcpRuntime::Worker::epoll_add_conn(std::size_t slot) {
+  PairConn& conn = conns_[slot];
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = slot;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev);
+  conn.epoll_mask = EPOLLIN;
+}
+
+void TcpRuntime::Worker::update_epoll_interest(std::size_t slot) {
+  PairConn& conn = conns_[slot];
+  if (conn.fd < 0) return;
+  const std::uint32_t desired = (conn.read_open ? EPOLLIN : 0u) |
+                                (conn.want_write ? EPOLLOUT : 0u);
+  if (desired == conn.epoll_mask) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.u64 = slot;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.epoll_mask = desired;
+}
+
+void TcpRuntime::Worker::retire_fd_from_epoll(int fd) {
+  // shutdown() now, close() at worker destruction: a concurrently running
+  // TcpRuntime::shutdown may have snapshotted this fd, and keeping the
+  // number allocated guarantees its ::shutdown can never hit a stranger.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::shutdown(fd, SHUT_RDWR);
+  retired_fds_.push_back(fd);
+}
+
+void TcpRuntime::Worker::conn_down(std::size_t slot, bool count_loss) {
+  PairConn& conn = conns_[slot];
+  if (conn.fd < 0) return;
+  const bool live = !stopping_.load(std::memory_order_relaxed) &&
+                    !runtime_.stopped_.load(std::memory_order_relaxed);
+  if (count_loss && live) runtime_.metrics_.on_channel_down();
+  runtime_.pair_fd_[2 * conn.pair + conn.side].store(-1);
+  retire_fd_from_epoll(conn.fd);
+  conn.fd = -1;
+  conn.read_open = conn.write_open = false;
+  conn.want_write = false;
+  conn.epoll_mask = 0;
+  conn.parser = FrameParser();
+  conn.outq.clear();
+  conn.front_offset = 0;
+  conn.write_budget = kWriteBudgetMin;
+  if (runtime_.config_.faults && live && conn.side == 0 &&
+      conn.reconnect_at == SteadyClock::time_point::max()) {
+    conn.reconnect_at =
+        SteadyClock::now() +
+        std::chrono::nanoseconds(runtime_.config_.reliable.rto_initial.ns);
+  }
+}
+
+void TcpRuntime::Worker::handle_readable(std::size_t slot,
+                                         std::uint32_t events) {
+  PairConn& conn = conns_[slot];
+  if (!conn.read_open) {
+    // Read side already half-closed: only a full hangup is news (and it
+    // must retire the fd, or level-triggered EPOLLHUP would spin).
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      conn_down(slot, /*count_loss=*/runtime_.config_.faults != nullptr);
+    }
+    return;
+  }
+  bool closed = false;
   std::uint8_t chunk[4096];
-  bool alive = true;
   while (true) {
-    const ssize_t n =
-        ::recv(in_fds_[slot], chunk, sizeof(chunk), MSG_DONTWAIT);
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
     if (n > 0) {
-      parser.append(
+      conn.parser.append(
           std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
-      runtime_.metrics_.observe_backlog(in_channels_[slot].value(),
-                                        parser.buffered_bytes());
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    // Peer closed (or error): nothing more will arrive on this channel.
-    alive = false;
+    // Peer closed its write side (or error): nothing more arrives here.
+    closed = true;
     break;
   }
-  if (runtime_.config_.faults) {
-    rel_parse_in_frames(slot);
-  } else {
-    parse_frames(slot);
-  }
-  if (parser.corrupt()) {
-    DDBG_ERROR() << "tcp: frame length " << parser.rejected_frame_len()
-                 << " exceeds cap on " << to_string(in_channels_[slot])
+  parse_pair_frames(slot);
+  if (conn.parser.corrupt()) {
+    DDBG_ERROR() << "tcp: frame length " << conn.parser.rejected_frame_len()
+                 << " exceeds cap on pair " << conn.pair
                  << "; dropping connection";
-    alive = false;
+    conn_down(slot, /*count_loss=*/true);
+    return;
   }
-  return alive;
+  if (!closed) return;
+  if (runtime_.config_.faults) {
+    // Connection loss under reliability: quarantine and reconnect-with-
+    // resync (the dialer side redials, this side may be either).
+    conn_down(slot, /*count_loss=*/true);
+    return;
+  }
+  // Bare mode: a half-closed peer stops our reading but the reverse
+  // direction may still flow.  Drop EPOLLIN so EOF cannot busy-spin the
+  // reactor; a later full hangup retires the fd above.
+  conn.read_open = false;
+  if (!conn.write_open) {
+    conn_down(slot, /*count_loss=*/false);
+    return;
+  }
+  update_epoll_interest(slot);
 }
 
-void TcpRuntime::Worker::stage_send(ChannelId channel, int fd,
-                                    const Message& message) {
-  BufferPool::Lease lease = pool_.acquire();
-  runtime_.metrics_.on_pool_acquire(lease.reused());
-  Bytes& frame = lease.bytes();
-  const std::size_t header_at = begin_frame(frame);
-  ByteWriter writer(frame);
-  message.encode(writer);
-  end_frame(frame, header_at);
-  runtime_.metrics_.on_send(
-      channel.value(), traffic_class(message.kind),
-      static_cast<std::uint32_t>(frame.size() - kFrameHeaderSize));
-  PendingSend pending;
-  pending.channel = channel;
-  pending.fd = fd;
-  pending.frame = std::move(lease);
-  pending_sends_.push_back(std::move(pending));
-}
-
-void TcpRuntime::Worker::flush_sends() {
-  std::size_t i = 0;
-  while (i < pending_sends_.size()) {
-    // Group the run of consecutive frames bound for the same fd (one
-    // channel — each fd realizes exactly one channel) into a gathered
-    // write, so a handler that emits a burst pays one syscall, not one
-    // per message.
-    const int fd = pending_sends_[i].fd;
-    const ChannelId channel = pending_sends_[i].channel;
-    std::size_t count = 1;
-    while (i + count < pending_sends_.size() && count < kMaxWriteBatch &&
-           pending_sends_[i + count].fd == fd) {
-      ++count;
+void TcpRuntime::Worker::parse_pair_frames(std::size_t slot) {
+  PairConn& conn = conns_[slot];
+  FrameParser& parser = conn.parser;
+  std::size_t delivered = 0;
+  ack_pending_.clear();
+  while (const auto body = parser.next()) {
+    ++frames_this_wakeup_;
+    if (body->size() < kChannelPrefixSize) continue;
+    ByteReader reader(*body);
+    std::uint32_t channel_id = 0;
+    {
+      const auto ch = reader.u32();
+      if (!ch.ok()) continue;
+      channel_id = ch.value();
     }
-    iovec iov[kMaxWriteBatch];
-    std::size_t total = 0;
-    for (std::size_t k = 0; k < count; ++k) {
-      Bytes& frame = pending_sends_[i + k].frame.bytes();
-      iov[k].iov_base = frame.data();
-      iov[k].iov_len = frame.size();
-      total += frame.size();
-    }
-    // Only this worker's thread writes to the fd, so frames are never
-    // interleaved.  The send-blocked clock brackets the write: on loopback
-    // it is normally ~0, and it surfaces the time a sender spends wedged
-    // against a full socket buffer (a halted or slow receiver).
-    const auto write_start = SteadyClock::now();
-    const bool wrote = write_all_iov(fd, iov, count, total);
-    runtime_.metrics_.add_send_blocked(
-        channel.value(),
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            SteadyClock::now() - write_start)
-            .count());
-    runtime_.metrics_.on_write_batch(count);
-    if (!wrote) {
-      // Failed writes are expected while shutting down (channels are
-      // half-closed to unblock writers); only a live-system failure is
-      // news.
-      const bool live =
-          !runtime_.stopped_.load(std::memory_order_relaxed) &&
-          !stopping_.load(std::memory_order_relaxed);
-      if (runtime_.config_.faults) {
-        // The connection is gone mid-flush, but nothing is lost: every
-        // data frame in this batch is still staged in the retransmit
-        // window, so kick reconnect-with-resync and let the replay carry
-        // them.  A failed ack frame needs no action — the sender's
-        // retransmit covers the gap and a later cumulative ack supersedes
-        // this one.
-        if (live && !pending_sends_[i].is_ack) {
-          if (runtime_.channel_fd_[channel.value()].load() >= 0) {
-            runtime_.metrics_.on_channel_down();
-          }
-          rel_begin_reconnect(out_slot(channel));
-        }
-      } else if (live) {
-        // Bare-TCP mode has no retransmit window: this batch of staged
-        // frames is lost with the connection.  Count the event so tests
-        // and operators see the drop instead of relying on a log line.
-        runtime_.metrics_.on_channel_down();
-        DDBG_ERROR() << "tcp: write failed on " << to_string(channel);
+    if (!runtime_.config_.faults) {
+      const auto it = in_slot_of_channel_.find(channel_id);
+      if (it == in_slot_of_channel_.end()) {
+        DDBG_ERROR() << "tcp: frame for foreign channel " << channel_id
+                     << " on pair " << conn.pair;
+        continue;
       }
+      const ChannelId channel = in_channels_[it->second];
+      auto message = Message::decode(reader);
+      if (!message.ok()) {
+        DDBG_ERROR() << "tcp: bad frame on " << to_string(channel) << ": "
+                     << message.error().to_string();
+        continue;
+      }
+      ++delivered;
+      runtime_.metrics_.on_deliver(
+          channel_id, traffic_class(message.value().kind),
+          static_cast<std::uint32_t>(body->size() - kChannelPrefixSize));
+      runtime_.metrics_.observe_backlog(channel_id, parser.buffered_bytes());
+      process_->on_message(*context_, channel,
+                           std::move(message).value());
+      continue;
     }
-    i += count;
+    auto header = RelHeader::decode(reader);
+    if (!header.ok()) {
+      DDBG_ERROR() << "tcp: bad reliable frame on channel " << channel_id
+                   << ": " << header.error().to_string();
+      continue;
+    }
+    if (header.value().tag == RelHeader::kAck) {
+      const auto it = out_slot_of_channel_.find(channel_id);
+      if (it == out_slot_of_channel_.end()) continue;
+      rel_send_[it->second].ack(header.value().cum_ack);
+      continue;
+    }
+    const auto it = in_slot_of_channel_.find(channel_id);
+    if (it == in_slot_of_channel_.end()) {
+      DDBG_ERROR() << "tcp: frame for foreign channel " << channel_id
+                   << " on pair " << conn.pair;
+      continue;
+    }
+    const std::uint32_t in_idx = it->second;
+    const ChannelId channel = in_channels_[in_idx];
+    auto message = Message::decode(reader);
+    if (!message.ok()) {
+      DDBG_ERROR() << "tcp: bad frame on " << to_string(channel) << ": "
+                   << message.error().to_string();
+      continue;
+    }
+    const std::uint64_t wire =
+        body->size() - kChannelPrefixSize - kRelHeaderSize;
+    static thread_local std::vector<ReliableReceiver::Delivery> releases;
+    releases.clear();
+    const auto accept = in_recv_[in_idx].on_frame(
+        header.value().seq, std::move(message).value(), wire, releases);
+    if (accept == ReliableReceiver::Accept::kDuplicate) {
+      runtime_.metrics_.on_dup_suppressed();
+    }
+    for (auto& release : releases) {
+      ++delivered;
+      runtime_.metrics_.on_deliver(
+          channel_id, traffic_class(release.message.kind),
+          static_cast<std::uint32_t>(release.meta));
+      process_->on_message(*context_, channel, std::move(release.message));
+    }
+    runtime_.metrics_.observe_backlog(channel_id, parser.buffered_bytes());
+    if (std::find(ack_pending_.begin(), ack_pending_.end(), in_idx) ==
+        ack_pending_.end()) {
+      ack_pending_.push_back(in_idx);
+    }
   }
-  pending_sends_.clear();
+  // One cumulative ack per channel per drained batch — it carries the
+  // furthest in-order point whether the batch delivered, buffered or
+  // suppressed.
+  for (const std::uint32_t in_idx : ack_pending_) {
+    rel_write_ack(in_idx, slot);
+  }
+  ack_pending_.clear();
+  if (delivered > 0) runtime_.metrics_.on_deliver_batch(delivered);
 }
 
 void TcpRuntime::Worker::thread_main() {
+  setup_conns();
+  setup_epoll();
   process_->on_start(*context_);
   flush_sends();
 
-  if (runtime_.config_.faults) {
-    // Reliability mode rebuilds its poll set per iteration (fds come and
-    // go with reconnects) — a different loop entirely.
-    rel_reactor();
-    return;
-  }
-
-  std::vector<pollfd> fds;
-  fds.push_back(pollfd{pipe_read_, POLLIN, 0});
-  for (const int fd : in_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
-
+  epoll_event events[kMaxEpollEvents];
   std::deque<std::function<void(ProcessContext&, Process&)>> batch;
   while (!stopping_.load()) {
     poll_iterations_.fetch_add(1, std::memory_order_relaxed);
-    const int timeout = poll_timeout_ms();
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    const int timeout = next_timeout_ms();
+    const int ready =
+        ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout);
     if (ready < 0 && errno != EINTR) break;
+    runtime_.metrics_.on_epoll_wakeup();
+    frames_this_wakeup_ = 0;
 
-    // Drain the wake pipe (blocking fd: one read takes whatever poll saw).
-    if (fds[0].revents & POLLIN) {
-      std::uint8_t sink[256];
-      (void)!::read(pipe_read_, sink, sizeof(sink));
+    for (int i = 0; i < ready; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kTagWake) {
+        std::uint8_t sink[256];
+        while (::read(pipe_read_, sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (tag == kTagListen) {
+        accept_runtime_connection();
+        continue;
+      }
+      const auto slot = static_cast<std::size_t>(tag);
+      if (slot >= conns_.size() || conns_[slot].fd < 0) continue;
+      if (events[i].events & EPOLLOUT) continue_flush(slot);
+      if (conns_[slot].fd >= 0 &&
+          (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR))) {
+        handle_readable(slot, events[i].events);
+      }
     }
 
     // Run queued closures: swap the whole queue out under one lock and
@@ -599,23 +784,203 @@ void TcpRuntime::Worker::thread_main() {
     batch.clear();
 
     fire_due_timers();
+    if (runtime_.config_.faults) rel_fire_due();
 
-    for (std::size_t i = 1; i < fds.size(); ++i) {
-      // A retired slot keeps fd = -1: poll ignores negative fds, so a
-      // peer-closed connection cannot busy-spin the reactor with
-      // POLLIN|POLLHUP forever.
-      if (fds[i].fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP))) {
-        if (!drain_fd(i - 1)) fds[i].fd = -1;
-      }
-      fds[i].revents = 0;
-    }
-    fds[0].revents = 0;
-
-    // Everything handlers staged this iteration leaves before the next
-    // poll sleep.
+    // Everything handlers staged this iteration is offered to the kernel
+    // before the next sleep; whatever does not fit parks on EPOLLOUT.
     flush_sends();
+    if (frames_this_wakeup_ > 0) {
+      runtime_.metrics_.observe_frames_per_wakeup(frames_this_wakeup_);
+    }
   }
   flush_sends();
+}
+
+// ---------------------------------------------------------------------------
+// Worker: send path
+// ---------------------------------------------------------------------------
+
+void TcpRuntime::Worker::stage_send(ChannelId channel,
+                                    const Message& message) {
+  BufferPool::Lease lease = pool_.acquire();
+  runtime_.metrics_.on_pool_acquire(lease.reused());
+  Bytes& frame = lease.bytes();
+  const std::size_t header_at = begin_frame(frame);
+  ByteWriter writer(frame);
+  writer.u32(channel.value());
+  message.encode(writer);
+  end_frame(frame, header_at);
+  // Wire bytes exclude the frame prefix and the channel id so byte
+  // accounting stays identical across the sim/threads/tcp substrates.
+  runtime_.metrics_.on_send(
+      channel.value(), traffic_class(message.kind),
+      static_cast<std::uint32_t>(frame.size() - kFrameHeaderSize -
+                                 kChannelPrefixSize));
+  queue_frame(channel, std::move(lease));
+}
+
+void TcpRuntime::Worker::queue_frame(ChannelId channel,
+                                     BufferPool::Lease frame) {
+  const std::uint32_t pair = runtime_.channel_pair_[channel.value()];
+  const auto it = send_slot_of_pair_.find(pair);
+  DDBG_ASSERT(it != send_slot_of_pair_.end(),
+              "send on a pair this worker does not own");
+  queue_frame_on(it->second, channel, std::move(frame));
+}
+
+void TcpRuntime::Worker::queue_frame_on(std::size_t slot, ChannelId channel,
+                                        BufferPool::Lease frame) {
+  PairConn& conn = conns_[slot];
+  if (!conn.write_open) {
+    // Bare mode: the loss was counted when the write side died; with
+    // faults the retransmit window replays once the pair reconnects.
+    return;
+  }
+  conn.outq.push_back(PairConn::QueuedFrame{channel, std::move(frame)});
+}
+
+std::size_t TcpRuntime::Worker::advance_out_queue(PairConn& conn,
+                                                  std::size_t written) {
+  std::size_t retired = 0;
+  while (written > 0 && !conn.outq.empty()) {
+    const std::size_t remaining =
+        conn.outq.front().frame.bytes().size() - conn.front_offset;
+    if (written >= remaining) {
+      written -= remaining;
+      conn.front_offset = 0;
+      conn.outq.pop_front();
+      ++retired;
+    } else {
+      conn.front_offset += written;
+      written = 0;
+    }
+  }
+  return retired;
+}
+
+void TcpRuntime::Worker::fail_write_side(std::size_t slot) {
+  PairConn& conn = conns_[slot];
+  const bool live = !stopping_.load(std::memory_order_relaxed) &&
+                    !runtime_.stopped_.load(std::memory_order_relaxed);
+  if (runtime_.config_.faults) {
+    // Nothing is lost: every data frame is still staged in its retransmit
+    // window, so tear the pair down and let reconnect-with-resync replay.
+    conn_down(slot, /*count_loss=*/true);
+    return;
+  }
+  if (live) {
+    // Bare-TCP mode has no retransmit window: the queued frames are lost
+    // with the connection.  Count the event so tests and operators see
+    // the drop instead of relying on a log line.
+    runtime_.metrics_.on_channel_down();
+    DDBG_ERROR() << "tcp: write failed on pair " << conn.pair;
+  }
+  conn.write_open = false;
+  conn.want_write = false;
+  conn.outq.clear();
+  conn.front_offset = 0;
+  if (!conn.read_open) {
+    conn_down(slot, /*count_loss=*/false);
+    return;
+  }
+  update_epoll_interest(slot);
+}
+
+void TcpRuntime::Worker::try_flush(std::size_t slot) {
+  PairConn& conn = conns_[slot];
+  while (conn.fd >= 0 && conn.write_open && !conn.outq.empty()) {
+    // Gather frames under the adaptive byte budget (always at least the
+    // remainder of the front frame, so progress is guaranteed).
+    iovec iov[kMaxWriteIov];
+    std::size_t count = 0;
+    std::size_t total = 0;
+    for (PairConn::QueuedFrame& queued : conn.outq) {
+      if (count == kMaxWriteIov) break;
+      Bytes& bytes = queued.frame.bytes();
+      const std::size_t offset = count == 0 ? conn.front_offset : 0;
+      iov[count].iov_base = bytes.data() + offset;
+      iov[count].iov_len = bytes.size() - offset;
+      total += iov[count].iov_len;
+      ++count;
+      if (total >= conn.write_budget) break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    // The send-blocked clock brackets the syscall; on a nonblocking fd it
+    // is ~0, and the real wedge time (EPOLLOUT armed -> queue drained) is
+    // added in continue_flush when the backpressure clears.
+    const ChannelId front_channel = conn.outq.front().channel;
+    const auto write_start = SteadyClock::now();
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    runtime_.metrics_.add_send_blocked(
+        front_channel.value(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - write_start)
+            .count());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket buffer full: park the queue on EPOLLOUT instead of
+        // spinning — the reactor resumes the flush when space frees up.
+        runtime_.metrics_.on_eagain_deferral();
+        if (!conn.want_write) {
+          conn.want_write = true;
+          conn.blocked_since = SteadyClock::now();
+          conn.blocked_channel = front_channel;
+          update_epoll_interest(slot);
+        }
+        return;
+      }
+      fail_write_side(slot);
+      return;
+    }
+    const auto written = static_cast<std::size_t>(n);
+    const std::size_t retired = advance_out_queue(conn, written);
+    if (retired > 0) runtime_.metrics_.on_write_batch(retired);
+    if (written < total) {
+      // Partial write: the kernel buffer is full mid-frame.  Same
+      // deferral as EAGAIN, and sustained backpressure earns a bigger
+      // budget so the next writable window moves more per syscall.
+      runtime_.metrics_.on_eagain_deferral();
+      conn.write_budget = std::min(conn.write_budget * 2, kWriteBudgetMax);
+      if (!conn.want_write) {
+        conn.want_write = true;
+        conn.blocked_since = SteadyClock::now();
+        conn.blocked_channel = front_channel;
+        update_epoll_interest(slot);
+      }
+      return;
+    }
+    if (!conn.outq.empty()) {
+      // Budget-limited, not kernel-limited: grow and keep draining.
+      conn.write_budget = std::min(conn.write_budget * 2, kWriteBudgetMax);
+    }
+  }
+  if (conn.outq.empty()) {
+    conn.write_budget = std::max(conn.write_budget / 2, kWriteBudgetMin);
+    if (conn.want_write) {
+      conn.want_write = false;
+      runtime_.metrics_.add_send_blocked(
+          conn.blocked_channel.value(),
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              SteadyClock::now() - conn.blocked_since)
+              .count());
+      update_epoll_interest(slot);
+    }
+  }
+}
+
+void TcpRuntime::Worker::continue_flush(std::size_t slot) {
+  try_flush(slot);
+}
+
+void TcpRuntime::Worker::flush_sends() {
+  for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
+    if (!conns_[slot].outq.empty() && !conns_[slot].want_write) {
+      try_flush(slot);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -623,11 +988,10 @@ void TcpRuntime::Worker::thread_main() {
 // ---------------------------------------------------------------------------
 
 std::size_t TcpRuntime::Worker::out_slot(ChannelId channel) const {
-  for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
-    if (out_channels_[slot] == channel) return slot;
-  }
-  DDBG_ASSERT(false, "channel is not sourced by this worker");
-  return 0;
+  const auto it = out_slot_of_channel_.find(channel.value());
+  DDBG_ASSERT(it != out_slot_of_channel_.end(),
+              "channel is not sourced by this worker");
+  return it->second;
 }
 
 void TcpRuntime::Worker::rel_send_message(ChannelId channel,
@@ -660,16 +1024,15 @@ void TcpRuntime::Worker::rel_transmit(std::size_t slot, std::uint64_t seq) {
       // Swallowed by the adversary; the retransmit timer recovers.
       runtime_.metrics_.on_fault(fault_index(fault.kind));
       return;
-    case FaultKind::kReset:
-      // Connection torn down under the frame: quarantine the fd and dial
-      // again after a backoff.  Resync on the fresh connection replays the
-      // whole unacked window, this frame included.
+    case FaultKind::kReset: {
+      // Connection torn down under the frame: quarantine the pair socket
+      // and redial after a backoff.  Resync on the fresh connection
+      // replays the whole unacked window, this frame included.
       runtime_.metrics_.on_fault(fault_index(fault.kind));
-      if (runtime_.channel_fd_[channel.value()].load() >= 0) {
-        runtime_.metrics_.on_channel_down();
-      }
-      rel_begin_reconnect(slot);
+      const std::uint32_t pair = runtime_.channel_pair_[channel.value()];
+      conn_down(send_slot_of_pair_.at(pair), /*count_loss=*/true);
       return;
+    }
     case FaultKind::kDuplicate:
       runtime_.metrics_.on_fault(fault_index(fault.kind));
       rel_write_data(slot, seq);
@@ -683,7 +1046,7 @@ void TcpRuntime::Worker::rel_transmit(std::size_t slot, std::uint64_t seq) {
       runtime_.metrics_.on_fault(fault_index(fault.kind));
       delayed_.emplace(SteadyClock::now() +
                            std::chrono::nanoseconds(fault.extra_delay.ns),
-                       DelayedWire{false, slot, seq});
+                       DelayedWire{false, slot, 0, seq});
       return;
   }
 }
@@ -692,30 +1055,26 @@ void TcpRuntime::Worker::rel_write_data(std::size_t slot, std::uint64_t seq) {
   const ReliableSender::Staged* staged = rel_send_[slot].peek(seq);
   if (staged == nullptr) return;  // acked before a delayed copy fired
   const ChannelId channel = out_channels_[slot];
-  const int fd = runtime_.channel_fd_[channel.value()].load();
-  if (fd < 0) return;  // channel down; reconnect resync replays the window
   BufferPool::Lease lease = pool_.acquire();
   runtime_.metrics_.on_pool_acquire(lease.reused());
   Bytes& frame = lease.bytes();
   const std::size_t header_at = begin_frame(frame);
   ByteWriter writer(frame);
+  writer.u32(channel.value());
   RelHeader header;
   header.tag = RelHeader::kData;
   header.seq = seq;
   header.encode(writer);
   staged->message.encode(writer);
   end_frame(frame, header_at);
-  PendingSend pending;
-  pending.channel = channel;
-  pending.fd = fd;
-  pending.frame = std::move(lease);
-  pending_sends_.push_back(std::move(pending));
+  queue_frame(channel, std::move(lease));
 }
 
-void TcpRuntime::Worker::rel_write_ack(std::size_t in_slot) {
+void TcpRuntime::Worker::rel_write_ack(std::size_t in_slot,
+                                       std::size_t conn_slot) {
   const std::uint64_t attempt = in_ack_attempts_[in_slot]++;
-  const FaultDecision fault =
-      runtime_.config_.faults->decide_ack(in_channels_[in_slot], attempt);
+  const FaultDecision fault = runtime_.config_.faults->decide_ack(
+      in_channels_[in_slot], attempt);
   if (fault.kind == FaultKind::kDrop) {
     // Cumulative acks make a lost one free: the next carries its news.
     runtime_.metrics_.on_fault(fault_index(fault.kind));
@@ -725,183 +1084,97 @@ void TcpRuntime::Worker::rel_write_ack(std::size_t in_slot) {
     runtime_.metrics_.on_fault(fault_index(fault.kind));
     delayed_.emplace(SteadyClock::now() +
                          std::chrono::nanoseconds(fault.extra_delay.ns),
-                     DelayedWire{true, in_slot, 0});
+                     DelayedWire{true, in_slot, conn_slot, 0});
     return;
   }
-  rel_write_ack_frame(in_slot);
+  rel_write_ack_frame(in_slot, conn_slot);
 }
 
-void TcpRuntime::Worker::rel_write_ack_frame(std::size_t in_slot) {
-  const int fd = in_fds_[in_slot];
-  if (fd < 0) return;  // connection being replaced; resync re-acks
+void TcpRuntime::Worker::rel_write_ack_frame(std::size_t in_slot,
+                                             std::size_t conn_slot) {
+  // The ack rides the same pair socket the data arrived on (full duplex);
+  // if that connection is being replaced, resync re-acks.
+  const PairConn& conn = conns_[conn_slot];
+  if (conn.fd < 0 || !conn.write_open) return;
+  const ChannelId channel = in_channels_[in_slot];
   BufferPool::Lease lease = pool_.acquire();
   runtime_.metrics_.on_pool_acquire(lease.reused());
   Bytes& frame = lease.bytes();
   const std::size_t header_at = begin_frame(frame);
   ByteWriter writer(frame);
+  writer.u32(channel.value());
   RelHeader header;
   header.tag = RelHeader::kAck;
   header.cum_ack = in_recv_[in_slot].cum_ack();
   header.encode(writer);
   end_frame(frame, header_at);
-  PendingSend pending;
-  pending.channel = in_channels_[in_slot];
-  pending.fd = fd;
-  pending.is_ack = true;
-  pending.frame = std::move(lease);
-  pending_sends_.push_back(std::move(pending));
+  queue_frame_on(conn_slot, channel, std::move(lease));
 }
 
-void TcpRuntime::Worker::rel_parse_in_frames(std::size_t slot) {
-  FrameParser& parser = in_parsers_[slot];
-  const ChannelId channel = in_channels_[slot];
-  std::size_t delivered = 0;
-  bool arrived = false;
-  std::vector<ReliableReceiver::Delivery> releases;
-  while (const auto body = parser.next()) {
-    ByteReader reader(*body);
-    auto header = RelHeader::decode(reader);
-    if (!header.ok()) {
-      DDBG_ERROR() << "tcp: bad reliable frame on " << to_string(channel)
-                   << ": " << header.error().to_string();
+void TcpRuntime::Worker::resync_pair(std::uint32_t pair) {
+  // Everything unacked on this worker's out-channels crossing the pair
+  // becomes due at once and flows out through the normal retransmit path
+  // (counted as both replayed and retransmits).
+  for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
+    if (runtime_.channel_pair_[out_channels_[slot].value()] != pair) {
       continue;
     }
-    if (header.value().tag != RelHeader::kData) continue;
-    auto message = Message::decode(reader);
-    if (!message.ok()) {
-      DDBG_ERROR() << "tcp: bad frame on " << to_string(channel) << ": "
-                   << message.error().to_string();
-      continue;
-    }
-    arrived = true;
-    const std::uint64_t wire = body->size() - kRelHeaderSize;
-    releases.clear();
-    const auto accept = in_recv_[slot].on_frame(
-        header.value().seq, std::move(message).value(), wire, releases);
-    if (accept == ReliableReceiver::Accept::kDuplicate) {
-      runtime_.metrics_.on_dup_suppressed();
-    }
-    for (auto& release : releases) {
-      ++delivered;
-      runtime_.metrics_.on_deliver(
-          channel.value(), traffic_class(release.message.kind),
-          static_cast<std::uint32_t>(release.meta));
-      process_->on_message(*context_, channel, std::move(release.message));
-    }
-  }
-  // One cumulative ack per drained batch — it carries the furthest
-  // in-order point whether the batch delivered, buffered or suppressed.
-  if (arrived) rel_write_ack(slot);
-  if (delivered > 0) runtime_.metrics_.on_deliver_batch(delivered);
-}
-
-void TcpRuntime::Worker::rel_on_ack_fd(std::size_t slot) {
-  const int fd = runtime_.channel_fd_[out_channels_[slot].value()].load();
-  if (fd < 0) return;
-  FrameParser& parser = out_parsers_[slot];
-  std::uint8_t chunk[4096];
-  bool alive = true;
-  while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
-    if (n > 0) {
-      parser.append(
-          std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    alive = false;
-    break;
-  }
-  while (const auto body = parser.next()) {
-    ByteReader reader(*body);
-    auto header = RelHeader::decode(reader);
-    if (!header.ok() || header.value().tag != RelHeader::kAck) continue;
-    rel_send_[slot].ack(header.value().cum_ack);
-  }
-  if (parser.corrupt()) alive = false;
-  if (!alive && !stopping_.load(std::memory_order_relaxed) &&
-      !runtime_.stopped_.load(std::memory_order_relaxed)) {
-    // The destination closed its end (or the stream corrupted): real
-    // channel loss, same recovery as an injected reset.
-    runtime_.metrics_.on_channel_down();
-    rel_begin_reconnect(slot);
-  }
-}
-
-void TcpRuntime::Worker::retire_out_fd(int fd) {
-  // shutdown() now, close() at worker destruction: a concurrently running
-  // TcpRuntime::shutdown may have snapshotted this fd, and keeping the
-  // number allocated guarantees its ::shutdown can never hit a stranger.
-  ::shutdown(fd, SHUT_RDWR);
-  retired_fds_.push_back(fd);
-}
-
-void TcpRuntime::Worker::rel_begin_reconnect(std::size_t slot) {
-  if (stopping_.load(std::memory_order_relaxed) ||
-      runtime_.stopped_.load(std::memory_order_relaxed)) {
-    return;
-  }
-  const ChannelId channel = out_channels_[slot];
-  const int old = runtime_.channel_fd_[channel.value()].exchange(-1);
-  if (old >= 0) retire_out_fd(old);
-  out_parsers_[slot] = FrameParser();
-  if (out_reconnect_at_[slot] == SteadyClock::time_point::max()) {
-    out_reconnect_at_[slot] =
-        SteadyClock::now() +
-        std::chrono::nanoseconds(runtime_.config_.reliable.rto_initial.ns);
+    const std::size_t replayed = rel_send_[slot].mark_all_due(runtime_.now());
+    if (replayed > 0) runtime_.metrics_.on_resync_replayed(replayed);
   }
 }
 
 void TcpRuntime::Worker::rel_try_reconnect(std::size_t slot) {
-  out_reconnect_at_[slot] = SteadyClock::time_point::max();
+  PairConn& conn = conns_[slot];
+  conn.reconnect_at = SteadyClock::time_point::max();
   if (stopping_.load(std::memory_order_relaxed) ||
       runtime_.stopped_.load(std::memory_order_relaxed)) {
     return;
   }
-  const ChannelId channel = out_channels_[slot];
-  const ChannelSpec& spec = runtime_.topology_.channel(channel);
+  const HostPair& pair = runtime_.pairs_[conn.pair];
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   bool ok = fd >= 0;
   if (ok) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port =
-        htons(runtime_.workers_[spec.destination.value()]->port());
+    addr.sin_port = htons(runtime_.workers_[pair.b]->port());
     ok = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
   }
   if (ok) {
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const std::uint32_t channel_id = channel.value();
+    const std::uint32_t pair_index = conn.pair;
     std::uint8_t hello[4];
-    std::memcpy(hello, &channel_id, sizeof(channel_id));
+    std::memcpy(hello, &pair_index, sizeof(pair_index));
     ok = write_all(fd, hello, sizeof(hello));
+  }
+  if (ok) {
+    apply_pair_socket_options(fd, runtime_.config_);
+    ok = set_nonblocking(fd);
   }
   if (!ok) {
     if (fd >= 0) ::close(fd);
-    out_reconnect_at_[slot] =
+    conn.reconnect_at =
         SteadyClock::now() +
         std::chrono::nanoseconds(runtime_.config_.reliable.rto_initial.ns);
     return;
   }
-  const int old = runtime_.channel_fd_[channel.value()].exchange(fd);
-  if (old >= 0) retire_out_fd(old);
-  out_parsers_[slot] = FrameParser();
+  if (conn.fd >= 0) retire_fd_from_epoll(conn.fd);
+  conn.fd = fd;
+  conn.read_open = conn.write_open = true;
+  conn.want_write = false;
+  conn.parser = FrameParser();
+  conn.outq.clear();
+  conn.front_offset = 0;
+  epoll_add_conn(slot);
+  runtime_.pair_fd_[2 * conn.pair].store(fd);
   runtime_.metrics_.on_reconnect();
-  // Resync: everything unacked becomes due at once and flows out through
-  // the normal retransmit path (counted as both replayed and retransmits).
-  const std::size_t replayed = rel_send_[slot].mark_all_due(runtime_.now());
-  if (replayed > 0) runtime_.metrics_.on_resync_replayed(replayed);
+  resync_pair(conn.pair);
 }
 
 void TcpRuntime::Worker::accept_runtime_connection() {
   const int fd = ::accept(listen_fd_, nullptr, nullptr);
   if (fd < 0) return;
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  // Same 4-byte channel-id hello as the startup dial.  The dialer writes
+  // Same 4-byte pair-index hello as the startup dial.  The dialer writes
   // it immediately after connect, so this blocking read is momentary.
   std::uint8_t hello[4];
   std::size_t got = 0;
@@ -914,33 +1187,47 @@ void TcpRuntime::Worker::accept_runtime_connection() {
     }
     got += static_cast<std::size_t>(n);
   }
-  std::uint32_t channel_id = 0;
-  std::memcpy(&channel_id, hello, sizeof(channel_id));
-  for (std::size_t slot = 0; slot < in_channels_.size(); ++slot) {
-    if (in_channels_[slot].value() != channel_id) continue;
-    if (in_fds_[slot] >= 0) retire_out_fd(in_fds_[slot]);
-    in_fds_[slot] = fd;
-    in_parsers_[slot] = FrameParser();
-    // in_recv_[slot] survives on purpose: its delivered-prefix state is
-    // exactly what suppresses the replayed frames the reconnecting sender
-    // is about to resend.
+  std::uint32_t pair = 0;
+  std::memcpy(&pair, hello, sizeof(pair));
+  for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
+    PairConn& conn = conns_[slot];
+    if (conn.pair != pair || conn.side != 1) continue;
+    if (conn.fd >= 0) retire_fd_from_epoll(conn.fd);
+    apply_pair_socket_options(fd, runtime_.config_);
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      return;
+    }
+    conn.fd = fd;
+    conn.read_open = conn.write_open = true;
+    conn.want_write = false;
+    conn.parser = FrameParser();
+    conn.outq.clear();
+    conn.front_offset = 0;
+    epoll_add_conn(slot);
+    runtime_.pair_fd_[2 * pair + 1].store(fd);
+    // in_recv_ state survives on purpose: its delivered-prefix state is
+    // exactly what suppresses the replayed frames the reconnecting peer
+    // is about to resend.  Our own unacked sends replay too — the peer's
+    // receiver suppresses what it already saw.
+    resync_pair(pair);
     return;
   }
-  DDBG_ERROR() << "tcp: reconnect hello for unknown channel " << channel_id;
+  DDBG_ERROR() << "tcp: reconnect hello for unknown pair " << pair;
   ::close(fd);
 }
 
 void TcpRuntime::Worker::rel_fire_due() {
   const auto now = SteadyClock::now();
-  for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
-    if (out_reconnect_at_[slot] <= now) rel_try_reconnect(slot);
+  for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
+    if (conns_[slot].reconnect_at <= now) rel_try_reconnect(slot);
   }
   while (!delayed_.empty() && delayed_.begin()->first <= now) {
     const DelayedWire wire = delayed_.begin()->second;
     delayed_.erase(delayed_.begin());
     // No second fault roll: the frame already paid its delay.
     if (wire.is_ack) {
-      rel_write_ack_frame(wire.slot);
+      rel_write_ack_frame(wire.slot, wire.conn_slot);
     } else {
       rel_write_data(wire.slot, wire.seq);
     }
@@ -955,8 +1242,8 @@ void TcpRuntime::Worker::rel_fire_due() {
 
 SteadyClock::time_point TcpRuntime::Worker::rel_next_deadline() const {
   auto deadline = SteadyClock::time_point::max();
-  for (const auto at : out_reconnect_at_) {
-    if (at < deadline) deadline = at;
+  for (const PairConn& conn : conns_) {
+    if (conn.reconnect_at < deadline) deadline = conn.reconnect_at;
   }
   if (!delayed_.empty() && delayed_.begin()->first < deadline) {
     deadline = delayed_.begin()->first;
@@ -970,82 +1257,6 @@ SteadyClock::time_point TcpRuntime::Worker::rel_next_deadline() const {
   return deadline;
 }
 
-void TcpRuntime::Worker::rel_reactor() {
-  // The poll set is rebuilt every iteration: in-fds get replaced by
-  // reconnecting peers, out-fds by our own re-dials, and the listener must
-  // always be watched for those dials.  refs[i] says what fds[i] is.
-  struct FdRef {
-    std::uint8_t type = 0;  // 0 = wake pipe, 1 = in, 2 = listener, 3 = out
-    std::size_t slot = 0;
-  };
-  std::vector<pollfd> fds;
-  std::vector<FdRef> refs;
-  std::deque<std::function<void(ProcessContext&, Process&)>> batch;
-  while (!stopping_.load()) {
-    poll_iterations_.fetch_add(1, std::memory_order_relaxed);
-    fds.clear();
-    refs.clear();
-    fds.push_back(pollfd{pipe_read_, POLLIN, 0});
-    refs.push_back(FdRef{0, 0});
-    for (std::size_t slot = 0; slot < in_fds_.size(); ++slot) {
-      if (in_fds_[slot] < 0) continue;
-      fds.push_back(pollfd{in_fds_[slot], POLLIN, 0});
-      refs.push_back(FdRef{1, slot});
-    }
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    refs.push_back(FdRef{2, 0});
-    for (std::size_t slot = 0; slot < out_channels_.size(); ++slot) {
-      const int fd =
-          runtime_.channel_fd_[out_channels_[slot].value()].load();
-      if (fd < 0) continue;
-      // Watched for acks flowing backwards (and for EOF on peer loss).
-      fds.push_back(pollfd{fd, POLLIN, 0});
-      refs.push_back(FdRef{3, slot});
-    }
-
-    const int timeout = poll_timeout_ms();
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
-    if (ready < 0 && errno != EINTR) break;
-
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      switch (refs[i].type) {
-        case 0: {
-          std::uint8_t sink[256];
-          (void)!::read(pipe_read_, sink, sizeof(sink));
-          break;
-        }
-        case 1:
-          if (!drain_fd(refs[i].slot)) {
-            // Peer's send side went away (injected reset or real close):
-            // quarantine the fd and wait for the reconnect dial.
-            retire_out_fd(in_fds_[refs[i].slot]);
-            in_fds_[refs[i].slot] = -1;
-          }
-          break;
-        case 2:
-          accept_runtime_connection();
-          break;
-        case 3:
-          rel_on_ack_fd(refs[i].slot);
-          break;
-      }
-    }
-
-    {
-      std::lock_guard<std::mutex> guard{mutex_};
-      batch.swap(closures_);
-    }
-    for (auto& closure : batch) closure(*context_, *process_);
-    batch.clear();
-
-    fire_due_timers();
-    rel_fire_due();
-    flush_sends();
-  }
-  flush_sends();
-}
-
 // ---------------------------------------------------------------------------
 // TcpRuntime
 // ---------------------------------------------------------------------------
@@ -1057,6 +1268,33 @@ TcpRuntime::TcpRuntime(Topology topology, std::vector<ProcessPtr> processes,
       metrics_("tcp", topology_.num_processes(), channel_meta(topology_)) {
   DDBG_ASSERT(processes.size() == topology_.num_processes(),
               "one Process per topology process required");
+  // Enumerate host pairs: every unordered process pair with at least one
+  // channel gets exactly one connection, shared by all its channels.
+  channel_pair_.resize(topology_.num_channels());
+  pairs_of_process_.resize(topology_.num_processes());
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+      pair_index;
+  for (const ChannelSpec& spec : topology_.channels()) {
+    const std::uint32_t a =
+        std::min(spec.source.value(), spec.destination.value());
+    const std::uint32_t b =
+        std::max(spec.source.value(), spec.destination.value());
+    const auto [it, inserted] = pair_index.try_emplace(
+        std::make_pair(a, b), static_cast<std::uint32_t>(pairs_.size()));
+    if (inserted) {
+      pairs_.push_back(HostPair{a, b, 0});
+      pairs_of_process_[a].push_back(it->second);
+      if (b != a) pairs_of_process_[b].push_back(it->second);
+    }
+    ++pairs_[it->second].num_channels;
+    channel_pair_[spec.id.value()] = it->second;
+  }
+  for (const HostPair& pair : pairs_) {
+    metrics_.observe_mux_channels(pair.num_channels);
+  }
+  pair_fd_ = std::vector<std::atomic<int>>(2 * pairs_.size());
+  for (auto& fd : pair_fd_) fd.store(-1, std::memory_order_relaxed);
+
   Rng root(config_.seed);
   workers_.reserve(processes.size());
   for (std::size_t i = 0; i < processes.size(); ++i) {
@@ -1064,17 +1302,23 @@ TcpRuntime::TcpRuntime(Topology topology, std::vector<ProcessPtr> processes,
         *this, ProcessId(static_cast<std::uint32_t>(i)),
         std::move(processes[i]), root.fork()));
   }
-  channel_fd_ = std::vector<std::atomic<int>>(topology_.num_channels());
-  for (auto& fd : channel_fd_) fd.store(-1, std::memory_order_relaxed);
   epoch_ = SteadyClock::now();
 }
 
 TcpRuntime::~TcpRuntime() {
   shutdown();
-  for (auto& slot : channel_fd_) {
+  for (auto& slot : pair_fd_) {
     const int fd = slot.exchange(-1);
     if (fd >= 0) ::close(fd);
   }
+}
+
+std::size_t TcpRuntime::max_channels_per_socket() const {
+  std::size_t widest = 0;
+  for (const HostPair& pair : pairs_) {
+    widest = std::max<std::size_t>(widest, pair.num_channels);
+  }
+  return widest;
 }
 
 bool TcpRuntime::start() {
@@ -1082,30 +1326,33 @@ bool TcpRuntime::start() {
   for (auto& worker : workers_) {
     if (!worker->init_sockets()) return false;
   }
-  // Connect every channel: source dials destination's listener and sends
-  // the channel-id hello.  Backlogs hold the pending connections until the
-  // destinations accept below.
-  for (const ChannelSpec& spec : topology_.channels()) {
+  // Connect every pair: side a dials side b's listener and sends the
+  // pair-index hello.  Backlogs hold the pending connections until the
+  // acceptors drain them below.
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return false;
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(workers_[spec.destination.value()]->port());
+    addr.sin_port = htons(workers_[pairs_[p].b]->port());
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       ::close(fd);
       return false;
     }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const std::uint32_t channel_id = spec.id.value();
+    const auto pair_index = static_cast<std::uint32_t>(p);
     std::uint8_t hello[4];
-    std::memcpy(hello, &channel_id, sizeof(channel_id));
+    std::memcpy(hello, &pair_index, sizeof(pair_index));
     if (!write_all(fd, hello, sizeof(hello))) {
       ::close(fd);
       return false;
     }
-    channel_fd_[spec.id.value()].store(fd);
+    apply_pair_socket_options(fd, config_);
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      return false;
+    }
+    pair_fd_[2 * p].store(fd);
   }
   for (auto& worker : workers_) {
     if (!worker->accept_inbound()) return false;
@@ -1118,12 +1365,11 @@ bool TcpRuntime::start() {
 void TcpRuntime::shutdown() {
   if (stopped_.exchange(true)) return;
   for (auto& worker : workers_) worker->request_stop();
-  // Unblock any process thread stuck in a blocking send: half-close every
-  // channel so pending writes fail instead of waiting for a reader that is
-  // itself shutting down.  ::shutdown (unlike ::close) is safe while
-  // another thread uses the fd, and pending inbox data is dropped by
-  // contract.
-  for (const auto& slot : channel_fd_) {
+  // Unblock the reactors: half-close every pair socket so parked writes
+  // fail instead of waiting for a reader that is itself shutting down.
+  // ::shutdown (unlike ::close) is safe while another thread uses the fd,
+  // and pending inbox data is dropped by contract.
+  for (const auto& slot : pair_fd_) {
     const int fd = slot.load();
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
@@ -1168,23 +1414,24 @@ void TcpRuntime::do_send(ProcessId sender, ChannelId channel,
   }
   if (config_.faults) {
     // Reliability path: stage in the sending worker's retransmit window
-    // and transmit under the fault plan.  The channel fd is legitimately
-    // -1 mid-reconnect; the window replays once the new connection is up.
+    // and transmit under the fault plan.  The pair is legitimately down
+    // mid-reconnect; the window replays once the new connection is up.
     workers_[sender.value()]->rel_send_message(channel, message);
     return;
   }
-  const int fd = channel_fd_[channel.value()].load();
-  DDBG_ASSERT(fd >= 0, "channel not connected");
   // do_send runs on the sender's own worker thread, so the frame encodes
-  // into that worker's pooled buffer and queues for the next flush: a
+  // into that worker's pooled buffer and queues on the pair connection: a
   // handler emitting several messages pays one gathered write, and
   // steady-state sends allocate nothing.
-  workers_[sender.value()]->stage_send(channel, fd, message);
+  workers_[sender.value()]->stage_send(channel, message);
 }
 
 void TcpRuntime::half_close_channel(ChannelId channel) {
-  DDBG_ASSERT(channel.value() < channel_fd_.size(), "unknown channel");
-  const int fd = channel_fd_[channel.value()].load();
+  DDBG_ASSERT(channel.value() < channel_pair_.size(), "unknown channel");
+  const ChannelSpec& spec = topology_.channel(channel);
+  const std::uint32_t pair = channel_pair_[channel.value()];
+  const std::uint32_t side = spec.source.value() == pairs_[pair].a ? 0 : 1;
+  const int fd = pair_fd_[2 * pair + side].load();
   if (fd >= 0) ::shutdown(fd, SHUT_WR);
 }
 

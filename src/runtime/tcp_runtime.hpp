@@ -1,20 +1,32 @@
 // TcpRuntime: the distributed deployment substrate.
 //
-// One OS thread per process, and — unlike Runtime's in-memory inboxes —
-// every channel is a real TCP connection over loopback: messages are
-// wire-encoded (net/message.hpp), framed with a 4-byte length prefix,
-// written by the sender's thread and read by the receiver's poll loop.
-// TCP gives exactly the paper's channel model: reliable, FIFO, unbounded
-// (in the kernel's and our userspace buffers).
+// One OS thread per process.  Unlike Runtime's in-memory inboxes, traffic
+// crosses real TCP connections over loopback — but connections are
+// multiplexed: all channels between an unordered process pair share one
+// socket, and every frame carries the 4-byte channel id it belongs to
+// right after the length prefix.  A tree(N,k) tier topology therefore
+// costs O(adjacent pairs) fds, not O(channels).
 //
-// Process implementations, debug shims and the debugger process run on
-// this runtime unchanged; tests drive a full halting wave across sockets.
-// Single-host by construction (loopback), but nothing in the protocol
-// assumes it — the address table is the only thing to change.
+// Each worker runs a level-triggered epoll reactor: fds are registered
+// once and interest sets are mutated on state change (EPOLLOUT is armed
+// only while a pair's out-queue is blocked on a full socket buffer, and a
+// dead fd is deleted from the set, never re-polled).  Writes are
+// nonblocking gathered sendmsg calls under an adaptive byte budget that
+// grows while backpressure persists; EAGAIN and partial writes park the
+// queue on EPOLLOUT instead of spinning or blocking the worker.
+//
+// TCP still gives exactly the paper's channel model per channel: reliable,
+// FIFO, unbounded (one stream carries each pair's channels in order, so
+// per-channel FIFO is preserved).  Process implementations, debug shims
+// and the debugger process run on this runtime unchanged; tests drive a
+// full halting wave across sockets.  Single-host by construction
+// (loopback), but nothing in the protocol assumes it — the address table
+// is the only thing to change.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -33,14 +45,20 @@ namespace ddbg {
 struct TcpRuntimeConfig {
   std::uint64_t seed = 1;
   // Fault adversary.  When set, every frame carries a reliability header
-  // (per-channel sequence numbers out, cumulative acks back on the same
-  // socket), sends are held in a retransmit window until acked, and a
-  // connection reset — injected or real — triggers reconnect-with-resync:
-  // the source re-dials the destination's listener and replays every
-  // unacked frame, with the receiver suppressing what it already saw.
-  // Null (default) keeps the bare-TCP fast path untouched.
+  // after its channel id (per-channel sequence numbers out, cumulative
+  // acks back on the same pair socket), sends are held in a retransmit
+  // window until acked, and a connection reset — injected or real —
+  // triggers reconnect-with-resync: the pair's dialer side re-dials the
+  // acceptor's listener and both sides replay every unacked frame, with
+  // receivers suppressing what they already saw.  Null (default) keeps
+  // the bare-TCP fast path untouched.
   std::shared_ptr<FaultPlan> faults;
   ReliableConfig reliable;
+  // Socket-buffer overrides applied to every pair socket; 0 keeps the
+  // kernel default.  Tests set a tiny SO_SNDBUF to force EAGAIN/partial
+  // writes on the nonblocking send path deterministically.
+  int sndbuf_bytes = 0;
+  int rcvbuf_bytes = 0;
 };
 
 class TcpRuntime {
@@ -52,8 +70,8 @@ class TcpRuntime {
   TcpRuntime(const TcpRuntime&) = delete;
   TcpRuntime& operator=(const TcpRuntime&) = delete;
 
-  // Bind/listen/connect all channels, then launch the process threads.
-  // Returns false (with everything torn down) if socket setup fails.
+  // Bind/listen/connect one socket per host pair, then launch the process
+  // threads.  Returns false (with everything torn down) if setup fails.
   bool start();
   void shutdown();
 
@@ -75,12 +93,18 @@ class TcpRuntime {
   }
   [[nodiscard]] TimePoint now() const;
 
-  // Fault injection for tests: half-close the sending side of `channel`
-  // so its destination observes EOF mid-run.  Subsequent sends on the
-  // channel fail (and are logged) like any dead-peer write.
+  // Multiplexing introspection: how many TCP connections carry how many
+  // channels.  The soak bench asserts data_socket_count() << num_channels.
+  [[nodiscard]] std::size_t data_socket_count() const { return pairs_.size(); }
+  [[nodiscard]] std::size_t max_channels_per_socket() const;
+
+  // Fault injection for tests: half-close the sending direction of
+  // `channel`'s pair socket so its destination observes EOF mid-run.
+  // Subsequent sends by that side (on any channel of the pair) fail and
+  // are counted like any dead-peer write.
   void half_close_channel(ChannelId channel);
   // Total reactor loop iterations across all workers — a diagnostic for
-  // busy-spin regressions (a dead fd left in the poll set makes this grow
+  // busy-spin regressions (a dead fd left registered would make this grow
   // without bound while the runtime idles).  Not part of the metrics JSON.
   [[nodiscard]] std::uint64_t poll_iterations() const;
 
@@ -88,17 +112,29 @@ class TcpRuntime {
   friend class TcpProcessContext;
   class Worker;
 
+  // An unordered process pair with at least one channel; exactly one TCP
+  // connection realizes it.  Side 0 is a's end (a <= b; a dials at startup
+  // and re-dials after a loss), side 1 is b's end (accepted).
+  struct HostPair {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t num_channels = 0;
+  };
+
   void do_send(ProcessId sender, ChannelId channel, Message message);
 
   Topology topology_;
   TcpRuntimeConfig config_;
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  // fd of the sending end of each channel (owned by the source's worker).
-  // Atomic because with reliability enabled the source worker replaces the
+  std::vector<HostPair> pairs_;
+  std::vector<std::uint32_t> channel_pair_;  // ChannelId -> pair index
+  std::vector<std::vector<std::uint32_t>> pairs_of_process_;
+  // fd of each end of each pair connection, indexed 2 * pair + side.
+  // Atomic because with reliability enabled the owning worker replaces the
   // fd on reconnect while shutdown()/half_close_channel() read it from
   // another thread.
-  std::vector<std::atomic<int>> channel_fd_;
+  std::vector<std::atomic<int>> pair_fd_;
   std::atomic<std::uint64_t> next_message_id_{1};
   // Per-runtime (not static): ids restart at 1 for every instance, so runs
   // are deterministic per instance and long test suites cannot wrap.

@@ -578,21 +578,8 @@ TEST(ChaosThreads, HaltingConsistentUnderMixedFaults) {
 // TCP runtime under chaos
 // ---------------------------------------------------------------------------
 
-class TcpHost final : public SessionHost {
- public:
-  explicit TcpHost(TcpRuntime& runtime) : runtime_(runtime) {}
-  void post(ProcessId target,
-            std::function<void(ProcessContext&, Process&)> action) override {
-    runtime_.post(target, std::move(action));
-  }
-  bool wait(const std::function<bool()>& condition,
-            Duration timeout) override {
-    return TcpRuntime::wait_until(condition, timeout);
-  }
-
- private:
-  TcpRuntime& runtime_;
-};
+// TcpHost (the session adapter) now lives in debugger/harness.hpp, shared
+// with the tier harness.
 
 // Emits `count` numbered messages from its on_start burst.
 class Burst final : public Process {

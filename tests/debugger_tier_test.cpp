@@ -522,5 +522,114 @@ TEST(DebuggerTierRuntime, TreeHaltOnThreads) {
   harness.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// TCP runtime: the tier over real sockets (epoll reactor under load)
+// ---------------------------------------------------------------------------
+
+// Moderate-N tree halt over TCP loopback: every convergecast hop is a real
+// socket frame, repeated waves with resumes in between.  Also pins the
+// transport economics — channel multiplexing keeps the socket count below
+// the channel count even with a full control tree wired in.
+TEST(DebuggerTierTcp, TreeHaltAtModerateN) {
+  constexpr std::uint32_t kUsers = 32;
+  GossipConfig gossip;
+  gossip.send_interval = Duration::millis(1);
+  TcpDebugHarness harness(Topology::ring(kUsers), make_gossip(kUsers, gossip),
+                          tier_config(22, 4));
+  const std::size_t channels = harness.topology().channels().size();
+  EXPECT_LT(harness.tcp().data_socket_count(), channels)
+      << "pair muxing should need fewer sockets than channels";
+  ASSERT_TRUE(harness.start());
+  const auto& p0 =
+      dynamic_cast<GossipProcess&>(harness.shim(ProcessId(0)).user());
+  for (std::uint64_t wave_id = 1; wave_id <= 2; ++wave_id) {
+    const std::uint64_t sent_before = p0.sent();
+    ASSERT_TRUE(TcpRuntime::wait_until(
+        [&] { return p0.sent() > sent_before; }, kWait));
+    harness.session().halt();
+    ASSERT_TRUE(TcpRuntime::wait_until(
+        [&] { return harness.debugger().halt_complete(wave_id); }, kWait));
+    auto wave = harness.debugger().halt_wave(wave_id);
+    ASSERT_TRUE(wave.has_value());
+    EXPECT_TRUE(wave->complete);
+    EXPECT_EQ(wave->state.size(), kUsers);
+    EXPECT_TRUE(consistent_cut(wave->state));
+    for (std::uint32_t i = 0; i < kUsers; ++i) {
+      EXPECT_TRUE(harness.shim(ProcessId(i)).halted()) << i;
+    }
+    harness.session().resume();
+  }
+  harness.shutdown();
+  const auto transport =
+      harness.tcp().metrics().snapshot(harness.tcp().now()).transport;
+  EXPECT_GT(transport.epoll_wakeups, 0u);
+  EXPECT_GE(transport.mux_channels_per_socket, 2u);
+}
+
+// A breakpoint armed through the aggregator tier, hit on a socket-borne
+// event, halting through the tier again.  The start gate holds the ring
+// until the arm command has crossed two tier hops.
+TEST(DebuggerTierTcp, BreakpointFiresThroughTierOverSockets) {
+  TokenRingConfig ring;
+  ring.rounds = 1000;
+  ring.hop_delay = Duration::micros(500);
+  ring.start_gate = std::make_shared<std::atomic<bool>>(false);
+  TcpDebugHarness harness(Topology::ring(6), make_token_ring(6, ring),
+                          tier_config(23, 2));
+  ASSERT_TRUE(harness.start());
+  auto bp = harness.session().set_breakpoint("(p2:event(token))^2");
+  ASSERT_TRUE(bp.ok());
+  ASSERT_TRUE(harness.wait_for_armed(1, kWait));
+  ring.start_gate->store(true, std::memory_order_release);
+  auto wave = harness.session().wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  EXPECT_TRUE(wave->complete);
+  const auto hits = harness.session().hits();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].process, ProcessId(2));
+  EXPECT_EQ(hits[0].breakpoint, bp.value());
+  const auto& p2 =
+      dynamic_cast<TokenRingProcess&>(harness.shim(ProcessId(2)).user());
+  EXPECT_EQ(p2.tokens_seen(), 2u);
+  EXPECT_TRUE(consistent_cut(wave->state));
+  harness.shutdown();
+}
+
+// Connections reset mid-run (including tier control channels), forcing
+// reconnects and resyncs underneath a halt wave; the wave must still
+// complete on a consistent cut over the healed transport.
+TEST(DebuggerTierTcp, ReconnectDuringHaltWave) {
+  GossipConfig gossip;
+  gossip.send_interval = Duration::millis(1);
+  FaultSpec spec;
+  spec.drop = 0.05;
+  spec.reset = 0.04;
+  HarnessConfig config = tier_config(24, 2);
+  config.faults = std::make_shared<FaultPlan>(spec, 24);
+  TcpDebugHarness harness(Topology::ring(8), make_gossip(8, gossip),
+                          std::move(config));
+  ASSERT_TRUE(harness.start());
+  // Let traffic flow until at least one reset has forced a reconnect, so
+  // the halt below crosses a socket that demonstrably went down and back.
+  ASSERT_TRUE(TcpRuntime::wait_until(
+      [&] {
+        return harness.tcp().metrics().snapshot(harness.tcp().now())
+                   .transport.reconnects >= 1;
+      },
+      kWait));
+  harness.session().halt();
+  auto wave = harness.session().wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  EXPECT_TRUE(wave->complete);
+  EXPECT_EQ(wave->state.size(), 8u);
+  EXPECT_TRUE(consistent_cut(wave->state));
+  harness.shutdown();
+  const auto transport =
+      harness.tcp().metrics().snapshot(harness.tcp().now()).transport;
+  EXPECT_GT(transport.faults_injected[fault_index(FaultKind::kReset)], 0u);
+  EXPECT_GT(transport.reconnects, 0u);
+  EXPECT_GT(transport.resync_replayed, 0u);
+}
+
 }  // namespace
 }  // namespace ddbg

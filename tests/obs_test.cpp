@@ -365,6 +365,8 @@ TEST(MetricsGolden, TinyTokenRingTraceAndJsonArePinned) {
       R"("control":0}},"transport":{"pool_hits":1,"pool_misses":1,)"
       R"("deliver_batches":2,"deliver_batch_messages":2,"max_deliver_batch":1,)"
       R"("write_batches":0,"write_batch_frames":0,"max_write_batch":0,)"
+      R"("epoll_wakeups":0,"frames_per_wakeup_max":0,"eagain_deferrals":0,)"
+      R"("mux_channels_per_socket":0,)"
       R"("faults_injected":{"drop":0,"duplicate":0,"reorder":0,"delay":0,)"
       R"("partition":0,"reset":0},"retransmits":0,"dup_suppressed":0,)"
       R"("reconnects":0,"resync_replayed":0,"channel_down":0},"tier":{)"

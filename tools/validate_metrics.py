@@ -19,8 +19,10 @@ LATENCY_KEYS = {"count", "total_ns", "min_ns", "max_ns"}
 TRANSPORT_KEYS = {
     "pool_hits", "pool_misses", "deliver_batches", "deliver_batch_messages",
     "max_deliver_batch", "write_batches", "write_batch_frames",
-    "max_write_batch", "faults_injected", "retransmits", "dup_suppressed",
-    "reconnects", "resync_replayed", "channel_down",
+    "max_write_batch", "epoll_wakeups", "frames_per_wakeup_max",
+    "eagain_deferrals", "mux_channels_per_socket", "faults_injected",
+    "retransmits", "dup_suppressed", "reconnects", "resync_replayed",
+    "channel_down",
 }
 FAULT_KINDS = ["drop", "duplicate", "reorder", "delay", "partition", "reset"]
 TIER_KEYS = {"tree_fanout", "acks_aggregated", "markers_suppressed"}
@@ -129,6 +131,26 @@ def check_snapshot(snap, where):
            f"{where}.transport: max_deliver_batch exceeds total")
     expect(transport["write_batch_frames"] >= transport["max_write_batch"],
            f"{where}.transport: max_write_batch exceeds total frames")
+    # Epoll reactor counters only move on the TCP substrate, and a parsed
+    # frame or a deferred write implies the reactor actually woke up.
+    if snap.get("runtime") != "tcp":
+        for key in ("epoll_wakeups", "frames_per_wakeup_max",
+                    "eagain_deferrals", "mux_channels_per_socket"):
+            expect(transport[key] == 0,
+                   f"{where}.transport: {key} nonzero off the tcp runtime")
+    expect(transport["frames_per_wakeup_max"] == 0 or
+           transport["epoll_wakeups"] > 0,
+           f"{where}.transport: frames parsed without any epoll wakeup")
+    expect(transport["eagain_deferrals"] == 0 or
+           transport["epoll_wakeups"] > 0,
+           f"{where}.transport: eagain deferrals without any epoll wakeup")
+    # A wakeup cannot retire more frames than were ever delivered plus the
+    # reliability traffic (acks/duplicates) that rides the same sockets; the
+    # cheap sound bound is against total frames written.
+    expect(transport["frames_per_wakeup_max"] == 0 or
+           transport["write_batch_frames"] > 0 or
+           totals["messages_delivered"] > 0,
+           f"{where}.transport: frames_per_wakeup_max without any traffic")
 
     tier = snap.get("tier")
     expect(isinstance(tier, dict) and set(tier) == TIER_KEYS,

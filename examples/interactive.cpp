@@ -1,25 +1,24 @@
-// An interactive distributed-debugger session on the *multithreaded*
-// runtime: a gossip ring runs on real threads while you set breakpoints,
-// halt, inspect and resume from the keyboard.
+// An interactive distributed-debugger session over the real control-socket
+// protocol: a gossip ring runs on the TCP runtime with a SessionServer
+// attached, and this process connects to its own control port like any
+// external `ddbg` client would — same parser, same wire format, same
+// command set (debugger/session_repl.hpp):
 //
-// Commands:
-//   break <expr>      set a breakpoint, e.g.  break p1:sent>=20
-//   clear <id>        remove a breakpoint
-//   halt              halt the computation consistently
-//   state             show the halted global state S_h
-//   snapshot          take a C&L recording without stopping anything
-//   inspect <pid>     query one process's live state
-//   hits              list breakpoint hits
-//   resume            continue the halted computation
-//   quit              shut down
+//   break <expr>   clear <id>   halt   state   snapshot   inspect <pid>
+//   deadlock       hits         metrics        resume     quit
 //
 // When stdin is closed (e.g. piped), a scripted demo session runs instead.
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "debugger/harness.hpp"
+#include "debugger/session_client.hpp"
+#include "debugger/session_repl.hpp"
+#include "debugger/session_server.hpp"
 #include "workload/behaviors.hpp"
 
 using namespace ddbg;
@@ -27,122 +26,25 @@ using namespace ddbg;
 namespace {
 
 constexpr std::uint32_t kProcesses = 4;
-constexpr Duration kWait = Duration::seconds(10);
 
-void show_wave(const DebuggerProcess::WaveInfo& wave) {
-  std::printf("%s", wave.state.describe().c_str());
-  std::printf("halt order:\n");
-  for (const auto& [process, path] : wave.halt_paths) {
-    std::printf("  %s via [", to_string(process).c_str());
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      std::printf("%s%s", i ? "," : "", to_string(path[i]).c_str());
-    }
-    std::printf("]%s\n", path.empty() ? " (initiator)" : "");
-  }
-}
-
-bool handle(RuntimeDebugHarness& harness, const std::string& line) {
-  std::istringstream input(line);
-  std::string command;
-  input >> command;
-  if (command.empty()) return true;
-
-  if (command == "quit" || command == "exit") return false;
-
-  if (command == "break") {
-    std::string expr;
-    std::getline(input, expr);
-    auto bp = harness.session().set_breakpoint(expr);
-    if (bp.ok()) {
-      std::printf("breakpoint #%u armed: %s\n", bp.value().value(),
-                  expr.c_str());
-    } else {
-      std::printf("error: %s\n", bp.error().to_string().c_str());
-    }
-    return true;
-  }
-  if (command == "clear") {
-    std::uint32_t id = 0;
-    input >> id;
-    harness.session().clear_breakpoint(BreakpointId(id));
-    std::printf("breakpoint #%u cleared\n", id);
-    return true;
-  }
-  if (command == "halt") {
-    harness.session().halt();
-    auto wave = harness.session().wait_for_halt(kWait);
-    if (wave.has_value()) {
-      std::printf("halted (wave %llu)\n",
-                  static_cast<unsigned long long>(wave->id));
-    } else {
-      std::printf("halt did not complete in time\n");
-    }
-    return true;
-  }
-  if (command == "state") {
-    auto wave = harness.debugger().latest_halt_wave();
-    if (wave.has_value() && wave->complete) {
-      show_wave(*wave);
-    } else {
-      std::printf("no complete halted state; use 'halt' or wait for a "
-                  "breakpoint\n");
-    }
-    return true;
-  }
-  if (command == "snapshot") {
-    auto wave = harness.session().take_snapshot(kWait);
-    if (wave.has_value()) {
-      std::printf("%s", wave->state.describe().c_str());
-    } else {
-      std::printf("recording did not complete in time\n");
-    }
-    return true;
-  }
-  if (command == "inspect") {
-    std::uint32_t pid = 0;
-    input >> pid;
-    auto report = harness.session().inspect(ProcessId(pid), kWait);
-    if (report.has_value()) {
-      std::printf("%s: %s\n", to_string(report->process).c_str(),
-                  report->description.c_str());
-    } else {
-      std::printf("no report from p%u\n", pid);
-    }
-    return true;
-  }
-  if (command == "hits") {
-    for (const auto& hit : harness.session().hits()) {
-      std::printf("  #%u at %s: %s\n", hit.breakpoint.value(),
-                  to_string(hit.process).c_str(), hit.description.c_str());
-    }
-    return true;
-  }
-  if (command == "resume") {
-    harness.session().resume();
-    std::printf("resumed\n");
-    return true;
-  }
-  std::printf("unknown command '%s'\n", command.c_str());
-  return true;
-}
-
-void scripted_demo(RuntimeDebugHarness& harness) {
+int scripted_demo(SessionClient& client) {
   std::printf("\n(stdin closed; running scripted demo)\n\n");
-  const char* script[] = {
-      "inspect 0",       "break p2:sent>=10", "hits", "state",
-      "resume",          "snapshot",          "halt", "state",
-      "resume",          "inspect 1",
-  };
-  for (const char* line : script) {
-    std::printf("ddbg> %s\n", line);
-    if (line == std::string("hits") || line == std::string("state")) {
-      // Give the breakpoint a moment to fire before reading results.
-      Runtime::wait_until(
-          [&] { return harness.debugger().latest_halt_complete(); },
-          Duration::seconds(5));
-    }
-    handle(harness, line);
-  }
+  const char* script =
+      "inspect 0\n"
+      "break p2:sent>=10\n"
+      "expect breakpoint\n"
+      "halt\n"
+      "expect halted\n"
+      "state\n"
+      "hits\n"
+      "resume\n"
+      "expect resumed\n"
+      "snapshot\n"
+      "quit\n";
+  std::istringstream in(script);
+  ReplConfig config;
+  config.interactive = false;  // echo commands, stop on first failure
+  return run_repl(client, in, std::cout, config);
 }
 
 }  // namespace
@@ -150,25 +52,50 @@ void scripted_demo(RuntimeDebugHarness& harness) {
 int main() {
   GossipConfig gossip;
   gossip.send_interval = Duration::millis(1);
-  RuntimeDebugHarness harness(Topology::ring(kProcesses),
-                              make_gossip(kProcesses, gossip));
-  harness.start();
-  std::printf("gossip ring of %u processes running on %u threads; "
-              "type 'halt', 'break p1:sent>=20', ...\n",
-              kProcesses, kProcesses + 1);
+  TcpDebugHarness harness(Topology::ring(kProcesses),
+                          make_gossip(kProcesses, gossip));
 
-  std::string line;
-  bool interactive = false;
-  std::printf("ddbg> ");
-  std::fflush(stdout);
-  while (std::getline(std::cin, line)) {
-    interactive = true;
-    if (!handle(harness, line)) break;
-    std::printf("ddbg> ");
-    std::fflush(stdout);
+  TcpHost host(harness.tcp());
+  SessionServerConfig scfg;
+  scfg.num_user_processes = kProcesses;
+  SessionServer server(host, harness.debugger(), harness.debugger_id(),
+                       &harness.tcp().metrics(), scfg);
+  server.set_metrics_json_source([&harness] {
+    return harness.tcp().metrics().snapshot(harness.tcp().now()).to_json();
+  });
+  harness.tcp().set_control_acceptor(server.acceptor());
+
+  if (!harness.start()) {
+    std::printf("runtime failed to start\n");
+    return 1;
   }
-  if (!interactive) scripted_demo(harness);
+  std::printf("gossip ring of %u processes on the TCP runtime; control "
+              "port %u (try `ddbg --port %u` from another terminal)\n",
+              kProcesses, harness.tcp().control_port(),
+              harness.tcp().control_port());
+
+  SessionClient client;
+  if (auto status = client.connect(harness.tcp().control_port());
+      !status.ok()) {
+    std::printf("connect failed: %s\n", status.error().message().c_str());
+    return 1;
+  }
+
+  int code = 0;
+  if (::isatty(STDIN_FILENO) != 0) {
+    ReplConfig config;  // interactive defaults
+    code = run_repl(client, std::cin, std::cout, config);
+  } else if (std::cin.peek() != std::istream::traits_type::eof()) {
+    ReplConfig config;  // piped script: batch semantics
+    config.interactive = false;
+    code = run_repl(client, std::cin, std::cout, config);
+  } else {
+    code = scripted_demo(client);
+  }
+
+  client.close();
+  server.stop();
   harness.shutdown();
   std::printf("bye\n");
-  return 0;
+  return code;
 }

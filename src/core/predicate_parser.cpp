@@ -1,6 +1,7 @@
 #include "core/predicate_parser.hpp"
 
 #include <cctype>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,18 @@ struct Token {
   TokenKind kind;
   std::string text;
   std::int64_t number = 0;
+  // Byte offset of the token's first character in the input, so parse
+  // errors can say *where* ("syntax error at column k", 1-based).
+  std::size_t pos = 0;
 };
+
+// All parse diagnostics carry a 1-based column so interactive frontends can
+// point at the offending character.
+Error parse_error_at(std::size_t pos, const std::string& detail) {
+  return Error(ErrorCode::kParseError, "syntax error at column " +
+                                           std::to_string(pos + 1) + ": " +
+                                           detail);
+}
 
 class Lexer {
  public:
@@ -52,7 +64,7 @@ class Lexer {
         tokens.push_back(std::move(tok).value());
       }
     }
-    tokens.push_back(Token{TokenKind::kEnd, "", 0});
+    tokens.push_back(Token{TokenKind::kEnd, "", 0, input_.size()});
     return tokens;
   }
 
@@ -72,7 +84,7 @@ class Lexer {
       ++pos_;
     }
     return Token{TokenKind::kIdent,
-                 std::string(input_.substr(start, pos_ - start)), 0};
+                 std::string(input_.substr(start, pos_ - start)), 0, start};
   }
 
   Result<Token> integer() {
@@ -80,25 +92,30 @@ class Lexer {
     const std::size_t start = pos_;
     while (pos_ < input_.size() &&
            std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
-      value = value * 10 + (input_[pos_] - '0');
-      if (pos_ - start > 18) {
-        return Error(ErrorCode::kParseError, "integer literal too long");
+      const std::int64_t digit = input_[pos_] - '0';
+      // Guard *before* multiplying: a 19-digit literal can exceed
+      // INT64_MAX mid-accumulation, and signed overflow is UB, not a
+      // wrapped value we could range-check afterwards.
+      if (value > (std::numeric_limits<std::int64_t>::max() - digit) / 10) {
+        return parse_error_at(start, "integer literal out of range");
       }
+      value = value * 10 + digit;
       ++pos_;
     }
-    return Token{TokenKind::kInt, "", value};
+    return Token{TokenKind::kInt, "", value, start};
   }
 
   Result<Token> symbol() {
+    const std::size_t start = pos_;
     const char c = input_[pos_];
     const char next = pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
     auto two = [&](TokenKind kind, const char* text) {
       pos_ += 2;
-      return Token{kind, text, 0};
+      return Token{kind, text, 0, start};
     };
     auto one = [&](TokenKind kind, const char* text) {
       pos_ += 1;
-      return Token{kind, text, 0};
+      return Token{kind, text, 0, start};
     };
     switch (c) {
       case ':': return one(TokenKind::kColon, ":");
@@ -117,6 +134,7 @@ class Lexer {
           if (!tok.ok()) return tok.error();
           Token negated = std::move(tok).value();
           negated.number = -negated.number;
+          negated.pos = start;
           return negated;
         }
         break;
@@ -135,8 +153,8 @@ class Lexer {
         return one(TokenKind::kCompare, ">");
       default: break;
     }
-    return Error(ErrorCode::kParseError,
-                 std::string("unexpected character '") + c + "'");
+    return parse_error_at(start,
+                          std::string("unexpected character '") + c + "'");
   }
 
   std::string_view input_;
@@ -183,8 +201,11 @@ class Parser {
 
   Status expect(TokenKind kind) {
     if (peek().kind != kind) {
-      return Error(ErrorCode::kParseError,
-                   "unexpected token '" + peek().text + "'");
+      if (peek().kind == TokenKind::kEnd) {
+        return parse_error_at(peek().pos, "unexpected end of input");
+      }
+      return parse_error_at(peek().pos,
+                            "unexpected token '" + peek().text + "'");
     }
     ++pos_;
     return Status::ok_status();
@@ -209,8 +230,8 @@ class Parser {
       if (!match(TokenKind::kAmp)) break;
     }
     if (cp.terms.size() < 2) {
-      return Error(ErrorCode::kParseError,
-                   "conjunction needs at least two terms");
+      return parse_error_at(peek().pos,
+                            "conjunction needs at least two terms");
     }
     BreakpointSpec spec;
     spec.kind = BreakpointSpec::Kind::kConjunctive;
@@ -225,13 +246,14 @@ class Parser {
   Status parse_suffixes(BreakpointSpec& spec) {
     while (match(TokenKind::kLBracket)) {
       if (peek().kind != TokenKind::kIdent) {
-        return Error(ErrorCode::kParseError, "expected modifier after '['");
+        return parse_error_at(peek().pos, "expected modifier after '['");
       }
-      const std::string name = consume().text;
+      const Token mod = consume();
+      const std::string& name = mod.text;
       if (name == "unordered" || name == "ordered") {
         if (spec.kind != BreakpointSpec::Kind::kConjunctive) {
-          return Error(ErrorCode::kParseError,
-                       "'" + name + "' applies only to conjunctions");
+          return parse_error_at(mod.pos,
+                                "'" + name + "' applies only to conjunctions");
         }
         spec.mode = name == "unordered" ? ConjunctionMode::kUnordered
                                         : ConjunctionMode::kOrdered;
@@ -240,8 +262,7 @@ class Parser {
       } else if (name == "halt") {
         spec.action = BreakpointAction::kHalt;
       } else {
-        return Error(ErrorCode::kParseError,
-                     "unknown modifier '" + name + "'");
+        return parse_error_at(mod.pos, "unknown modifier '" + name + "'");
       }
       if (auto s = expect(TokenKind::kRBracket); !s.ok()) return s.error();
     }
@@ -267,11 +288,12 @@ class Parser {
       std::uint32_t repeat = 1;
       if (match(TokenKind::kCaret)) {
         if (peek().kind != TokenKind::kInt) {
-          return Error(ErrorCode::kParseError, "expected count after '^'");
+          return parse_error_at(peek().pos, "expected count after '^'");
         }
-        const std::int64_t count = consume().number;
+        const Token count_tok = consume();
+        const std::int64_t count = count_tok.number;
         if (count < 1 || count > 1'000'000) {
-          return Error(ErrorCode::kParseError, "repetition out of range");
+          return parse_error_at(count_tok.pos, "repetition out of range");
         }
         repeat = static_cast<std::uint32_t>(count);
       }
@@ -296,29 +318,45 @@ class Parser {
   Result<SimplePredicate> parse_atom() {
     // PROC ":" sp, where PROC is an identifier like "p3".
     if (peek().kind != TokenKind::kIdent) {
-      return Error(ErrorCode::kParseError,
-                   "expected process name (e.g. p0), got '" + peek().text +
-                       "'");
+      if (peek().kind == TokenKind::kEnd) {
+        return parse_error_at(peek().pos,
+                              "expected process name (e.g. p0)");
+      }
+      return parse_error_at(peek().pos,
+                            "expected process name (e.g. p0), got '" +
+                                peek().text + "'");
     }
-    const std::string proc = consume().text;
+    const Token proc_tok = consume();
+    const std::string& proc = proc_tok.text;
     if (proc.size() < 2 || proc[0] != 'p') {
-      return Error(ErrorCode::kParseError,
-                   "process name must look like p<N>: '" + proc + "'");
+      return parse_error_at(proc_tok.pos,
+                            "process name must look like p<N>: '" + proc +
+                                "'");
     }
-    std::uint32_t proc_num = 0;
+    std::uint64_t proc_num = 0;
     for (std::size_t i = 1; i < proc.size(); ++i) {
       if (!std::isdigit(static_cast<unsigned char>(proc[i]))) {
-        return Error(ErrorCode::kParseError,
-                     "process name must look like p<N>: '" + proc + "'");
+        return parse_error_at(proc_tok.pos,
+                              "process name must look like p<N>: '" + proc +
+                                  "'");
       }
-      proc_num = proc_num * 10 + static_cast<std::uint32_t>(proc[i] - '0');
+      proc_num = proc_num * 10 + static_cast<std::uint64_t>(proc[i] - '0');
+      // Process ids are 32-bit; bail before a long digit run wraps the
+      // accumulator (also caps the loop so 64-bit overflow is unreachable).
+      if (proc_num > std::numeric_limits<std::uint32_t>::max()) {
+        return parse_error_at(proc_tok.pos,
+                              "process number out of range: '" + proc + "'");
+      }
     }
-    const ProcessId process(proc_num);
+    const ProcessId process(static_cast<std::uint32_t>(proc_num));
     if (auto s = expect(TokenKind::kColon); !s.ok()) return s.error();
 
     if (peek().kind != TokenKind::kIdent) {
-      return Error(ErrorCode::kParseError,
-                   "expected predicate after ':', got '" + peek().text + "'");
+      if (peek().kind == TokenKind::kEnd) {
+        return parse_error_at(peek().pos, "expected predicate after ':'");
+      }
+      return parse_error_at(peek().pos, "expected predicate after ':', got '" +
+                                            peek().text + "'");
     }
     const std::string word = consume().text;
 
@@ -331,12 +369,14 @@ class Parser {
         -> Result<SimplePredicate> {
       if (!match(TokenKind::kLParen)) return sp;
       if (peek().kind != TokenKind::kInt) {
-        return Error(ErrorCode::kParseError,
-                     "expected channel number inside ()");
+        return parse_error_at(peek().pos,
+                              "expected channel number inside ()");
       }
-      const std::int64_t channel = consume().number;
-      if (channel < 0) {
-        return Error(ErrorCode::kParseError, "channel must be non-negative");
+      const Token channel_tok = consume();
+      const std::int64_t channel = channel_tok.number;
+      if (channel < 0 ||
+          channel > std::numeric_limits<std::uint32_t>::max()) {
+        return parse_error_at(channel_tok.pos, "channel number out of range");
       }
       sp.channel_filter = ChannelId(static_cast<std::uint32_t>(channel));
       if (auto s = expect(TokenKind::kRParen); !s.ok()) return s.error();
@@ -361,7 +401,7 @@ class Parser {
     if (!is_comparison && (word == "event" || word == "enter")) {
       if (auto s = expect(TokenKind::kLParen); !s.ok()) return s.error();
       if (peek().kind != TokenKind::kIdent) {
-        return Error(ErrorCode::kParseError, "expected name inside ()");
+        return parse_error_at(peek().pos, "expected name inside ()");
       }
       const std::string name = consume().text;
       if (auto s = expect(TokenKind::kRParen); !s.ok()) return s.error();
@@ -371,8 +411,9 @@ class Parser {
     }
     // Otherwise a watched-variable comparison: IDENT CMP INT.
     if (peek().kind != TokenKind::kCompare) {
-      return Error(ErrorCode::kParseError,
-                   "expected comparison after variable '" + word + "'");
+      return parse_error_at(peek().pos,
+                            "expected comparison after variable '" + word +
+                                "'");
     }
     const std::string op_text = consume().text;
     CompareOp op = CompareOp::kNone;
@@ -383,8 +424,8 @@ class Parser {
     else if (op_text == ">") op = CompareOp::kGt;
     else if (op_text == ">=") op = CompareOp::kGe;
     if (peek().kind != TokenKind::kInt) {
-      return Error(ErrorCode::kParseError, "expected integer after '" +
-                                               op_text + "'");
+      return parse_error_at(peek().pos,
+                            "expected integer after '" + op_text + "'");
     }
     const std::int64_t value = consume().number;
     return SimplePredicate::var_compare(process, word, op, value);

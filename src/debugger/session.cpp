@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 namespace ddbg {
 
@@ -20,13 +21,30 @@ bool DebuggerSession::call(std::function<void(ProcessContext&)> action,
 Result<BreakpointId> DebuggerSession::set_breakpoint(
     std::string_view expression, Duration timeout) {
   auto spec = parse_breakpoint(expression);
+  // Parse failure and arm failure are different user mistakes; keep the
+  // parse error (with its column) distinct from the timeout below.
   if (!spec.ok()) return spec.error();
-  const BreakpointId bp = set_breakpoint(spec.value(), timeout);
-  if (!bp.valid()) {
+  return arm_breakpoint(spec.value(), timeout);
+}
+
+Result<BreakpointId> DebuggerSession::arm_breakpoint(
+    const BreakpointSpec& spec, Duration timeout) {
+  auto id = std::make_shared<BreakpointId>();
+  const bool acked = call(
+      [this, spec, id](ProcessContext& ctx) {
+        *id = debugger_.set_breakpoint(ctx, spec);
+      },
+      timeout);
+  if (!acked) {
+    return Error(ErrorCode::kTimeout,
+                 "target did not ack arm within " +
+                     std::to_string(timeout.ns / 1'000'000) + "ms");
+  }
+  if (!id->valid()) {
     return Error(ErrorCode::kInvalidArgument,
                  "breakpoint names a process outside the topology");
   }
-  return bp;
+  return *id;
 }
 
 BreakpointId DebuggerSession::set_breakpoint(const BreakpointSpec& spec,

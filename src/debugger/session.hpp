@@ -49,8 +49,15 @@ class DebuggerSession {
   // ---- breakpoints ----
   // Parse and register a breakpoint from the text syntax (see
   // core/predicate_parser.hpp).  Arming is asynchronous; the returned id is
-  // final.
+  // final.  Failures are distinguishable by code: kParseError carries
+  // "syntax error at column k", kTimeout means the debugger never
+  // acknowledged the registration, kInvalidArgument means the expression
+  // parsed but names a process outside the topology.
   Result<BreakpointId> set_breakpoint(std::string_view expression,
+                                      Duration timeout = Duration::seconds(5));
+  // Register an already-parsed spec, with the same kTimeout /
+  // kInvalidArgument distinction.
+  Result<BreakpointId> arm_breakpoint(const BreakpointSpec& spec,
                                       Duration timeout = Duration::seconds(5));
   BreakpointId set_breakpoint(const BreakpointSpec& spec,
                               Duration timeout = Duration::seconds(5));

@@ -1,0 +1,124 @@
+#include "debugger/session_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ddbg {
+
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SessionClient::~SessionClient() { close(); }
+
+void SessionClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SessionClient::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Error(ErrorCode::kInternal,
+                 std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    return Error(ErrorCode::kInternal,
+                 "connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                     std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  parser_ = FrameParser();
+  return Status::ok_status();
+}
+
+Result<SessionResponse> SessionClient::call(SessionOp op, std::string text,
+                                            std::int64_t number,
+                                            Duration timeout) {
+  if (fd_ < 0) {
+    return Error(ErrorCode::kFailedPrecondition, "not connected");
+  }
+  SessionRequest request;
+  request.req_id = next_req_id_++;
+  request.op = op;
+  request.text = std::move(text);
+  request.number = number;
+
+  Bytes frame;
+  const std::size_t header_at = begin_frame(frame);
+  ByteWriter writer(frame);
+  request.encode(writer);
+  end_frame(frame, header_at);
+  if (!send_all(fd_, frame.data(), frame.size())) {
+    return Error(ErrorCode::kInternal, "send failed: connection lost");
+  }
+
+  timeval tv{};
+  tv.tv_sec = timeout.ns / 1'000'000'000;
+  tv.tv_usec = (timeout.ns % 1'000'000'000) / 1'000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::uint8_t chunk[4096];
+  while (true) {
+    if (const auto body = parser_.next()) {
+      auto response = SessionResponse::decode(*body);
+      if (!response.ok()) return response.error();
+      if (response.value().req_id != request.req_id) {
+        return Error(ErrorCode::kInternal,
+                     "response id " +
+                         std::to_string(response.value().req_id) +
+                         " does not match request " +
+                         std::to_string(request.req_id));
+      }
+      return std::move(response).value();
+    }
+    if (parser_.corrupt()) {
+      return Error(ErrorCode::kParseError, "corrupt response frame");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      parser_.append(
+          std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Error(ErrorCode::kTimeout, "no response within " +
+                                            std::to_string(timeout.ns /
+                                                           1'000'000) +
+                                            "ms");
+    }
+    return Error(ErrorCode::kShutdown, "server closed the connection");
+  }
+}
+
+}  // namespace ddbg

@@ -1,0 +1,43 @@
+// SessionClient: blocking client side of the control-socket protocol
+// (session_protocol.hpp).  Used by the ddbg CLI and by tests; one
+// connection, strict request/response, synchronous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "debugger/session_protocol.hpp"
+#include "net/framing.hpp"
+
+namespace ddbg {
+
+class SessionClient {
+ public:
+  SessionClient() = default;
+  ~SessionClient();
+
+  SessionClient(const SessionClient&) = delete;
+  SessionClient& operator=(const SessionClient&) = delete;
+
+  // Connect to the target's control listener on loopback.
+  [[nodiscard]] Status connect(std::uint16_t port);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Send one request and block for its response.  `timeout` bounds the
+  // wait for the response frame (SO_RCVTIMEO); an error Result means the
+  // transport failed — a protocol-level failure comes back as a
+  // SessionResponse with a nonzero status.
+  [[nodiscard]] Result<SessionResponse> call(
+      SessionOp op, std::string text = {}, std::int64_t number = 0,
+      Duration timeout = Duration::seconds(10));
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_req_id_ = 1;
+  FrameParser parser_;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,221 @@
+#include "debugger/session_repl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace ddbg {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Split "word rest..." at the first run of whitespace.
+std::pair<std::string_view, std::string_view> split_word(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  return {s.substr(0, i), trim(s.substr(i))};
+}
+
+Result<std::int64_t> parse_number(std::string_view word,
+                                  const char* what) {
+  std::string_view digits = word;
+  if (!digits.empty() && (digits.front() == 'p' || digits.front() == 'P')) {
+    digits.remove_prefix(1);  // accept "p3" for process operands
+  }
+  if (digits.empty()) {
+    return Error(ErrorCode::kParseError,
+                 std::string(what) + " expects a number");
+  }
+  std::int64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      return Error(ErrorCode::kParseError,
+                   std::string(what) + ": '" + std::string(word) +
+                       "' is not a number");
+    }
+    const std::int64_t digit = c - '0';
+    if (value > (std::numeric_limits<std::int64_t>::max() - digit) / 10) {
+      return Error(ErrorCode::kParseError,
+                   std::string(what) + ": number out of range");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string repl_help() {
+  return
+      "commands:\n"
+      "  break <expr>     arm a breakpoint (e.g. p0:event(token) -> p2:recv)\n"
+      "  clear <id>       remove breakpoint <id>\n"
+      "  halt             halt the computation, wait for a complete S_h\n"
+      "  state            print the latest complete halt state\n"
+      "  snapshot         take a Chandy-Lamport recording (monitor-only)\n"
+      "  inspect <pid>    query one process's state (\"p3\" or \"3\")\n"
+      "  deadlock         analyze the latest halt state for deadlock\n"
+      "  hits             list recorded breakpoint hits\n"
+      "  metrics          dump the target's metrics JSON\n"
+      "  resume           resume the halted computation\n"
+      "  quit             end the session\n"
+      "  expect <substr>  (batch) assert the last response contains <substr>\n"
+      "  help             this list";
+}
+
+Result<ReplLine> parse_repl_line(std::string_view raw) {
+  const std::string_view line = trim(raw);
+  ReplLine out;
+  if (line.empty() || line.front() == '#') return out;  // kEmpty
+
+  const auto [word, rest] = split_word(line);
+  if (word == "help") {
+    out.kind = ReplLine::Kind::kHelp;
+    return out;
+  }
+  if (word == "expect") {
+    if (rest.empty()) {
+      return Error(ErrorCode::kParseError, "expect needs a substring");
+    }
+    out.kind = ReplLine::Kind::kExpect;
+    out.text = std::string(rest);
+    return out;
+  }
+
+  out.kind = ReplLine::Kind::kCommand;
+  if (word == "break") {
+    if (rest.empty()) {
+      return Error(ErrorCode::kParseError, "break needs an expression");
+    }
+    out.op = SessionOp::kBreak;
+    out.text = std::string(rest);
+    return out;
+  }
+  if (word == "clear") {
+    auto id = parse_number(rest, "clear");
+    if (!id.ok()) return id.error();
+    out.op = SessionOp::kClear;
+    out.number = id.value();
+    return out;
+  }
+  if (word == "inspect") {
+    auto pid = parse_number(rest, "inspect");
+    if (!pid.ok()) return pid.error();
+    out.op = SessionOp::kInspect;
+    out.number = pid.value();
+    return out;
+  }
+
+  struct Bare {
+    std::string_view name;
+    SessionOp op;
+  };
+  static constexpr Bare kBare[] = {
+      {"halt", SessionOp::kHalt},         {"state", SessionOp::kState},
+      {"snapshot", SessionOp::kSnapshot}, {"deadlock", SessionOp::kDeadlock},
+      {"hits", SessionOp::kHits},         {"metrics", SessionOp::kMetrics},
+      {"resume", SessionOp::kResume},     {"quit", SessionOp::kQuit},
+  };
+  for (const Bare& bare : kBare) {
+    if (word == bare.name) {
+      if (!rest.empty()) {
+        return Error(ErrorCode::kParseError,
+                     std::string(bare.name) + " takes no operand");
+      }
+      out.op = bare.op;
+      return out;
+    }
+  }
+  return Error(ErrorCode::kParseError,
+               "unknown command '" + std::string(word) + "' (try `help`)");
+}
+
+int run_repl(SessionClient& client, std::istream& in, std::ostream& out,
+             const ReplConfig& config) {
+  const auto record = [&config](const std::string& text) {
+    if (config.transcript != nullptr) config.transcript->push_back(text);
+  };
+
+  auto hello = client.call(SessionOp::kHello);
+  if (!hello.ok()) {
+    out << "error: " << hello.error().message() << "\n";
+    return hello.error().code() == ErrorCode::kTimeout ? kReplExitTimeout
+                                                       : kReplExitCommand;
+  }
+  out << hello.value().text << "\n";
+  record(hello.value().text);
+
+  std::string last_response;
+  std::string line;
+  while (true) {
+    if (config.interactive) out << config.prompt << std::flush;
+    if (!std::getline(in, line)) break;  // EOF ends the session cleanly
+
+    auto parsed = parse_repl_line(line);
+    if (!parsed.ok()) {
+      out << "error: " << parsed.error().message() << "\n";
+      if (!config.interactive) return kReplExitCommand;
+      continue;
+    }
+    const ReplLine& cmd = parsed.value();
+    switch (cmd.kind) {
+      case ReplLine::Kind::kEmpty:
+        continue;
+      case ReplLine::Kind::kHelp:
+        out << repl_help() << "\n";
+        continue;
+      case ReplLine::Kind::kExpect:
+        if (last_response.find(cmd.text) == std::string::npos) {
+          out << "expect FAILED: '" << cmd.text
+              << "' not in last response\n";
+          if (!config.interactive) return kReplExitAssert;
+        } else {
+          out << "expect ok: '" << cmd.text << "'\n";
+        }
+        continue;
+      case ReplLine::Kind::kCommand:
+        break;
+    }
+
+    if (!config.interactive) out << config.prompt << trim(line) << "\n";
+    auto response = client.call(cmd.op, cmd.text, cmd.number);
+    if (!response.ok()) {
+      out << "error: " << response.error().message() << "\n";
+      if (!config.interactive) {
+        return response.error().code() == ErrorCode::kTimeout
+                   ? kReplExitTimeout
+                   : kReplExitCommand;
+      }
+      if (response.error().code() == ErrorCode::kShutdown) {
+        return kReplExitCommand;
+      }
+      continue;
+    }
+    const SessionResponse& resp = response.value();
+    last_response = resp.text;
+    record(resp.text);
+    if (resp.ok()) {
+      out << resp.text << "\n";
+    } else {
+      out << "error: " << resp.text << "\n";
+      if (!config.interactive) return kReplExitCommand;
+    }
+    if (cmd.op == SessionOp::kQuit) return kReplExitOk;
+  }
+  return kReplExitOk;
+}
+
+}  // namespace ddbg

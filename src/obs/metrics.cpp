@@ -135,6 +135,14 @@ MetricsSnapshot MetricsRegistry::snapshot(TimePoint now) const {
   snap.tier.acks_aggregated = tier_.acks_aggregated.get();
   snap.tier.markers_suppressed = tier_.markers_suppressed.get();
 
+  snap.session.opened = session_.opened.get();
+  snap.session.closed = session_.closed.get();
+  snap.session.active_peak = session_.active_peak.get();
+  snap.session.requests = session_.requests.get();
+  snap.session.request_errors = session_.request_errors.get();
+  snap.session.halts_handed_off = session_.halts_handed_off.get();
+  snap.session.halts_released = session_.halts_released.get();
+
   snap.processes.resize(process_queue_depth_.size());
   for (std::size_t i = 0; i < snap.processes.size(); ++i) {
     snap.processes[i].id = static_cast<std::uint32_t>(i);
@@ -276,6 +284,22 @@ std::string MetricsSnapshot::to_json() const {
   append_u64(out, tier.acks_aggregated);
   out += ",\"markers_suppressed\":";
   append_u64(out, tier.markers_suppressed);
+  out += '}';
+
+  out += ",\"session\":{\"opened\":";
+  append_u64(out, session.opened);
+  out += ",\"closed\":";
+  append_u64(out, session.closed);
+  out += ",\"active_peak\":";
+  append_u64(out, session.active_peak);
+  out += ",\"requests\":";
+  append_u64(out, session.requests);
+  out += ",\"request_errors\":";
+  append_u64(out, session.request_errors);
+  out += ",\"halts_handed_off\":";
+  append_u64(out, session.halts_handed_off);
+  out += ",\"halts_released\":";
+  append_u64(out, session.halts_released);
   out += '}';
 
   out += ",\"processes\":[";

@@ -231,12 +231,27 @@ struct TierSnapshot {
   std::uint64_t markers_suppressed = 0;  // redundant wave markers not sent
 };
 
+// Control-socket debugger sessions (session_server.hpp).  All zero when no
+// SessionServer is attached to the run.
+struct SessionSnapshot {
+  std::uint64_t opened = 0;        // client sockets adopted
+  std::uint64_t closed = 0;        // sessions fully torn down
+  std::uint64_t active_peak = 0;   // most concurrently live sessions (gauge)
+  std::uint64_t requests = 0;      // protocol requests handled
+  std::uint64_t request_errors = 0;  // requests answered with an error status
+  // Disconnect-mid-halt outcomes: halt handed to a surviving session vs.
+  // released by resuming the computation (last session out).
+  std::uint64_t halts_handed_off = 0;
+  std::uint64_t halts_released = 0;
+};
+
 struct MetricsSnapshot {
   std::string runtime;  // "sim" | "threads" | "tcp"
   std::int64_t elapsed_ns = 0;
   TotalsSnapshot totals;
   TransportSnapshot transport;
   TierSnapshot tier;
+  SessionSnapshot session;
   std::vector<ProcessSnapshotCounters> processes;
   // Sparse: only channels with any recorded activity appear (an idle
   // channel contributes nothing to totals, so the cross-sums still hold).
@@ -331,6 +346,21 @@ class MetricsRegistry {
   }
   void on_ack_aggregated() noexcept { tier_.acks_aggregated.inc(); }
   void on_marker_suppressed() noexcept { tier_.markers_suppressed.inc(); }
+  // Debugger-session counters (session_server.hpp).  Fired from session
+  // service threads; contended but rare (once per request at most).
+  void on_session_opened() noexcept { session_.opened.inc(); }
+  void on_session_closed() noexcept { session_.closed.inc(); }
+  void observe_active_sessions(std::uint64_t active) noexcept {
+    session_.active_peak.observe(active);
+  }
+  void on_session_request(bool ok) noexcept {
+    session_.requests.inc();
+    if (!ok) session_.request_errors.inc();
+  }
+  void on_halt_handed_off() noexcept { session_.halts_handed_off.inc(); }
+  void on_halt_released_on_disconnect() noexcept {
+    session_.halts_released.inc();
+  }
 
   // ---- latency spans (rare control-plane events; mutex-guarded) ----
   // Opens a span unless one with the same key is already open (the
@@ -375,6 +405,16 @@ class MetricsRegistry {
     Counter markers_suppressed;
   };
 
+  struct SessionCells {
+    Counter opened;
+    Counter closed;
+    MaxGauge active_peak;
+    Counter requests;
+    Counter request_errors;
+    Counter halts_handed_off;
+    Counter halts_released;
+  };
+
   struct TransportCells {
     Counter pool_hits;
     Counter pool_misses;
@@ -402,6 +442,7 @@ class MetricsRegistry {
   std::vector<MaxGauge> process_queue_depth_;
   TransportCells transport_;
   TierCells tier_;
+  SessionCells session_;
 
   LatencyStat span_stats_[kNumSpans];
   std::mutex span_mutex_;

@@ -44,10 +44,12 @@ constexpr std::size_t kMaxWriteIov = 64;
 
 constexpr int kMaxEpollEvents = 64;
 
-// epoll user-data tags for the two non-pair fds; pair connections use
-// their slot index directly.
+// epoll user-data tags for the non-pair fds; pair connections use their
+// slot index directly.
 constexpr std::uint64_t kTagWake = ~std::uint64_t{0};
 constexpr std::uint64_t kTagListen = ~std::uint64_t{0} - 1;
+// Debugger-session control listener (config.on_control_accept).
+constexpr std::uint64_t kTagControl = ~std::uint64_t{0} - 2;
 
 // Write the whole buffer on a *blocking* fd, retrying on short writes.
 // Only the tiny connection hellos use this; data flows through the
@@ -107,6 +109,10 @@ class TcpRuntime::Worker {
 
   bool init_sockets();           // create listener + wake pipe
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  // Bind the debugger-session control listener on this worker (runs in
+  // start(), before any thread launches).
+  bool init_control_listener();
+  [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
   // Accept the startup connection for every pair this worker is the
   // acceptor side of.
   bool accept_inbound();
@@ -204,6 +210,7 @@ class TcpRuntime::Worker {
   void resync_pair(std::uint32_t pair);
   [[nodiscard]] SteadyClock::time_point rel_next_deadline() const;
   void accept_runtime_connection();
+  void accept_control_connections();
 
   TcpRuntime& runtime_;
   ProcessId id_;
@@ -213,6 +220,8 @@ class TcpRuntime::Worker {
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  int control_listen_fd_ = -1;
+  std::uint16_t control_port_ = 0;
   int pipe_read_ = -1;
   int pipe_write_ = -1;
   int epoll_fd_ = -1;
@@ -320,6 +329,7 @@ TcpRuntime::Worker::~Worker() {
   for (PairConn& conn : conns_) close_fd(conn.fd);
   for (int& fd : retired_fds_) close_fd(fd);
   close_fd(listen_fd_);
+  close_fd(control_listen_fd_);
   close_fd(pipe_read_);
   close_fd(pipe_write_);
   close_fd(epoll_fd_);
@@ -351,6 +361,29 @@ bool TcpRuntime::Worker::init_sockets() {
     return false;
   }
   port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+bool TcpRuntime::Worker::init_control_listener() {
+  control_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (control_listen_fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(control_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return false;
+  }
+  if (::listen(control_listen_fd_, 64) != 0) return false;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(control_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return false;
+  }
+  // Nonblocking so the reactor's accept loop can drain until EAGAIN.
+  if (!set_nonblocking(control_listen_fd_)) return false;
+  control_port_ = ntohs(addr.sin_port);
   return true;
 }
 
@@ -527,6 +560,11 @@ void TcpRuntime::Worker::setup_epoll() {
     ev.events = EPOLLIN;
     ev.data.u64 = kTagListen;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  if (control_listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagControl;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, control_listen_fd_, &ev);
   }
   for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
     if (conns_[slot].fd >= 0) epoll_add_conn(slot);
@@ -763,6 +801,10 @@ void TcpRuntime::Worker::thread_main() {
       }
       if (tag == kTagListen) {
         accept_runtime_connection();
+        continue;
+      }
+      if (tag == kTagControl) {
+        accept_control_connections();
         continue;
       }
       const auto slot = static_cast<std::size_t>(tag);
@@ -1217,6 +1259,24 @@ void TcpRuntime::Worker::accept_runtime_connection() {
   ::close(fd);
 }
 
+void TcpRuntime::Worker::accept_control_connections() {
+  // Level-triggered + nonblocking listener: drain the whole backlog now
+  // so a burst of debugger clients costs one wakeup.
+  while (true) {
+    const int fd = ::accept(control_listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: backlog drained (or listener gone)
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // The accepted fd stays *blocking* (O_NONBLOCK does not inherit
+    // through accept): the session server's per-client thread does
+    // straightforward blocking I/O on it.
+    runtime_.config_.on_control_accept(fd);
+  }
+}
+
 void TcpRuntime::Worker::rel_fire_due() {
   const auto now = SteadyClock::now();
   for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
@@ -1313,6 +1373,13 @@ TcpRuntime::~TcpRuntime() {
   }
 }
 
+std::uint16_t TcpRuntime::control_port() const {
+  for (const auto& worker : workers_) {
+    if (worker->control_port() != 0) return worker->control_port();
+  }
+  return 0;
+}
+
 std::size_t TcpRuntime::max_channels_per_socket() const {
   std::size_t widest = 0;
   for (const HostPair& pair : pairs_) {
@@ -1325,6 +1392,13 @@ bool TcpRuntime::start() {
   DDBG_ASSERT(!started_.exchange(true), "TcpRuntime::start called twice");
   for (auto& worker : workers_) {
     if (!worker->init_sockets()) return false;
+  }
+  if (config_.on_control_accept) {
+    // The control listener lives on the debugger's worker so accepted
+    // sessions share a reactor with the process they drive.
+    const std::uint32_t host =
+        topology_.has_debugger() ? topology_.debugger_id().value() : 0;
+    if (!workers_[host]->init_control_listener()) return false;
   }
   // Connect every pair: side a dials side b's listener and sends the
   // pair-index hello.  Backlogs hold the pending connections until the

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/result.hpp"
 #include "common/time.hpp"
 #include "net/fault_plan.hpp"
 #include "net/process.hpp"
@@ -59,6 +60,12 @@ struct TcpRuntimeConfig {
   // writes on the nonblocking send path deterministically.
   int sndbuf_bytes = 0;
   int rcvbuf_bytes = 0;
+  // Control-socket debugger sessions: when set, the debugger's worker (or
+  // worker 0 without a debugger) binds a second loopback listener and the
+  // reactor hands every accepted client fd to this callback.  The callee
+  // must not block the reactor — SessionServer::adopt only registers the
+  // fd and spawns a service thread, which is the intended receiver.
+  std::function<void(int fd)> on_control_accept;
 };
 
 class TcpRuntime {
@@ -92,6 +99,17 @@ class TcpRuntime {
     return metrics_;
   }
   [[nodiscard]] TimePoint now() const;
+
+  // Port of the debugger-session control listener; 0 when
+  // on_control_accept is unset or start() has not run.
+  [[nodiscard]] std::uint16_t control_port() const;
+  // Late-bound alternative to TcpRuntimeConfig::on_control_accept for
+  // embedders whose acceptor (e.g. a SessionServer) is built after the
+  // runtime.  Must be called before start().
+  void set_control_acceptor(std::function<void(int fd)> acceptor) {
+    DDBG_ASSERT(!started_.load(), "set_control_acceptor after start");
+    config_.on_control_accept = std::move(acceptor);
+  }
 
   // Multiplexing introspection: how many TCP connections carry how many
   // channels.  The soak bench asserts data_socket_count() << num_channels.

@@ -70,6 +70,15 @@ void ResourceRingProcess::begin_acquisition(ProcessContext& ctx) {
   }
   holding_own_ = true;
   phase_ = Phase::kWaitingForGrant;
+  request_neighbor(ctx);
+}
+
+void ResourceRingProcess::request_neighbor(ProcessContext& ctx) {
+  if (config_.acquire_delay > Duration::nanos(0)) {
+    request_pending_send_ = true;
+    request_timer_ = ctx.set_timer(config_.acquire_delay);
+    return;
+  }
   ctx.send(channel_to(ctx, ring_successor(ctx)),
            Message::application(encode_message(ResourceMessage::kRequest)));
 }
@@ -81,9 +90,7 @@ void ResourceRingProcess::try_advance(ProcessContext& ctx) {
       start_work(ctx);
     } else {
       phase_ = Phase::kWaitingForGrant;
-      ctx.send(channel_to(ctx, ring_successor(ctx)),
-               Message::application(
-                   encode_message(ResourceMessage::kRequest)));
+      request_neighbor(ctx);
     }
   }
 }
@@ -124,6 +131,15 @@ void ResourceRingProcess::finish_work(ProcessContext& ctx) {
 void ResourceRingProcess::on_timer(ProcessContext& ctx, TimerId timer) {
   if (phase_ == Phase::kWorking && timer == work_timer_) {
     finish_work(ctx);
+    return;
+  }
+  if (request_pending_send_ && timer == request_timer_) {
+    request_pending_send_ = false;
+    if (phase_ == Phase::kWaitingForGrant) {
+      ctx.send(channel_to(ctx, ring_successor(ctx)),
+               Message::application(
+                   encode_message(ResourceMessage::kRequest)));
+    }
     return;
   }
   if (phase_ == Phase::kThinking) begin_acquisition(ctx);

@@ -44,6 +44,14 @@ struct ResourceRingConfig {
   Duration think_time = Duration::millis(2);  // between work units
   Duration work_time = Duration::millis(1);   // holding both resources
   std::uint32_t max_work_units = 0;           // 0 = unbounded
+  // Greedy only: hold the own resource this long before sending the
+  // REQUEST for the successor's.  Zero sends immediately.  On the threaded
+  // runtime, where real message latency is microseconds, a delay much
+  // larger than the scheduling skew between processes makes the circular
+  // hold windows overlap, so the ring deadlocks on its first acquisition
+  // cycle instead of relying on lockstep timers (which only the
+  // deterministic simulator provides).
+  Duration acquire_delay = Duration::nanos(0);
 };
 
 class ResourceRingProcess final : public Debuggable {
@@ -88,6 +96,7 @@ class ResourceRingProcess final : public Debuggable {
   };
 
   void begin_acquisition(ProcessContext& ctx);
+  void request_neighbor(ProcessContext& ctx);
   void try_advance(ProcessContext& ctx);
   void start_work(ProcessContext& ctx);
   void finish_work(ProcessContext& ctx);
@@ -101,6 +110,8 @@ class ResourceRingProcess final : public Debuggable {
   bool pending_request_ = false;    // predecessor waits for our resource
   std::uint32_t work_done_ = 0;
   TimerId work_timer_;
+  TimerId request_timer_;
+  bool request_pending_send_ = false;  // acquire_delay timer armed
 };
 
 [[nodiscard]] std::vector<ProcessPtr> make_resource_ring(

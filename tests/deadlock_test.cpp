@@ -47,6 +47,26 @@ TEST(ResourceRing, GreedyRingDeadlocks) {
   }
 }
 
+// acquire_delay (holding own for a while before requesting) exists for
+// the threaded runtime, where real scheduling skew otherwise keeps the
+// circular hold windows from overlapping; in the simulator it must not
+// change the verdict.
+TEST(ResourceRing, GreedyRingWithAcquireDelayDeadlocks) {
+  ResourceRingConfig config;
+  config.strategy = ResourceStrategy::kGreedy;
+  config.acquire_delay = Duration::millis(5);
+  SimDebugHarness harness(resource_ring_topology(3),
+                          make_resource_ring(3, config), seeded(74));
+  harness.sim().run_for(Duration::seconds(2));
+  harness.session().halt();
+  auto wave = harness.session().wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  auto report = find_deadlock(wave->state);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().deadlocked);
+  EXPECT_EQ(report.value().blocked_processes, 3u);
+}
+
 TEST(Deadlock, DetectedInHaltedState) {
   ResourceRingConfig config;
   config.strategy = ResourceStrategy::kGreedy;

@@ -371,6 +371,8 @@ TEST(MetricsGolden, TinyTokenRingTraceAndJsonArePinned) {
       R"("partition":0,"reset":0},"retransmits":0,"dup_suppressed":0,)"
       R"("reconnects":0,"resync_replayed":0,"channel_down":0},"tier":{)"
       R"("tree_fanout":0,"acks_aggregated":0,"markers_suppressed":0},)"
+      R"("session":{"opened":0,"closed":0,"active_peak":0,"requests":0,)"
+      R"("request_errors":0,"halts_handed_off":0,"halts_released":0},)"
       R"("processes":[{)"
       R"("id":0,"bytes_sent":22,"bytes_delivered":23,"max_queue_depth":0,)"
       R"("sent":{"app":1,"halt_marker":0,"snapshot_marker":0,)"

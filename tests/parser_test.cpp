@@ -1,6 +1,9 @@
 // Unit tests for the breakpoint text-language parser.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "core/predicate_parser.hpp"
 
 namespace ddbg {
@@ -230,6 +233,70 @@ TEST(Parser, Errors) {
     if (!spec.ok()) {
       EXPECT_EQ(spec.error().code(), ErrorCode::kParseError) << text;
     }
+  }
+}
+
+TEST(Parser, MalformedBoundaryCorpus) {
+  // Inputs at the edges of the grammar: empty, truncated constructs, and
+  // integer literals near/past the representable ranges.  Every one must
+  // come back as a clean parse error — never wrap, never UB.
+  const char* bad[] = {
+      "",                                   // empty input
+      "p0:event(",                          // unterminated event(
+      "-> p0:recv",                         // stray leading arrow
+      "p0:recv ->",                         // stray trailing arrow
+      "p0:x==9223372036854775808",          // INT64_MAX + 1
+      "p0:x==99999999999999999999999999",   // way past 2^63
+      "p0:x<-9223372036854775809",          // below INT64_MIN
+      "(p0:recv)^9223372036854775808",      // overflowing repetition count
+      "(p0:recv)^0",                        // zero repetition
+      "p4294967296:recv",                   // process id past 2^32 - 1
+      "p99999999999999999999:recv",         // process id past 2^64
+      "p0:sent(4294967296)",                // channel id past 2^32 - 1
+  };
+  for (const char* text : bad) {
+    auto spec = parse_breakpoint(text);
+    ASSERT_FALSE(spec.ok()) << "should not parse: '" << text << "'";
+    EXPECT_EQ(spec.error().code(), ErrorCode::kParseError) << text;
+  }
+}
+
+TEST(Parser, IntegerBoundaryValuesStillAccepted) {
+  // The exact extremes of the representable range must keep parsing.
+  auto max = parse_breakpoint("p0:x==9223372036854775807");  // INT64_MAX
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max.value().linked.first().alternatives.at(0).value,
+            std::numeric_limits<std::int64_t>::max());
+  auto near_min = parse_breakpoint("p0:x==-9223372036854775807");
+  ASSERT_TRUE(near_min.ok());
+  EXPECT_EQ(near_min.value().linked.first().alternatives.at(0).value,
+            -std::numeric_limits<std::int64_t>::max());
+  auto big_proc = parse_breakpoint("p4294967295:recv");
+  ASSERT_TRUE(big_proc.ok());
+}
+
+TEST(Parser, ErrorsCarryColumnPositions) {
+  // Frontends print "syntax error at column k" pointing at the offending
+  // character; 1-based columns.
+  const struct {
+    const char* text;
+    const char* expect;  // substring of the error message
+  } cases[] = {
+      {"", "column 1"},
+      {"p0:event(a) @ p1:recv", "column 13"},
+      {"p0:x==99999999999999999999", "column 7"},
+      {"p0:event(a) ->", "column 15"},
+      {"q0:event(a)", "column 1"},
+      {"p0:event(a) [sideways]", "column 14"},
+  };
+  for (const auto& c : cases) {
+    auto spec = parse_breakpoint(c.text);
+    ASSERT_FALSE(spec.ok()) << c.text;
+    EXPECT_NE(spec.error().message().find("syntax error at column"),
+              std::string::npos)
+        << c.text << " -> " << spec.error().message();
+    EXPECT_NE(spec.error().message().find(c.expect), std::string::npos)
+        << c.text << " -> " << spec.error().message();
   }
 }
 

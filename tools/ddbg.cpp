@@ -1,0 +1,159 @@
+// ddbg: the interactive multi-session debugger CLI.
+//
+// Connects to a ddbg_target (or any embedder of SessionServer) over its
+// loopback control socket and drives a debugging session with the command
+// language of debugger/session_repl.hpp.
+//
+//   ddbg --port 41233                 # interactive REPL
+//   ddbg --port-file /tmp/port        # port published by ddbg_target
+//   ddbg --port 41233 --batch s.ddbg --assert "no deadlock"
+//
+// Batch mode runs the script line by line, echoing each command, and
+// stops at the first failure.  Exit codes (stable, asserted by CI):
+//   0  every command succeeded and every assertion held
+//   2  could not connect to the target
+//   3  a command failed or the protocol broke
+//   4  an `expect` line or --assert substring did not match
+//   5  the target stopped answering within the response deadline
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "debugger/session_client.hpp"
+#include "debugger/session_repl.hpp"
+
+using namespace ddbg;
+
+namespace {
+
+struct Options {
+  int port = 0;
+  std::string port_file;
+  std::string batch;
+  std::vector<std::string> asserts;
+  int connect_retry_seconds = 10;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--port P | --port-file PATH) [--batch SCRIPT]\n"
+               "          [--assert SUBSTRING]... [--connect-retry SECONDS]\n",
+               argv0);
+  return 2;
+}
+
+// ddbg_target writes the bare port; also accept "DDBG_CONTROL_PORT=...".
+int read_port_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!std::getline(in, line)) return 0;
+  const auto eq = line.find('=');
+  if (eq != std::string::npos) line = line.substr(eq + 1);
+  return std::atoi(line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.port = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.port_file = v;
+    } else if (arg == "--batch") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.batch = v;
+    } else if (arg == "--assert") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.asserts.emplace_back(v);
+    } else if (arg == "--connect-retry") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.connect_retry_seconds = std::atoi(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // Retry connecting: the target may still be binding its listener (CI
+  // starts both concurrently), and the port file may not exist yet.
+  SessionClient client;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opt.connect_retry_seconds);
+  std::string last_error = "no port given";
+  while (true) {
+    int port = opt.port;
+    if (port == 0 && !opt.port_file.empty()) {
+      port = read_port_file(opt.port_file);
+      if (port == 0) last_error = "port file not ready: " + opt.port_file;
+    }
+    if (port != 0) {
+      auto status = client.connect(static_cast<std::uint16_t>(port));
+      if (status.ok()) break;
+      last_error = status.error().message();
+    } else if (opt.port_file.empty()) {
+      return usage(argv[0]);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "ddbg: cannot connect: %s\n", last_error.c_str());
+      return kReplExitConnect;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  ReplConfig config;
+  std::vector<std::string> transcript;
+  config.transcript = &transcript;
+
+  int code;
+  if (opt.batch.empty()) {
+    config.interactive = true;
+    code = run_repl(client, std::cin, std::cout, config);
+  } else {
+    std::ifstream script(opt.batch);
+    if (!script) {
+      std::fprintf(stderr, "ddbg: cannot open batch script %s\n",
+                   opt.batch.c_str());
+      return 2;
+    }
+    config.interactive = false;
+    code = run_repl(client, script, std::cout, config);
+  }
+  if (code != kReplExitOk) return code;
+
+  for (const std::string& needle : opt.asserts) {
+    bool found = false;
+    for (const std::string& entry : transcript) {
+      if (entry.find(needle) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "ddbg: assert FAILED: '%s' not in transcript\n",
+                   needle.c_str());
+      return kReplExitAssert;
+    }
+    std::printf("assert ok: '%s'\n", needle.c_str());
+  }
+  return kReplExitOk;
+}

@@ -1,0 +1,182 @@
+// ddbg_target: a debuggable TCP-runtime workload with the control-socket
+// session server attached — the process `ddbg` connects to.
+//
+//   ddbg_target --workload ring --n 6 --port-file /tmp/port
+//               --run-for 60 --stop-file /tmp/stop --metrics-out m.json
+//
+// Prints "DDBG_CONTROL_PORT=<port>" on stdout once the listener is live
+// (and writes the bare port number to --port-file, atomically enough for a
+// shell `until [ -s file ]` loop).  Runs until --run-for elapses or
+// --stop-file appears, then tears down and writes the final
+// ddbg.metrics.v1 snapshot (wrapped in the bench envelope
+// tools/validate_metrics.py checks) to --metrics-out.
+//
+// Workloads:
+//   ring       token ring (default) — lively, deadlock-free
+//   gossip     unbounded gossip ring
+//   resources  greedy resource ring — deadlocks almost immediately, for
+//              exercising the `deadlock` verdict end to end
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "debugger/harness.hpp"
+#include "debugger/session_server.hpp"
+#include "workload/behaviors.hpp"
+#include "workload/resources.hpp"
+
+using namespace ddbg;
+
+namespace {
+
+struct Options {
+  std::string workload = "ring";
+  std::uint32_t n = 6;
+  std::uint32_t fanout = 0;  // 0 = flat debugger
+  int run_for_seconds = 60;
+  std::string port_file;
+  std::string stop_file;
+  std::string metrics_out;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload ring|gossip|resources] [--n N] [--fanout K]\n"
+      "          [--run-for SECONDS] [--port-file PATH] [--stop-file PATH]\n"
+      "          [--metrics-out PATH]\n",
+      argv0);
+  return 2;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workload") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.workload = v;
+    } else if (arg == "--n") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.n = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--fanout") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.fanout = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--run-for") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.run_for_seconds = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.port_file = v;
+    } else if (arg == "--stop-file") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.stop_file = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.metrics_out = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.n < 2) {
+    std::fprintf(stderr, "ddbg_target: --n must be >= 2\n");
+    return 2;
+  }
+
+  Topology topology = Topology::ring(opt.n);
+  std::vector<ProcessPtr> processes;
+  if (opt.workload == "ring") {
+    TokenRingConfig config;
+    config.rounds = 1'000'000;  // effectively: until shutdown
+    config.hop_delay = Duration::millis(1);
+    processes = make_token_ring(opt.n, config);
+  } else if (opt.workload == "gossip") {
+    GossipConfig config;
+    config.send_interval = Duration::millis(1);
+    processes = make_gossip(opt.n, config);
+  } else if (opt.workload == "resources") {
+    topology = resource_ring_topology(opt.n);
+    ResourceRingConfig config;
+    // Hold own resource well past thread-startup skew before requesting
+    // the neighbor's, so the greedy ring closes its circular wait on the
+    // first acquisition cycle even on the real network.
+    config.acquire_delay = Duration::millis(50);
+    processes = make_resource_ring(opt.n, config);
+  } else {
+    std::fprintf(stderr, "ddbg_target: unknown workload '%s'\n",
+                 opt.workload.c_str());
+    return 2;
+  }
+
+  HarnessConfig hcfg;
+  hcfg.debugger_fanout = opt.fanout;
+  TcpDebugHarness harness(topology, std::move(processes), std::move(hcfg));
+
+  TcpHost host(harness.tcp());
+  SessionServerConfig scfg;
+  scfg.num_user_processes = opt.n;
+  SessionServer server(host, harness.debugger(), harness.debugger_id(),
+                       &harness.tcp().metrics(), scfg);
+  server.set_metrics_json_source([&harness] {
+    return harness.tcp().metrics().snapshot(harness.tcp().now()).to_json();
+  });
+  harness.tcp().set_control_acceptor(server.acceptor());
+
+  if (!harness.start()) {
+    std::fprintf(stderr, "ddbg_target: runtime failed to start\n");
+    return 1;
+  }
+  const std::uint16_t port = harness.tcp().control_port();
+  std::printf("DDBG_CONTROL_PORT=%u\n", port);
+  std::fflush(stdout);
+  if (!opt.port_file.empty()) {
+    std::ofstream out(opt.port_file);
+    out << port << "\n";
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opt.run_for_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!opt.stop_file.empty() && file_exists(opt.stop_file)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Order matters: the server must release its sessions (and any held
+  // halt) while the runtime can still run the resume commands.
+  server.stop();
+  const std::string metrics_json =
+      harness.tcp().metrics().snapshot(harness.tcp().now()).to_json();
+  harness.shutdown();
+
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    out << "{\"schema\":\"ddbg.bench.metrics.v1\",\"bench\":\"ddbg_target\","
+        << "\"runs\":[{\"label\":\"" << opt.workload << "_n"
+        << opt.n << "\",\"metrics\":" << metrics_json << "}]}\n";
+  }
+  std::printf("ddbg_target: served %llu sessions\n",
+              static_cast<unsigned long long>(server.sessions_served()));
+  return 0;
+}

@@ -26,6 +26,10 @@ TRANSPORT_KEYS = {
 }
 FAULT_KINDS = ["drop", "duplicate", "reorder", "delay", "partition", "reset"]
 TIER_KEYS = {"tree_fanout", "acks_aggregated", "markers_suppressed"}
+SESSION_KEYS = {
+    "opened", "closed", "active_peak", "requests", "request_errors",
+    "halts_handed_off", "halts_released",
+}
 RUNTIMES = {"sim", "threads", "tcp"}
 
 
@@ -169,6 +173,29 @@ def check_snapshot(snap, where):
            totals["sent"]["halt_marker"] +
            totals["sent"]["snapshot_marker"] > 0,
            f"{where}.tier: markers_suppressed without any wave markers")
+
+    session = snap.get("session")
+    expect(isinstance(session, dict) and set(session) == SESSION_KEYS,
+           f"{where}: session keys "
+           f"{sorted(session) if isinstance(session, dict) else session} != "
+           f"{sorted(SESSION_KEYS)}")
+    for key, value in session.items():
+        expect(isinstance(value, int) and value >= 0,
+               f"{where}.session: {key} not a non-negative int")
+    # A session closes at most once per open, and the concurrency peak can
+    # never exceed how many sessions ever existed.
+    expect(session["closed"] <= session["opened"],
+           f"{where}.session: closed exceeds opened")
+    expect(session["active_peak"] <= session["opened"],
+           f"{where}.session: active_peak exceeds opened")
+    expect(session["request_errors"] <= session["requests"],
+           f"{where}.session: request_errors exceeds requests")
+    # Disconnect-mid-halt outcomes require sessions that actually closed.
+    expect(session["halts_handed_off"] + session["halts_released"] <=
+           session["closed"],
+           f"{where}.session: halt teardown outcomes exceed closed sessions")
+    expect(session["requests"] == 0 or session["opened"] > 0,
+           f"{where}.session: requests without any session")
 
     processes = snap.get("processes")
     expect(isinstance(processes, list), f"{where}: missing processes")

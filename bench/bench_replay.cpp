@@ -1,0 +1,146 @@
+// Record/replay bench: what recording costs and what replay buys.
+//
+//   1. Record+replay table — a token ring with a mid-run halt wave is
+//      recorded in the simulator, then re-executed by the ReplayDriver.
+//      Rows report the log's record counts and encoded size, and assert
+//      the replay reproduced the recorded consistent cut exactly
+//      (equivalent() on S_h) with zero divergences — the tentpole claim,
+//      regenerated on every bench run.
+//   2. Timing loops — wall-clock of the same run with recording off vs on
+//      (the per-event append + hash overhead) and of a full replay.
+//
+//   DDBG_METRICS_DIR   where BENCH_replay.json goes (bench_util.hpp); the
+//                      snapshots carry the `replay` metrics block.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replay_driver.hpp"
+#include "sim/latency_model.hpp"
+
+namespace ddbg::bench {
+namespace {
+
+constexpr std::uint32_t kRounds = 30;
+constexpr Duration kWait = Duration::seconds(300);
+
+std::vector<ProcessPtr> ring_users(std::uint32_t n) {
+  TokenRingConfig config;
+  config.rounds = kRounds;
+  config.hop_delay = Duration::millis(1);
+  return make_token_ring(n, config);
+}
+
+// Run the ring with an optional recorder attached: let the token make a
+// few hops, drive one halt/resume cycle, then run to quiescence.
+void run_recorded(std::uint32_t n, const std::shared_ptr<ReplayRecorder>& rec) {
+  HarnessConfig config;
+  config.seed = 7;
+  config.latency = std::make_unique<ConstantLatency>(Duration::millis(2));
+  config.replay = rec;
+  SimDebugHarness harness(Topology::ring(n), ring_users(n), std::move(config));
+  if (rec != nullptr) rec->set_metrics(&harness.sim().metrics());
+
+  Simulation& sim = harness.sim();
+  sim.run_until(TimePoint{} + Duration::millis(20));
+  harness.session().halt();
+  if (!harness.session().wait_for_halt(kWait).has_value()) {
+    std::fprintf(stderr, "bench_replay: halt wave did not complete\n");
+    std::abort();
+  }
+  harness.session().resume(kWait);
+  sim.run_until_quiescent();
+}
+
+ReplayLog record_ring(std::uint32_t n) {
+  ReplayLogHeader header;
+  header.seed = 7;
+  header.substrate = "sim";
+  header.num_user_processes = n;
+  header.num_channels =
+      static_cast<std::uint32_t>(Topology::ring(n).with_debugger()
+                                     .num_channels());
+  auto recorder = std::make_shared<ReplayRecorder>(header);
+  run_recorded(n, recorder);
+  return recorder->log();
+}
+
+void replay_table() {
+  print_header("record/replay",
+               "a recorded run replays input-for-input in the simulator; "
+               "the replayed halt cut is equivalent() to the recorded S_h");
+  print_row("%6s %9s %10s %9s %7s %6s %10s", "N", "records", "log_bytes",
+            "delivers", "timers", "cuts", "replay");
+  for (const std::uint32_t n : {4U, 8U, 16U}) {
+    ReplayLog log = record_ring(n);
+    const std::size_t bytes = log.encode().size();
+
+    ReplayDriver driver(log, Topology::ring(n), ring_users(n));
+    ReplayDriver::Report report = driver.run();
+    const bool ok = report.ok() && report.cuts_matched == report.cuts &&
+                    report.divergences == 0;
+    print_row("%6u %9zu %10zu %9llu %7llu %6llu %10s", n, log.records.size(),
+              bytes,
+              static_cast<unsigned long long>(report.deliveries),
+              static_cast<unsigned long long>(report.timer_fires),
+              static_cast<unsigned long long>(report.cuts),
+              ok ? "exact" : "DIVERGED");
+    if (!ok) {
+      std::fprintf(stderr, "bench_replay: replay diverged at N=%u:\n%s", n,
+                   report.describe().c_str());
+      std::abort();
+    }
+    record_metrics("replay_n" + std::to_string(n), driver.harness().sim());
+  }
+}
+
+void bm_record(benchmark::State& state, bool record) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    std::shared_ptr<ReplayRecorder> recorder;
+    if (record) {
+      ReplayLogHeader header;
+      header.seed = 7;
+      header.substrate = "sim";
+      header.num_user_processes = n;
+      recorder = std::make_shared<ReplayRecorder>(header);
+    }
+    run_recorded(n, recorder);
+    if (recorder != nullptr) {
+      benchmark::DoNotOptimize(recorder->records());
+    }
+  }
+}
+
+void BM_RingRecordOff(benchmark::State& state) { bm_record(state, false); }
+void BM_RingRecordOn(benchmark::State& state) { bm_record(state, true); }
+
+void BM_RingReplay(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const ReplayLog log = record_ring(n);
+  for (auto _ : state) {
+    ReplayDriver driver(log, Topology::ring(n), ring_users(n));
+    ReplayDriver::Report report = driver.run();
+    benchmark::DoNotOptimize(report.deliveries);
+  }
+}
+
+BENCHMARK(BM_RingRecordOff)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RingRecordOn)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RingReplay)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ddbg::bench
+
+int main(int argc, char** argv) {
+  ddbg::bench::replay_table();
+  ddbg::bench::write_metrics_json("replay");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -25,3 +25,5 @@ ddbg_bench(bench_e10_naive_halt)
 ddbg_bench(bench_ablation_routing)
 ddbg_bench(bench_scale)
 ddbg_bench(bench_tcp_soak)
+ddbg_bench(bench_replay)
+target_link_libraries(bench_replay PRIVATE ddbg_replay)

@@ -59,9 +59,11 @@ class DebugShim::ShimContext final : public ProcessContext {
   }
 
   TimerId set_timer(Duration delay) override {
-    return outer_->set_timer(delay);
+    return shim_.interpose_set_timer(*outer_, delay);
   }
-  void cancel_timer(TimerId timer) override { outer_->cancel_timer(timer); }
+  void cancel_timer(TimerId timer) override {
+    shim_.interpose_cancel_timer(*outer_, timer);
+  }
   void run_ordered(std::function<void()> fn) override {
     outer_->run_ordered(std::move(fn));
   }
@@ -229,10 +231,60 @@ void DebugShim::on_message(ProcessContext& ctx, ChannelId in,
 void DebugShim::on_timer(ProcessContext& ctx, TimerId timer) {
   bind(ctx);
   if (!halting_->intercept_timer(timer)) {
-    user_->on_timer(*shim_ctx_, timer);
+    fire_user_timer(timer);
     flush_pending(ctx);
   }
   current_ctx_ = nullptr;
+}
+
+TimerId DebugShim::interpose_set_timer(ProcessContext& outer, Duration delay) {
+  if (options_.replay_gate) {
+    // Replay: the timer never reaches the substrate — the driver fires it
+    // by creation ordinal.  Hand back the recorded run's TimerId so user
+    // state that stores timer ids reproduces byte-for-byte; synthetic ids
+    // past the script's end keep a divergent replay running.
+    const std::uint64_t ordinal = timers_created_++;
+    const TimerId id =
+        ordinal < timer_script_.size()
+            ? timer_script_[ordinal]
+            : TimerId(0x80000000U + static_cast<std::uint32_t>(ordinal));
+    created_timers_.push_back(id);
+    timer_ordinal_by_id_[id.value()] = ordinal;
+    return id;
+  }
+  const TimerId id = outer.set_timer(delay);
+  if (options_.replay_record != nullptr) {
+    const std::uint64_t ordinal = timers_created_++;
+    options_.replay_record->record_timer_set(self_, ordinal, id);
+    timer_ordinal_by_id_[id.value()] = ordinal;
+  }
+  return id;
+}
+
+void DebugShim::interpose_cancel_timer(ProcessContext& outer, TimerId timer) {
+  if (options_.replay_gate) {
+    auto it = timer_ordinal_by_id_.find(timer.value());
+    if (it != timer_ordinal_by_id_.end()) {
+      cancelled_timer_ordinals_.insert(it->second);
+      timer_ordinal_by_id_.erase(it);
+    }
+    return;
+  }
+  if (options_.replay_record != nullptr) {
+    timer_ordinal_by_id_.erase(timer.value());
+  }
+  outer.cancel_timer(timer);
+}
+
+void DebugShim::fire_user_timer(TimerId timer) {
+  if (options_.replay_record != nullptr) {
+    auto it = timer_ordinal_by_id_.find(timer.value());
+    if (it != timer_ordinal_by_id_.end()) {
+      options_.replay_record->record_timer_fire(self_, it->second);
+      timer_ordinal_by_id_.erase(it);
+    }
+  }
+  user_->on_timer(*shim_ctx_, timer);
 }
 
 void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
@@ -256,12 +308,24 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
     // place (overlapping initiators must converge on the newest wave, not
     // leave its markers wedged in the channel until resume).
     halting_->on_halt_marker(ctx, in, *message.halt);
+    // Replay: everything still gated was logically in its channel when the
+    // marker closed it — drain it into the engine's channel-state record.
+    maybe_flush_gate();
     return;
   }
 
   // Everything else is application-era traffic: while halted it stays in
   // the channel (the halting engine buffers it and records channel state).
   if (halting_->intercept_message(in, message)) return;
+
+  // Replay gate: hold application deliveries until the driver releases
+  // them in the logged order.  Markers pass through — their interleaving
+  // is re-derived, not logged (see replay_log.hpp).
+  if (options_.replay_gate && !gate_release_in_progress_ &&
+      message.kind == MessageKind::kApplication) {
+    gate_.emplace_back(in, std::move(message));
+    return;
+  }
 
   switch (message.kind) {
     case MessageKind::kSnapshotMarker:
@@ -298,6 +362,14 @@ void DebugShim::dispatch(ProcessContext& ctx, ChannelId in, Message message) {
       return;
     }
     case MessageKind::kApplication: {
+      // The delivery ordinal counts messages actually handed to the user
+      // handler on this channel — the replay schedule's unit.
+      const std::uint64_t delivery_ordinal = delivery_ordinals_[in.value()]++;
+      if (options_.replay_record != nullptr) {
+        options_.replay_record->record_delivery(
+            self_, in, delivery_ordinal,
+            replay_payload_hash(message.payload), message.payload.size());
+      }
       snapshot_->observe_app_message(in, message);
       if (options_.stamp_vector_clocks) {
         vclock_.on_receive(self_, message.vclock);
@@ -401,7 +473,7 @@ void DebugShim::do_resume(ProcessContext& ctx, std::uint64_t wave) {
   }
   for (const TimerId timer : data.timers) {
     if (halting_->intercept_timer(timer)) continue;
-    user_->on_timer(*shim_ctx_, timer);
+    fire_user_timer(timer);
   }
 }
 
@@ -519,7 +591,10 @@ void DebugShim::flush_pending(ProcessContext& ctx) {
     // Halting breakpoints initiate the Halting Algorithm (a no-op if a
     // concurrent trigger or an incoming marker already halted us);
     // monitor-mode chains only report — the debugger re-arms them.
-    if (!trigger.monitor) halting_->initiate(ctx);
+    if (!trigger.monitor) {
+      halting_->initiate(ctx);
+      maybe_flush_gate();
+    }
   }
 }
 
@@ -531,7 +606,87 @@ void DebugShim::send_to_debugger(ProcessContext& ctx, const Command& command) {
 void DebugShim::initiate_halt(ProcessContext& ctx) {
   bind(ctx);
   halting_->initiate(ctx);
+  maybe_flush_gate();
   current_ctx_ = nullptr;
+}
+
+void DebugShim::maybe_flush_gate() {
+  if (!options_.replay_gate || !halting_.has_value() || !halting_->halted() ||
+      gate_.empty()) {
+    return;
+  }
+  // Halt entry: every gated message is still logically in its channel (the
+  // per-channel FIFO simulator delivered it before this wave's marker).
+  // Hand the backlog to the halting engine in arrival order — it becomes
+  // the recorded channel state of the cut and is redelivered on resume,
+  // exactly what Lemma 2.2 credits to the channels.
+  std::deque<std::pair<ChannelId, Message>> pending = std::move(gate_);
+  gate_.clear();
+  for (auto& [channel, message] : pending) {
+    const bool buffered = halting_->intercept_message(channel, message);
+    DDBG_ASSERT(buffered, "gate flushed while not halted");
+  }
+}
+
+std::size_t DebugShim::replay_gate_depth(ChannelId in) const {
+  std::size_t depth = 0;
+  for (const auto& [channel, message] : gate_) {
+    if (channel == in) ++depth;
+  }
+  return depth;
+}
+
+void DebugShim::replay_preload_timer_ids(std::vector<TimerId> ids) {
+  timer_script_ = std::move(ids);
+}
+
+std::uint64_t DebugShim::replay_deliveries(ChannelId in) const {
+  auto it = delivery_ordinals_.find(in.value());
+  return it != delivery_ordinals_.end() ? it->second : 0;
+}
+
+bool DebugShim::replay_release(ProcessContext& ctx, ChannelId in,
+                               std::uint64_t ordinal,
+                               std::uint64_t expected_hash) {
+  auto it = gate_.begin();
+  while (it != gate_.end() && it->first != in) ++it;
+  if (it == gate_.end()) return false;
+  Message message = std::move(it->second);
+  gate_.erase(it);
+
+  const auto seen = delivery_ordinals_.find(in.value());
+  const std::uint64_t next =
+      seen != delivery_ordinals_.end() ? seen->second : 0;
+  if (next != ordinal ||
+      replay_payload_hash(message.payload) != expected_hash) {
+    if (auto* m = ctx.metrics()) m->on_replay_divergence();
+  }
+
+  bind(ctx);
+  gate_release_in_progress_ = true;
+  dispatch(ctx, in, std::move(message));
+  gate_release_in_progress_ = false;
+  flush_pending(ctx);
+  if (auto* m = ctx.metrics()) m->on_replay_delivery_replayed();
+  current_ctx_ = nullptr;
+  return true;
+}
+
+bool DebugShim::replay_fire_timer(ProcessContext& ctx, std::uint64_t ordinal) {
+  if (ordinal >= created_timers_.size() ||
+      cancelled_timer_ordinals_.count(ordinal) != 0) {
+    if (auto* m = ctx.metrics()) m->on_replay_divergence();
+    return false;
+  }
+  const TimerId timer = created_timers_[ordinal];
+  bind(ctx);
+  if (!halting_->intercept_timer(timer)) {
+    fire_user_timer(timer);
+    flush_pending(ctx);
+  }
+  if (auto* m = ctx.metrics()) m->on_replay_timer_replayed();
+  current_ctx_ = nullptr;
+  return true;
 }
 
 void DebugShim::initiate_snapshot(ProcessContext& ctx) {

@@ -27,11 +27,13 @@
 // shim never holds a pointer into caller-owned temporaries.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "clock/lamport.hpp"
@@ -43,6 +45,7 @@
 #include "core/lp_detector.hpp"
 #include "core/snapshot.hpp"
 #include "net/process.hpp"
+#include "net/replay_hooks.hpp"
 
 namespace ddbg {
 
@@ -80,6 +83,19 @@ class DebugShim final : public Process, public DebugApi {
         local_halt_report;
     std::function<void(ProcessId, std::uint64_t wave, const ProcessSnapshot&)>
         local_snapshot_report;
+    // Record mode (src/replay): when set, the shim records every input its
+    // user process is a function of — each application delivery (channel +
+    // per-channel ordinal + payload hash, at the moment it reaches the user
+    // handler), each timer creation (with the substrate's TimerId) and each
+    // timer firing.  Null keeps the record-off paths byte-identical.
+    ReplaySink* replay_record = nullptr;
+    // Replay gate mode (ReplayDriver): application deliveries are held in a
+    // FIFO gate until the driver releases them in logged order via
+    // replay_release(); timers never reach the substrate and fire only via
+    // replay_fire_timer().  At halt entry the gate drains into the halting
+    // engine so the backlog is recorded as channel state — exactly the
+    // messages the original cut had in its channels.
+    bool replay_gate = false;
   };
 
   DebugShim(ProcessId self, ProcessPtr user, Options options);
@@ -126,6 +142,26 @@ class DebugShim final : public Process, public DebugApi {
   // Programmatic C&L recording initiation.
   void initiate_snapshot(ProcessContext& ctx);
 
+  // ---- replay gate (ReplayDriver; requires Options::replay_gate) ----
+  // Gated (arrived, not yet released) application messages on `in`.
+  [[nodiscard]] std::size_t replay_gate_depth(ChannelId in) const;
+  [[nodiscard]] std::size_t replay_gate_total() const { return gate_.size(); }
+  // Seed the TimerIds the recorded run's substrate returned, indexed by
+  // creation ordinal, so replayed set_timer calls hand back the same ids.
+  void replay_preload_timer_ids(std::vector<TimerId> ids);
+  // Release the next gated message on `in` to the user process.  `ordinal`
+  // and `expected_hash` come from the log's Deliver record; a mismatch
+  // counts a divergence (the message is still delivered — replay keeps
+  // going so the divergence report covers the whole run).  Returns false
+  // if nothing is gated on `in`.
+  bool replay_release(ProcessContext& ctx, ChannelId in, std::uint64_t ordinal,
+                      std::uint64_t expected_hash);
+  // Fire the timer created as this process's `ordinal`-th.  Returns false
+  // (and counts a divergence) if no such timer exists or it was cancelled.
+  bool replay_fire_timer(ProcessContext& ctx, std::uint64_t ordinal);
+  // Deliveries handed to the user process so far (record + replay modes).
+  [[nodiscard]] std::uint64_t replay_deliveries(ChannelId in) const;
+
  private:
   class ShimContext;
 
@@ -160,6 +196,13 @@ class DebugShim final : public Process, public DebugApi {
   void do_resume(ProcessContext& ctx, std::uint64_t wave);
   [[nodiscard]] std::uint64_t next_message_id();
   void bind(ProcessContext& ctx);
+  // set_timer/cancel_timer interposition (recording + replay gating).
+  TimerId interpose_set_timer(ProcessContext& outer, Duration delay);
+  void interpose_cancel_timer(ProcessContext& outer, TimerId timer);
+  // Records the firing (record mode) and runs the user timer handler.
+  void fire_user_timer(TimerId timer);
+  // Drains the replay gate into the halting engine at halt entry.
+  void maybe_flush_gate();
 
   ProcessId self_;
   const Topology* topology_ = nullptr;  // bound in on_start
@@ -183,6 +226,24 @@ class DebugShim final : public Process, public DebugApi {
   std::vector<PendingForward> pending_forwards_;
   std::vector<PendingNotify> pending_notifies_;
   std::vector<PendingTrigger> pending_triggers_;
+
+  // ---- record/replay state ----
+  // Per-channel count of application messages handed to the user handler;
+  // the next delivery's ordinal in both record and replay modes.
+  std::unordered_map<std::uint32_t, std::uint64_t> delivery_ordinals_;
+  // Replay gate: arrived-but-unreleased application messages, in global
+  // arrival order (per-channel FIFO is a consequence).
+  std::deque<std::pair<ChannelId, Message>> gate_;
+  bool gate_release_in_progress_ = false;
+  std::uint64_t timers_created_ = 0;
+  // Record mode: live substrate TimerId -> creation ordinal (erased on
+  // fire/cancel so only pending timers stay mapped).
+  std::unordered_map<std::uint32_t, std::uint64_t> timer_ordinal_by_id_;
+  // Replay mode: creation ordinal -> TimerId handed back to the user
+  // (scripted from the log, synthetic past the script's end).
+  std::vector<TimerId> timer_script_;
+  std::vector<TimerId> created_timers_;
+  std::unordered_set<std::uint64_t> cancelled_timer_ordinals_;
 };
 
 // Convenience: wrap each user process in a shim.  The debugger process slot

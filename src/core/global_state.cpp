@@ -158,6 +158,33 @@ std::size_t GlobalState::total_channel_messages() const {
   return total;
 }
 
+Bytes GlobalState::encode_snapshots() const {
+  ByteWriter writer;
+  writer.varint(snapshots_.size());
+  for (const auto& [process, snapshot] : snapshots_) {
+    snapshot.encode(writer);
+  }
+  return std::move(writer).take();
+}
+
+Result<GlobalState> GlobalState::decode_snapshots(
+    HaltId id, std::span<const std::uint8_t> data) {
+  ByteReader reader(data);
+  GlobalState state(id);
+  auto count = reader.count();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto snapshot = ProcessSnapshot::decode(reader);
+    if (!snapshot.ok()) return snapshot.error();
+    state.add(std::move(snapshot).value());
+  }
+  if (reader.remaining() != 0) {
+    return Error(ErrorCode::kParseError,
+                 "trailing bytes after encoded global state");
+  }
+  return state;
+}
+
 std::string GlobalState::describe() const {
   std::ostringstream out;
   out << "global state (wave " << id_.value() << "), " << snapshots_.size()

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,14 @@ class GlobalState {
   [[nodiscard]] std::size_t total_channel_messages() const;
 
   [[nodiscard]] std::string describe() const;
+
+  // Wire form: varint count + ProcessSnapshot encodings, the same
+  // per-snapshot format the aggregation convergecast ships.  Used by the
+  // session protocol (state/snapshot payloads) and the replay log's
+  // HaltCut records.
+  [[nodiscard]] Bytes encode_snapshots() const;
+  [[nodiscard]] static Result<GlobalState> decode_snapshots(
+      HaltId id, std::span<const std::uint8_t> data);
 
  private:
   HaltId id_;

@@ -191,6 +191,11 @@ void DebuggerProcess::check_wave_complete(ProcessContext& ctx, WaveInfo& wave,
   if (halt) {
     DDBG_INFO() << "debugger: halt wave " << wave.id << " complete at "
                 << to_string(wave.completed_at);
+    // Record the assembled S_h: the replay log's ground truth for "the
+    // consistent cut this run actually took" (Theorem-2 comparison target).
+    if (replay_sink_ != nullptr) {
+      replay_sink_->record_halt_cut(wave.id, wave.state.encode_snapshots());
+    }
   }
 }
 

@@ -33,6 +33,7 @@
 #include "core/global_state.hpp"
 #include "core/predicate.hpp"
 #include "net/process.hpp"
+#include "net/replay_hooks.hpp"
 
 namespace ddbg {
 
@@ -57,6 +58,10 @@ class DebuggerProcess final : public Process {
   };
 
   DebuggerProcess() = default;
+
+  // Record every completed halt wave's assembled S_h into a replay log
+  // (src/replay).  Called before the run starts; null disables recording.
+  void set_replay_sink(ReplaySink* sink) { replay_sink_ = sink; }
 
   // ---- Process ----
   void on_start(ProcessContext& ctx) override;
@@ -130,6 +135,7 @@ class DebuggerProcess final : public Process {
 
   const Topology* topology_ = nullptr;  // bound in on_start
   ProcessId self_;
+  ReplaySink* replay_sink_ = nullptr;
   // Direct tier children (all user processes in flat mode, the top layer of
   // aggregators in tree mode).  Immutable after on_start.
   std::vector<ProcessId> children_;

@@ -15,7 +15,8 @@ struct WiredSystem {
 WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
                  std::uint32_t debugger_fanout,
                  DebugShim::Options shim_options,
-                 std::shared_ptr<std::atomic<std::size_t>> armed_count) {
+                 std::shared_ptr<std::atomic<std::size_t>> armed_count,
+                 ReplaySink* replay = nullptr) {
   // Count armed watches harness-wide, chaining any hook the caller set.
   // The counter outlives the shims via shared ownership, and the hook runs
   // on process threads — hence the atomic.
@@ -25,6 +26,9 @@ WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
     armed_count->fetch_add(1, std::memory_order_acq_rel);
     if (user_hook) user_hook(p, bp);
   };
+  // Record mode: every shim logs its user-boundary inputs, the debugger
+  // logs completed halt cuts.  (The harness owns the sink's lifetime.)
+  if (replay != nullptr) shim_options.replay_record = replay;
   WiredSystem wired;
   wired.topology = debugger_fanout == 0
                        ? user_topology.with_debugger()
@@ -37,6 +41,7 @@ WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
     wired.processes.push_back(std::make_unique<AggregatorProcess>());
   }
   auto debugger = std::make_unique<DebuggerProcess>();
+  debugger->set_replay_sink(replay);
   wired.debugger = debugger.get();
   wired.processes.push_back(std::move(debugger));
   return wired;
@@ -47,9 +52,11 @@ WiredSystem wire(const Topology& user_topology, std::vector<ProcessPtr> users,
 SimDebugHarness::SimDebugHarness(const Topology& user_topology,
                                  std::vector<ProcessPtr> users,
                                  HarnessConfig config) {
+  replay_ = config.replay;
   WiredSystem wired = wire(user_topology, std::move(users),
                            config.debugger_fanout,
-                           std::move(config.shim_options), armed_count_);
+                           std::move(config.shim_options), armed_count_,
+                           replay_.get());
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();
 
@@ -76,9 +83,11 @@ DebugShim& SimDebugHarness::shim(ProcessId p) {
 RuntimeDebugHarness::RuntimeDebugHarness(const Topology& user_topology,
                                          std::vector<ProcessPtr> users,
                                          HarnessConfig config) {
+  replay_ = config.replay;
   WiredSystem wired = wire(user_topology, std::move(users),
                            config.debugger_fanout,
-                           std::move(config.shim_options), armed_count_);
+                           std::move(config.shim_options), armed_count_,
+                           replay_.get());
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();
 
@@ -86,6 +95,7 @@ RuntimeDebugHarness::RuntimeDebugHarness(const Topology& user_topology,
   runtime_config.seed = config.seed;
   runtime_config.faults = std::move(config.faults);
   runtime_config.reliable = config.reliable;
+  runtime_config.replay = replay_;
   runtime_ = std::make_unique<Runtime>(std::move(wired.topology),
                                        std::move(wired.processes),
                                        runtime_config);
@@ -105,9 +115,11 @@ DebugShim& RuntimeDebugHarness::shim(ProcessId p) {
 TcpDebugHarness::TcpDebugHarness(const Topology& user_topology,
                                  std::vector<ProcessPtr> users,
                                  HarnessConfig config) {
+  replay_ = config.replay;
   WiredSystem wired = wire(user_topology, std::move(users),
                            config.debugger_fanout,
-                           std::move(config.shim_options), armed_count_);
+                           std::move(config.shim_options), armed_count_,
+                           replay_.get());
   debugger_ = wired.debugger;
   debugger_id_ = wired.topology.debugger_id();
 
@@ -115,6 +127,7 @@ TcpDebugHarness::TcpDebugHarness(const Topology& user_topology,
   tcp_config.seed = config.seed;
   tcp_config.faults = std::move(config.faults);
   tcp_config.reliable = config.reliable;
+  tcp_config.replay = replay_;
   tcp_ = std::make_unique<TcpRuntime>(std::move(wired.topology),
                                       std::move(wired.processes),
                                       tcp_config);

@@ -93,6 +93,10 @@ struct HarnessConfig {
   // Simulator worker threads (SimulationConfig::workers); results are
   // byte-identical for any value.  Ignored by the threaded runtime.
   std::uint32_t workers = 1;
+  // Record/replay sink (src/replay): wired into every DebugShim (delivery/
+  // timer records), the DebuggerProcess (halt cuts) and the substrate
+  // (fault/reconnect annotations).  Null keeps every path untouched.
+  std::shared_ptr<ReplaySink> replay;
 };
 
 // Deterministic-simulator harness.
@@ -118,6 +122,7 @@ class SimDebugHarness {
  private:
   std::shared_ptr<std::atomic<std::size_t>> armed_count_ =
       std::make_shared<std::atomic<std::size_t>>(0);
+  std::shared_ptr<ReplaySink> replay_;  // keeps the recorder alive
   std::unique_ptr<Simulation> sim_;
   DebuggerProcess* debugger_ = nullptr;  // owned by sim_
   ProcessId debugger_id_;
@@ -156,6 +161,7 @@ class RuntimeDebugHarness {
  private:
   std::shared_ptr<std::atomic<std::size_t>> armed_count_ =
       std::make_shared<std::atomic<std::size_t>>(0);
+  std::shared_ptr<ReplaySink> replay_;  // keeps the recorder alive
   std::unique_ptr<Runtime> runtime_;
   DebuggerProcess* debugger_ = nullptr;  // owned by runtime_
   ProcessId debugger_id_;
@@ -195,6 +201,7 @@ class TcpDebugHarness {
  private:
   std::shared_ptr<std::atomic<std::size_t>> armed_count_ =
       std::make_shared<std::atomic<std::size_t>>(0);
+  std::shared_ptr<ReplaySink> replay_;  // keeps the recorder alive
   std::unique_ptr<TcpRuntime> tcp_;
   DebuggerProcess* debugger_ = nullptr;  // owned by tcp_
   ProcessId debugger_id_;

@@ -1,0 +1,135 @@
+#include "debugger/port_file.hpp"
+
+#include <signal.h>
+#include <stdio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace ddbg {
+
+namespace {
+
+// Strict decimal parse; returns -1 on anything but digits.
+std::int64_t parse_decimal(const std::string& text) {
+  if (text.empty() || text.size() > 18) return -1;
+  std::int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::string trimmed(std::string line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                           line.back() == ' ' || line.back() == '\t')) {
+    line.pop_back();
+  }
+  std::size_t begin = 0;
+  while (begin < line.size() &&
+         (line[begin] == ' ' || line[begin] == '\t')) {
+    ++begin;
+  }
+  return line.substr(begin);
+}
+
+}  // namespace
+
+Status write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Error(ErrorCode::kInternal,
+                   "cannot write port file " + tmp);
+    }
+    out << "DDBG_CONTROL_PORT=" << port << "\n"
+        << "DDBG_SERVER_PID=" << static_cast<std::int64_t>(::getpid())
+        << "\n";
+    out.flush();
+    if (!out) {
+      return Error(ErrorCode::kInternal,
+                   "short write to port file " + tmp);
+    }
+  }
+  // rename(2) is atomic within a filesystem: a concurrent reader sees
+  // either the old complete file or the new complete file, never a torn
+  // prefix.
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::remove(tmp.c_str());
+    return Error(ErrorCode::kInternal,
+                 "rename " + tmp + " -> " + path + ": " +
+                     std::string(::strerror(err)));
+  }
+  return Status::ok_status();
+}
+
+bool process_alive(std::int64_t pid) {
+  if (pid <= 0) return true;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  // EPERM means the process exists but belongs to someone else; only
+  // ESRCH proves it is gone.
+  return errno != ESRCH;
+}
+
+Result<PortFileEntry> read_port_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "no port file at " + path);
+  }
+  PortFileEntry entry;
+  bool saw_port = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trimmed(line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // Legacy format: a single bare port number, no PID.
+      const std::int64_t port = parse_decimal(line);
+      if (port <= 0 || port > 65535) {
+        return Error(ErrorCode::kParseError,
+                     "malformed port file line: " + line);
+      }
+      entry.port = static_cast<std::uint16_t>(port);
+      saw_port = true;
+      continue;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = trimmed(line.substr(eq + 1));
+    if (key == "DDBG_CONTROL_PORT") {
+      const std::int64_t port = parse_decimal(value);
+      if (port <= 0 || port > 65535) {
+        return Error(ErrorCode::kParseError,
+                     "malformed port in port file: " + value);
+      }
+      entry.port = static_cast<std::uint16_t>(port);
+      saw_port = true;
+    } else if (key == "DDBG_SERVER_PID") {
+      const std::int64_t pid = parse_decimal(value);
+      if (pid <= 0) {
+        return Error(ErrorCode::kParseError,
+                     "malformed pid in port file: " + value);
+      }
+      entry.pid = pid;
+    }
+    // Unknown keys are ignored: the format may grow.
+  }
+  if (!saw_port) {
+    return Error(ErrorCode::kNotFound,
+                 "port file " + path + " has no port yet");
+  }
+  if (entry.pid != 0 && !process_alive(entry.pid)) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "stale port file " + path + ": server pid " +
+                     std::to_string(entry.pid) + " is gone");
+  }
+  return entry;
+}
+
+}  // namespace ddbg

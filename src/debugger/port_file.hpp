@@ -1,0 +1,52 @@
+// Control-port files: how a ddbg_target publishes its session listener to
+// ddbg clients on the same host.
+//
+// The old scheme — write the bare port number, client polls until the file
+// is non-empty — had a stale-port race: a port file left behind by a dead
+// target (crashed before cleanup, or the client started after the target
+// exited) made the client dial a port that may now belong to an unrelated
+// process.  Two fixes, both here:
+//
+//   * writes are atomic: the file is written to "<path>.tmp" and
+//     rename(2)d into place, so a polling reader never observes a torn
+//     half-written entry;
+//   * the file carries the server's PID next to the port, and the reader
+//     rejects entries whose PID is no longer alive (kill(pid, 0) ==
+//     ESRCH), so a stale file reads as "not ready", never as a port.
+//
+// Format (one key per line, shell-sourceable):
+//
+//   DDBG_CONTROL_PORT=41233
+//   DDBG_SERVER_PID=7421
+//
+// Bare-port files written by older targets (a single "41233" line) are
+// still accepted — they carry no PID, so no liveness check applies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace ddbg {
+
+struct PortFileEntry {
+  std::uint16_t port = 0;
+  // 0 = the file did not name a server PID (legacy bare-port format).
+  std::int64_t pid = 0;
+};
+
+// Atomically publish `port` (and this process's PID) at `path`.
+[[nodiscard]] Status write_port_file(const std::string& path,
+                                     std::uint16_t port);
+
+// Parse `path`.  Errors: kNotFound (missing/empty — poll again),
+// kParseError (malformed), kFailedPrecondition (the named server PID is dead —
+// the entry is stale and must not be dialed).
+[[nodiscard]] Result<PortFileEntry> read_port_file(const std::string& path);
+
+// Liveness probe used by read_port_file; exposed for tests.  pid <= 0 is
+// treated as alive (nothing to check).
+[[nodiscard]] bool process_alive(std::int64_t pid);
+
+}  // namespace ddbg

@@ -40,10 +40,12 @@ enum class SessionOp : std::uint8_t {
   kMetrics = 9,   //                     -> text: ddbg.metrics.v1 JSON
   kResume = 10,   //                     -> (ack)
   kQuit = 11,     //                     -> (ack; server closes the session)
+  kReplay = 12,   // text: replay command ("load <path>" | "run" | "back" |
+                  // "cut <k>" | "status") -> text: report (src/replay)
 };
 
 inline constexpr std::uint8_t kMaxSessionOp =
-    static_cast<std::uint8_t>(SessionOp::kQuit);
+    static_cast<std::uint8_t>(SessionOp::kReplay);
 
 struct SessionRequest {
   std::uint64_t req_id = 0;

@@ -71,6 +71,9 @@ std::string repl_help() {
       "  hits             list recorded breakpoint hits\n"
       "  metrics          dump the target's metrics JSON\n"
       "  resume           resume the halted computation\n"
+      "  replay <cmd>     record/replay time travel: `replay load <path>`,\n"
+      "                   `replay run`, `replay back`, `replay cut <k>`,\n"
+      "                   `replay status` (target must record: --record)\n"
       "  quit             end the session\n"
       "  expect <substr>  (batch) assert the last response contains <substr>\n"
       "  help             this list";
@@ -116,6 +119,15 @@ Result<ReplLine> parse_repl_line(std::string_view raw) {
     if (!pid.ok()) return pid.error();
     out.op = SessionOp::kInspect;
     out.number = pid.value();
+    return out;
+  }
+  if (word == "replay") {
+    if (rest.empty()) {
+      return Error(ErrorCode::kParseError,
+                   "replay needs a subcommand (load|run|back|cut|status)");
+    }
+    out.op = SessionOp::kReplay;
+    out.text = std::string(rest);
     return out;
   }
 

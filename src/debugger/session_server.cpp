@@ -33,17 +33,6 @@ std::string process_name(ProcessId p) {
   return "p" + std::to_string(p.value());
 }
 
-// varint count + ProcessSnapshot encodings, the same per-snapshot wire
-// format the aggregation convergecast ships.
-Bytes encode_snapshots(const GlobalState& state) {
-  ByteWriter writer;
-  writer.varint(state.size());
-  for (const auto& [process, snapshot] : state.snapshots()) {
-    snapshot.encode(writer);
-  }
-  return std::move(writer).take();
-}
-
 std::string describe_wave(const DebuggerProcess::WaveInfo& wave,
                           const char* what) {
   std::string out = what;
@@ -72,6 +61,12 @@ void SessionServer::set_metrics_json_source(
     std::function<std::string()> source) {
   std::lock_guard<std::mutex> guard{mutex_};
   metrics_json_ = std::move(source);
+}
+
+void SessionServer::set_replay_handler(
+    std::function<Result<std::string>(const std::string&)> handler) {
+  std::lock_guard<std::mutex> guard{mutex_};
+  replay_handler_ = std::move(handler);
 }
 
 void SessionServer::adopt(int fd) {
@@ -314,7 +309,7 @@ SessionResponse SessionServer::handle(Client& client,
           request.req_id,
           describe_wave(*wave, "S_h of") + "\n" + wave->state.describe(),
           static_cast<std::int64_t>(wave->id),
-          encode_snapshots(wave->state));
+          wave->state.encode_snapshots());
     }
     case SessionOp::kSnapshot: {
       std::lock_guard<std::mutex> wave_guard{wave_mutex_};
@@ -330,7 +325,7 @@ SessionResponse SessionServer::handle(Client& client,
           request.req_id,
           describe_wave(*wave, "S_r of") + "\n" + wave->state.describe(),
           static_cast<std::int64_t>(wave->id),
-          encode_snapshots(wave->state));
+          wave->state.encode_snapshots());
     }
     case SessionOp::kInspect: {
       if (request.number < 0 ||
@@ -426,6 +421,28 @@ SessionResponse SessionServer::handle(Client& client,
         halt_owner_ = 0;
       }
       return SessionResponse::success(request.req_id, "resumed");
+    }
+    case SessionOp::kReplay: {
+      std::function<Result<std::string>(const std::string&)> handler;
+      {
+        std::lock_guard<std::mutex> guard{mutex_};
+        handler = replay_handler_;
+      }
+      if (!handler) {
+        return SessionResponse::failure(
+            request.req_id,
+            Error(ErrorCode::kFailedPrecondition,
+                  "target was not started with recording "
+                  "(ddbg_target --record <dir>)"));
+      }
+      // Replays run a private simulation; they never touch the live
+      // target's waves, so no wave_mutex_ here.
+      auto report = handler(request.text);
+      if (!report.ok()) {
+        return SessionResponse::failure(request.req_id, report.error());
+      }
+      return SessionResponse::success(request.req_id,
+                                      std::move(report).value());
     }
     case SessionOp::kQuit:
       return SessionResponse::success(request.req_id, "bye");

@@ -72,6 +72,14 @@ class SessionServer {
   // The kMetrics op answers with this supplier's JSON; unset -> error.
   void set_metrics_json_source(std::function<std::string()> source);
 
+  // The kReplay op hands its command text ("load <path>", "run", "back",
+  // "cut <k>", "status") to this handler and answers with the returned
+  // report text; unset -> error.  The server stays agnostic of the replay
+  // machinery (src/replay) — embedders that record wire a
+  // ReplayCommandHandler in, everything else keeps the op disabled.
+  void set_replay_handler(
+      std::function<Result<std::string>(const std::string&)> handler);
+
   // Close every client socket and join every service thread.  Idempotent.
   void stop();
 
@@ -119,6 +127,7 @@ class SessionServer {
   std::mutex wave_mutex_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::function<std::string()> metrics_json_;
+  std::function<Result<std::string>(const std::string&)> replay_handler_;
   std::uint64_t next_session_id_ = 1;
   std::uint64_t sessions_served_ = 0;
   // Session holding the current unresumed halt (0 = none).

@@ -143,6 +143,21 @@ MetricsSnapshot MetricsRegistry::snapshot(TimePoint now) const {
   snap.session.halts_handed_off = session_.halts_handed_off.get();
   snap.session.halts_released = session_.halts_released.get();
 
+  snap.replay.deliveries_logged = replay_.deliveries_logged.get();
+  snap.replay.timer_sets_logged = replay_.timer_sets_logged.get();
+  snap.replay.timer_fires_logged = replay_.timer_fires_logged.get();
+  snap.replay.cuts_logged = replay_.cuts_logged.get();
+  snap.replay.annotations_logged = replay_.annotations_logged.get();
+  snap.replay.records_logged =
+      snap.replay.deliveries_logged + snap.replay.timer_sets_logged +
+      snap.replay.timer_fires_logged + snap.replay.cuts_logged +
+      snap.replay.annotations_logged;
+  snap.replay.log_bytes = replay_.log_bytes.get();
+  snap.replay.deliveries_replayed = replay_.deliveries_replayed.get();
+  snap.replay.timers_replayed = replay_.timers_replayed.get();
+  snap.replay.cuts_replayed = replay_.cuts_replayed.get();
+  snap.replay.divergences = replay_.divergences.get();
+
   snap.processes.resize(process_queue_depth_.size());
   for (std::size_t i = 0; i < snap.processes.size(); ++i) {
     snap.processes[i].id = static_cast<std::uint32_t>(i);
@@ -300,6 +315,30 @@ std::string MetricsSnapshot::to_json() const {
   append_u64(out, session.halts_handed_off);
   out += ",\"halts_released\":";
   append_u64(out, session.halts_released);
+  out += '}';
+
+  out += ",\"replay\":{\"records_logged\":";
+  append_u64(out, replay.records_logged);
+  out += ",\"deliveries_logged\":";
+  append_u64(out, replay.deliveries_logged);
+  out += ",\"timer_sets_logged\":";
+  append_u64(out, replay.timer_sets_logged);
+  out += ",\"timer_fires_logged\":";
+  append_u64(out, replay.timer_fires_logged);
+  out += ",\"cuts_logged\":";
+  append_u64(out, replay.cuts_logged);
+  out += ",\"annotations_logged\":";
+  append_u64(out, replay.annotations_logged);
+  out += ",\"log_bytes\":";
+  append_u64(out, replay.log_bytes);
+  out += ",\"deliveries_replayed\":";
+  append_u64(out, replay.deliveries_replayed);
+  out += ",\"timers_replayed\":";
+  append_u64(out, replay.timers_replayed);
+  out += ",\"cuts_replayed\":";
+  append_u64(out, replay.cuts_replayed);
+  out += ",\"divergences\":";
+  append_u64(out, replay.divergences);
   out += '}';
 
   out += ",\"processes\":[";

@@ -245,6 +245,25 @@ struct SessionSnapshot {
   std::uint64_t halts_released = 0;
 };
 
+// Record/replay bookkeeping (src/replay).  The *_logged counters count
+// records appended while recording; the *_replayed counters count records
+// re-executed by a ReplayDriver.  A registry only ever sees one side: the
+// recorded run logs, the replaying simulation replays.  All zero when no
+// recorder/driver is attached.
+struct ReplaySnapshot {
+  std::uint64_t records_logged = 0;  // sum of the five *_logged counters
+  std::uint64_t deliveries_logged = 0;
+  std::uint64_t timer_sets_logged = 0;
+  std::uint64_t timer_fires_logged = 0;
+  std::uint64_t cuts_logged = 0;
+  std::uint64_t annotations_logged = 0;
+  std::uint64_t log_bytes = 0;  // encoded log size at save (gauge)
+  std::uint64_t deliveries_replayed = 0;
+  std::uint64_t timers_replayed = 0;
+  std::uint64_t cuts_replayed = 0;
+  std::uint64_t divergences = 0;  // payload-hash mismatches during replay
+};
+
 struct MetricsSnapshot {
   std::string runtime;  // "sim" | "threads" | "tcp"
   std::int64_t elapsed_ns = 0;
@@ -252,6 +271,7 @@ struct MetricsSnapshot {
   TransportSnapshot transport;
   TierSnapshot tier;
   SessionSnapshot session;
+  ReplaySnapshot replay;
   std::vector<ProcessSnapshotCounters> processes;
   // Sparse: only channels with any recorded activity appear (an idle
   // channel contributes nothing to totals, so the cross-sums still hold).
@@ -361,6 +381,31 @@ class MetricsRegistry {
   void on_halt_released_on_disconnect() noexcept {
     session_.halts_released.inc();
   }
+  // Record/replay counters (src/replay).  Recording fires from process and
+  // reactor threads under the recorder's mutex; replay fires from the
+  // single-threaded driver loop.
+  void on_replay_delivery_logged() noexcept {
+    replay_.deliveries_logged.inc();
+  }
+  void on_replay_timer_set_logged() noexcept {
+    replay_.timer_sets_logged.inc();
+  }
+  void on_replay_timer_fire_logged() noexcept {
+    replay_.timer_fires_logged.inc();
+  }
+  void on_replay_cut_logged() noexcept { replay_.cuts_logged.inc(); }
+  void on_replay_annotation_logged() noexcept {
+    replay_.annotations_logged.inc();
+  }
+  void on_replay_log_bytes(std::uint64_t bytes) noexcept {
+    replay_.log_bytes.observe(bytes);
+  }
+  void on_replay_delivery_replayed() noexcept {
+    replay_.deliveries_replayed.inc();
+  }
+  void on_replay_timer_replayed() noexcept { replay_.timers_replayed.inc(); }
+  void on_replay_cut_replayed() noexcept { replay_.cuts_replayed.inc(); }
+  void on_replay_divergence() noexcept { replay_.divergences.inc(); }
 
   // ---- latency spans (rare control-plane events; mutex-guarded) ----
   // Opens a span unless one with the same key is already open (the
@@ -415,6 +460,19 @@ class MetricsRegistry {
     Counter halts_released;
   };
 
+  struct ReplayCells {
+    Counter deliveries_logged;
+    Counter timer_sets_logged;
+    Counter timer_fires_logged;
+    Counter cuts_logged;
+    Counter annotations_logged;
+    MaxGauge log_bytes;
+    Counter deliveries_replayed;
+    Counter timers_replayed;
+    Counter cuts_replayed;
+    Counter divergences;
+  };
+
   struct TransportCells {
     Counter pool_hits;
     Counter pool_misses;
@@ -443,6 +501,7 @@ class MetricsRegistry {
   TransportCells transport_;
   TierCells tier_;
   SessionCells session_;
+  ReplayCells replay_;
 
   LatencyStat span_stats_[kNumSpans];
   std::mutex span_mutex_;

@@ -1,0 +1,94 @@
+#include "replay/recorder.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace ddbg {
+
+ReplayRecorder::ReplayRecorder(ReplayLogHeader header,
+                               obs::MetricsRegistry* metrics)
+    : header_(std::move(header)), metrics_(metrics) {}
+
+void ReplayRecorder::record_delivery(ProcessId p, ChannelId in,
+                                     std::uint64_t ordinal,
+                                     std::uint64_t payload_hash,
+                                     std::uint64_t payload_bytes) {
+  ReplayRecord record;
+  record.kind = ReplayRecordKind::kDeliver;
+  record.process = p.value();
+  record.channel = in.value();
+  record.ordinal = ordinal;
+  record.hash = payload_hash;
+  record.detail = payload_bytes;
+  append(std::move(record));
+  if (metrics_ != nullptr) metrics_->on_replay_delivery_logged();
+}
+
+void ReplayRecorder::record_timer_set(ProcessId p, std::uint64_t ordinal,
+                                      TimerId timer) {
+  ReplayRecord record;
+  record.kind = ReplayRecordKind::kTimerSet;
+  record.process = p.value();
+  record.ordinal = ordinal;
+  record.timer = timer.value();
+  append(std::move(record));
+  if (metrics_ != nullptr) metrics_->on_replay_timer_set_logged();
+}
+
+void ReplayRecorder::record_timer_fire(ProcessId p, std::uint64_t ordinal) {
+  ReplayRecord record;
+  record.kind = ReplayRecordKind::kTimerFire;
+  record.process = p.value();
+  record.ordinal = ordinal;
+  append(std::move(record));
+  if (metrics_ != nullptr) metrics_->on_replay_timer_fire_logged();
+}
+
+void ReplayRecorder::record_halt_cut(std::uint64_t wave, Bytes encoded_state) {
+  ReplayRecord record;
+  record.kind = ReplayRecordKind::kHaltCut;
+  record.wave = wave;
+  record.state = std::move(encoded_state);
+  append(std::move(record));
+  if (metrics_ != nullptr) metrics_->on_replay_cut_logged();
+}
+
+void ReplayRecorder::record_annotation(std::uint8_t kind, ChannelId channel,
+                                       std::uint64_t detail) {
+  ReplayRecord record;
+  record.kind = ReplayRecordKind::kAnnotation;
+  record.channel = channel.value();
+  record.annotation = kind;
+  record.detail = detail;
+  append(std::move(record));
+  if (metrics_ != nullptr) metrics_->on_replay_annotation_logged();
+}
+
+std::size_t ReplayRecorder::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+ReplayLog ReplayRecorder::log() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ReplayLog log;
+  log.header = header_;
+  log.records = records_;
+  return log;
+}
+
+Status ReplayRecorder::save(const std::string& path) const {
+  ReplayLog snapshot = log();
+  if (metrics_ != nullptr) {
+    metrics_->on_replay_log_bytes(snapshot.encode().size());
+  }
+  return snapshot.save(path);
+}
+
+void ReplayRecorder::append(ReplayRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+}  // namespace ddbg

@@ -1,0 +1,64 @@
+// ReplayRecorder: the concrete ReplaySink that builds a ReplayLog.
+//
+// One recorder serves a whole run: every DebugShim, the debugger process
+// and the transport layer append through it.  On the threaded and TCP
+// substrates those calls arrive concurrently from many process/reactor
+// threads, so appends are serialized by a mutex — the resulting global
+// order is exactly the order the mutex granted, which respects causality
+// (a message is sent, under some earlier record's handler, before its own
+// delivery record can be appended).  Recording is off-hot-path by design:
+// one small struct append per user-boundary event, no encoding until
+// finish().
+#pragma once
+
+#include <mutex>
+
+#include "net/replay_hooks.hpp"
+#include "replay/replay_log.hpp"
+
+namespace ddbg::obs {
+class MetricsRegistry;
+}  // namespace ddbg::obs
+
+namespace ddbg {
+
+class ReplayRecorder final : public ReplaySink {
+ public:
+  // `header` describes the run being recorded (seed, substrate, workload,
+  // topology bounds).  `metrics` may be null; when set, the recorder keeps
+  // the `replay` metrics block of the recorded run's registry current.
+  explicit ReplayRecorder(ReplayLogHeader header,
+                          obs::MetricsRegistry* metrics = nullptr);
+
+  // The recorded run's registry is usually constructed after the recorder
+  // (it lives inside the substrate); attach it before the run starts.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // ---- ReplaySink ----
+  void record_delivery(ProcessId p, ChannelId in, std::uint64_t ordinal,
+                       std::uint64_t payload_hash,
+                       std::uint64_t payload_bytes) override;
+  void record_timer_set(ProcessId p, std::uint64_t ordinal,
+                        TimerId timer) override;
+  void record_timer_fire(ProcessId p, std::uint64_t ordinal) override;
+  void record_halt_cut(std::uint64_t wave, Bytes encoded_state) override;
+  void record_annotation(std::uint8_t kind, ChannelId channel,
+                         std::uint64_t detail) override;
+
+  // ---- results ----
+  [[nodiscard]] std::size_t records() const;
+  // Snapshot of the log so far (copies; the recorder keeps recording).
+  [[nodiscard]] ReplayLog log() const;
+  // Encode and write the log; records the final log size in metrics.
+  [[nodiscard]] Status save(const std::string& path) const;
+
+ private:
+  void append(ReplayRecord record);
+
+  ReplayLogHeader header_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::vector<ReplayRecord> records_;
+};
+
+}  // namespace ddbg

@@ -1,0 +1,132 @@
+// ReplayDriver: maps a recorded ReplayLog onto the deterministic simulator
+// and re-executes the run input-for-input.
+//
+// The driver builds a SimDebugHarness whose shims run in replay-gate mode
+// (DebugShim::Options::replay_gate): every application delivery is held in
+// a per-process FIFO gate, and timers never reach the substrate.  It then
+// walks the log's records in order —
+//
+//   Deliver    advance virtual time until the message sits in the gate,
+//              then release it to the user handler, checking ordinal and
+//              payload hash against the record;
+//   TimerFire  fire the timer created as the recorded ordinal;
+//   TimerSet   already consumed: the full timer-id script is preloaded
+//              into each shim before on_start, so replayed set_timer calls
+//              hand back the recorded substrate ids verbatim;
+//   HaltCut    drive a halt wave through the real DebuggerSession, wait
+//              for the assembled S_h and verify it is equivalent() to the
+//              recorded cut (Theorem-2 check: state bytes and channel
+//              contents, not clocks or paths);
+//   Annotation transport provenance (fault draws, reconnects) — counted,
+//              never acted on: the reliability layer already made user-level
+//              delivery exactly-once FIFO, so replay is the fault-free
+//              equivalent run.
+//
+// Because release order is the logged order and the gate drains into the
+// halting engine at halt entry, the replayed wave's channel state is
+// exactly the messages the original cut had in flight.  Two replays of the
+// same log are byte-identical: Report::describe(), the final user states
+// and the metrics JSON can all be diffed byte-for-byte.
+//
+// Reverse-continue ("back"): Options::stop_after_cut = k replays the
+// prefix of the log up to the k-th halt cut and leaves the system halted
+// there — time travel to an earlier consistent cut by deterministic
+// re-execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "debugger/harness.hpp"
+#include "replay/replay_log.hpp"
+
+namespace ddbg {
+
+class ReplayDriver {
+ public:
+  struct Options {
+    // Virtual-time budget for each record to become actionable (message
+    // reaching the gate, posted closure running).  Generous by default:
+    // exceeding it means the replay diverged (the expected input never
+    // materialized), not that the run is slow.
+    Duration step_timeout = Duration::seconds(10);
+    // Budget for a replayed halt wave to assemble and for resume.
+    Duration halt_timeout = Duration::seconds(10);
+    // 0 = replay the whole log.  k >= 1 = stop at the k-th HaltCut record
+    // and leave the system halted there (reverse-continue target).
+    std::uint64_t stop_after_cut = 0;
+    // Extra shim options (trace sinks, breakpoint hooks) merged into the
+    // gate-mode configuration.  replay_gate is forced on, replay_record
+    // forced off.
+    DebugShim::Options shim_options;
+  };
+
+  struct Report {
+    // Records consumed, by kind.
+    std::uint64_t deliveries = 0;
+    std::uint64_t timer_sets = 0;
+    std::uint64_t timer_fires = 0;
+    std::uint64_t cuts = 0;
+    std::uint64_t annotations = 0;
+    // HaltCut records whose replayed S_h was equivalent() to the recorded
+    // one; first_difference() strings for the rest.
+    std::uint64_t cuts_matched = 0;
+    std::vector<std::string> cut_diffs;
+    // Ordinal/hash mismatches and missing timers (replay kept going).
+    std::uint64_t divergences = 0;
+    // Replay stopped at Options::stop_after_cut and the system is halted
+    // there (inspect via harness().session()).
+    bool halted_at_cut = false;
+    // Empty = every requested record was consumed.  Non-empty = the replay
+    // could not proceed (expected input never arrived, wave never
+    // completed); describes the first fatal problem.
+    std::string error;
+    // Final describe_state() of every user process, in id order.
+    std::vector<std::string> final_states;
+    // The replay simulation's metrics snapshot (deterministic: virtual
+    // time only).
+    std::string metrics_json;
+
+    [[nodiscard]] bool ok() const { return error.empty(); }
+    // Deterministic multi-line summary — byte-identical across replays of
+    // the same log; CI diffs it.
+    [[nodiscard]] std::string describe() const;
+  };
+
+  // `users` must match the log header: header.num_user_processes processes
+  // whose behavior is the recorded workload's (same code, same start
+  // states).  `user_topology` is the user-level topology the run was
+  // recorded on; the driver re-extends it with the recorded debugger
+  // fanout.
+  ReplayDriver(ReplayLog log, const Topology& user_topology,
+               std::vector<ProcessPtr> users);
+  ReplayDriver(ReplayLog log, const Topology& user_topology,
+               std::vector<ProcessPtr> users, Options options);
+
+  // Re-execute (the prefix of) the log.  Call once.
+  Report run();
+
+  // The underlying harness — live after run() returned with
+  // halted_at_cut, for inspecting the time-traveled state.
+  [[nodiscard]] SimDebugHarness& harness() { return *harness_; }
+  [[nodiscard]] const ReplayLog& log() const { return log_; }
+
+ private:
+  // Pump virtual time until `condition` holds; false = timed out.
+  bool pump(const std::function<bool()>& condition);
+  bool replay_deliver(const ReplayRecord& record, Report& report);
+  bool replay_timer_fire(const ReplayRecord& record, Report& report);
+  bool replay_halt_cut(const ReplayRecord& record, Report& report,
+                       std::uint64_t cut_index);
+
+  ReplayLog log_;
+  Options options_;
+  std::uint32_t num_users_ = 0;
+  std::unique_ptr<SimDebugHarness> harness_;
+  bool ran_ = false;
+};
+
+}  // namespace ddbg

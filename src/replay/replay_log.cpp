@@ -1,0 +1,376 @@
+#include "replay/replay_log.hpp"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "net/framing.hpp"
+#include "net/replay_hooks.hpp"
+
+namespace ddbg {
+
+void ReplayLogHeader::encode(ByteWriter& writer) const {
+  writer.u32(kReplayLogMagic);
+  writer.u16(kReplayLogVersion);
+  writer.u64(seed);
+  writer.str(substrate);
+  writer.str(workload);
+  writer.varint(num_user_processes);
+  writer.varint(debugger_fanout);
+  writer.varint(num_channels);
+  writer.str(fault_spec);
+}
+
+Result<ReplayLogHeader> ReplayLogHeader::decode(ByteReader& reader) {
+  auto magic = reader.u32();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kReplayLogMagic) {
+    return Error(ErrorCode::kParseError, "not a replay log (bad magic)");
+  }
+  auto version = reader.u16();
+  if (!version.ok()) return version.error();
+  if (version.value() != kReplayLogVersion) {
+    return Error(ErrorCode::kParseError,
+                 "unsupported replay log version " +
+                     std::to_string(version.value()));
+  }
+  ReplayLogHeader header;
+  auto seed = reader.u64();
+  if (!seed.ok()) return seed.error();
+  header.seed = seed.value();
+  auto substrate = reader.str();
+  if (!substrate.ok()) return substrate.error();
+  header.substrate = std::move(substrate).value();
+  auto workload = reader.str();
+  if (!workload.ok()) return workload.error();
+  header.workload = std::move(workload).value();
+  auto n = reader.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() == 0 || n.value() > 1'000'000) {
+    return Error(ErrorCode::kParseError,
+                 "replay log process count out of range");
+  }
+  header.num_user_processes = static_cast<std::uint32_t>(n.value());
+  auto fanout = reader.varint();
+  if (!fanout.ok()) return fanout.error();
+  if (fanout.value() > 1'000'000) {
+    return Error(ErrorCode::kParseError, "replay log fanout out of range");
+  }
+  header.debugger_fanout = static_cast<std::uint32_t>(fanout.value());
+  auto channels = reader.varint();
+  if (!channels.ok()) return channels.error();
+  if (channels.value() > 100'000'000) {
+    return Error(ErrorCode::kParseError,
+                 "replay log channel count out of range");
+  }
+  header.num_channels = static_cast<std::uint32_t>(channels.value());
+  auto faults = reader.str();
+  if (!faults.ok()) return faults.error();
+  header.fault_spec = std::move(faults).value();
+  return header;
+}
+
+std::string ReplayLogHeader::describe() const {
+  std::string out = "recorded on " + substrate + ", seed " +
+                    std::to_string(seed) + ", workload " +
+                    (workload.empty() ? std::string("<custom>") : workload) +
+                    " n=" + std::to_string(num_user_processes);
+  if (debugger_fanout != 0) {
+    out += " fanout=" + std::to_string(debugger_fanout);
+  }
+  if (!fault_spec.empty()) out += " faults=" + fault_spec;
+  return out;
+}
+
+void ReplayRecord::encode(ByteWriter& writer) const {
+  writer.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case ReplayRecordKind::kDeliver:
+      writer.varint(process);
+      writer.varint(channel);
+      writer.varint(ordinal);
+      writer.u64(hash);
+      writer.varint(detail);
+      return;
+    case ReplayRecordKind::kTimerSet:
+      writer.varint(process);
+      writer.varint(ordinal);
+      writer.u32(timer);
+      return;
+    case ReplayRecordKind::kTimerFire:
+      writer.varint(process);
+      writer.varint(ordinal);
+      return;
+    case ReplayRecordKind::kHaltCut:
+      writer.varint(wave);
+      writer.bytes(state);
+      return;
+    case ReplayRecordKind::kAnnotation:
+      writer.u8(annotation);
+      writer.varint(channel);
+      writer.varint(detail);
+      return;
+  }
+}
+
+namespace {
+
+// Decode one record frame, validating ids against the header and the
+// running per-channel / per-process state (sequential delivery ordinals,
+// timer fires referencing created timers).
+Result<ReplayRecord> decode_record(
+    std::span<const std::uint8_t> body, const ReplayLogHeader& header,
+    std::unordered_map<std::uint32_t, std::uint64_t>& channel_seen,
+    std::unordered_map<std::uint32_t, std::uint64_t>& timers_created) {
+  ByteReader reader(body);
+  auto kind = reader.u8();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() > kMaxReplayRecordKind) {
+    return Error(ErrorCode::kParseError,
+                 "unknown replay record kind " + std::to_string(kind.value()));
+  }
+  ReplayRecord record;
+  record.kind = static_cast<ReplayRecordKind>(kind.value());
+
+  const auto read_process = [&]() -> Result<std::uint32_t> {
+    auto p = reader.varint();
+    if (!p.ok()) return p.error();
+    if (p.value() >= header.num_user_processes) {
+      return Error(ErrorCode::kParseError,
+                   "replay record names process " + std::to_string(p.value()) +
+                       " outside the recorded topology");
+    }
+    return static_cast<std::uint32_t>(p.value());
+  };
+  const auto read_channel = [&]() -> Result<std::uint32_t> {
+    auto c = reader.varint();
+    if (!c.ok()) return c.error();
+    if (c.value() >= header.num_channels) {
+      return Error(ErrorCode::kParseError,
+                   "replay record names channel " + std::to_string(c.value()) +
+                       " outside the recorded topology");
+    }
+    return static_cast<std::uint32_t>(c.value());
+  };
+
+  switch (record.kind) {
+    case ReplayRecordKind::kDeliver: {
+      auto p = read_process();
+      if (!p.ok()) return p.error();
+      record.process = p.value();
+      auto c = read_channel();
+      if (!c.ok()) return c.error();
+      record.channel = c.value();
+      auto ordinal = reader.varint();
+      if (!ordinal.ok()) return ordinal.error();
+      record.ordinal = ordinal.value();
+      // Per-channel delivery ordinals are sequential by construction (one
+      // receiver per channel, recorded in its delivery order); anything
+      // else is corruption.
+      std::uint64_t& seen = channel_seen[record.channel];
+      if (record.ordinal != seen) {
+        return Error(ErrorCode::kParseError,
+                     "delivery ordinal " + std::to_string(record.ordinal) +
+                         " out of sequence on channel " +
+                         std::to_string(record.channel) + " (expected " +
+                         std::to_string(seen) + ")");
+      }
+      ++seen;
+      auto hash = reader.u64();
+      if (!hash.ok()) return hash.error();
+      record.hash = hash.value();
+      auto size = reader.varint();
+      if (!size.ok()) return size.error();
+      record.detail = size.value();
+      break;
+    }
+    case ReplayRecordKind::kTimerSet: {
+      auto p = read_process();
+      if (!p.ok()) return p.error();
+      record.process = p.value();
+      auto ordinal = reader.varint();
+      if (!ordinal.ok()) return ordinal.error();
+      record.ordinal = ordinal.value();
+      std::uint64_t& created = timers_created[record.process];
+      if (record.ordinal != created) {
+        return Error(ErrorCode::kParseError,
+                     "timer creation ordinal " +
+                         std::to_string(record.ordinal) +
+                         " out of sequence for process " +
+                         std::to_string(record.process));
+      }
+      ++created;
+      auto timer = reader.u32();
+      if (!timer.ok()) return timer.error();
+      record.timer = timer.value();
+      break;
+    }
+    case ReplayRecordKind::kTimerFire: {
+      auto p = read_process();
+      if (!p.ok()) return p.error();
+      record.process = p.value();
+      auto ordinal = reader.varint();
+      if (!ordinal.ok()) return ordinal.error();
+      record.ordinal = ordinal.value();
+      if (record.ordinal >= timers_created[record.process]) {
+        return Error(ErrorCode::kParseError,
+                     "timer fire references uncreated ordinal " +
+                         std::to_string(record.ordinal) + " on process " +
+                         std::to_string(record.process));
+      }
+      break;
+    }
+    case ReplayRecordKind::kHaltCut: {
+      auto wave = reader.varint();
+      if (!wave.ok()) return wave.error();
+      record.wave = wave.value();
+      auto state = reader.bytes();
+      if (!state.ok()) return state.error();
+      record.state = std::move(state).value();
+      break;
+    }
+    case ReplayRecordKind::kAnnotation: {
+      auto akind = reader.u8();
+      if (!akind.ok()) return akind.error();
+      if (akind.value() >= kNumReplayAnnotationKinds) {
+        return Error(ErrorCode::kParseError,
+                     "unknown replay annotation kind " +
+                         std::to_string(akind.value()));
+      }
+      record.annotation = akind.value();
+      auto c = read_channel();
+      if (!c.ok()) return c.error();
+      record.channel = c.value();
+      auto detail = reader.varint();
+      if (!detail.ok()) return detail.error();
+      record.detail = detail.value();
+      break;
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Error(ErrorCode::kParseError,
+                 "trailing bytes after replay record");
+  }
+  return record;
+}
+
+std::size_t count_kind(const std::vector<ReplayRecord>& records,
+                       ReplayRecordKind kind) {
+  std::size_t n = 0;
+  for (const ReplayRecord& record : records) {
+    if (record.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t ReplayLog::deliveries() const {
+  return count_kind(records, ReplayRecordKind::kDeliver);
+}
+std::size_t ReplayLog::timer_sets() const {
+  return count_kind(records, ReplayRecordKind::kTimerSet);
+}
+std::size_t ReplayLog::timer_fires() const {
+  return count_kind(records, ReplayRecordKind::kTimerFire);
+}
+std::size_t ReplayLog::halt_cuts() const {
+  return count_kind(records, ReplayRecordKind::kHaltCut);
+}
+std::size_t ReplayLog::annotations() const {
+  return count_kind(records, ReplayRecordKind::kAnnotation);
+}
+
+std::string ReplayLog::describe() const {
+  return header.describe() + ": " + std::to_string(records.size()) +
+         " records (" + std::to_string(deliveries()) + " deliveries, " +
+         std::to_string(timer_sets()) + " timers set, " +
+         std::to_string(timer_fires()) + " fired, " +
+         std::to_string(halt_cuts()) + " halt cuts, " +
+         std::to_string(annotations()) + " annotations)";
+}
+
+Bytes ReplayLog::encode() const {
+  Bytes out;
+  {
+    const std::size_t at = begin_frame(out);
+    ByteWriter writer(out);
+    header.encode(writer);
+    end_frame(out, at);
+  }
+  for (const ReplayRecord& record : records) {
+    const std::size_t at = begin_frame(out);
+    ByteWriter writer(out);
+    record.encode(writer);
+    end_frame(out, at);
+  }
+  return out;
+}
+
+Result<ReplayLog> ReplayLog::decode(std::span<const std::uint8_t> data) {
+  FrameParser parser;
+  parser.append(data);
+  const auto header_body = parser.next();
+  if (!header_body.has_value()) {
+    return Error(ErrorCode::kParseError,
+                 parser.corrupt() ? "replay log header frame corrupt"
+                                  : "replay log truncated before header");
+  }
+  ReplayLog log;
+  {
+    ByteReader reader(*header_body);
+    auto header = ReplayLogHeader::decode(reader);
+    if (!header.ok()) return header.error();
+    if (reader.remaining() != 0) {
+      return Error(ErrorCode::kParseError,
+                   "trailing bytes after replay log header");
+    }
+    log.header = std::move(header).value();
+  }
+  std::unordered_map<std::uint32_t, std::uint64_t> channel_seen;
+  std::unordered_map<std::uint32_t, std::uint64_t> timers_created;
+  while (true) {
+    const auto body = parser.next();
+    if (!body.has_value()) {
+      if (parser.corrupt()) {
+        return Error(ErrorCode::kParseError, "replay log frame corrupt");
+      }
+      if (parser.buffered_bytes() != 0) {
+        return Error(ErrorCode::kParseError,
+                     "replay log truncated mid-record");
+      }
+      break;
+    }
+    auto record =
+        decode_record(*body, log.header, channel_seen, timers_created);
+    if (!record.ok()) return record.error();
+    log.records.push_back(std::move(record).value());
+  }
+  return log;
+}
+
+Status ReplayLog::save(const std::string& path) const {
+  const Bytes encoded = encode();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error(ErrorCode::kInternal, "cannot open " + path + " for write");
+  }
+  out.write(reinterpret_cast<const char*>(encoded.data()),
+            static_cast<std::streamsize>(encoded.size()));
+  out.flush();
+  if (!out) {
+    return Error(ErrorCode::kInternal, "short write to " + path);
+  }
+  return Status::ok_status();
+}
+
+Result<ReplayLog> ReplayLog::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "cannot open replay log " + path);
+  }
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return decode(data);
+}
+
+}  // namespace ddbg

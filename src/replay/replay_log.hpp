@@ -1,0 +1,115 @@
+// The compact binary replay log: what a recorded run writes and what the
+// ReplayDriver re-executes.
+//
+// Determinism contract (DESIGN.md "Record/replay"): a process behavior is
+// a pure function of its start state, its per-process RNG stream, the
+// sequence of application messages handed to it (per-channel FIFO order),
+// and the order its timers fired.  The log therefore stores *inputs at the
+// user-process boundary* — one record per delivery (channel + per-channel
+// ordinal + payload hash), per timer creation (with the substrate's timer
+// id, handed back verbatim on replay), per timer firing, and per completed
+// halt cut (the assembled S_h, for Theorem-2 verification) — not transport
+// frames.  Fault draws, reconnects and resyncs are appended as annotation
+// records: the reliability layer already guarantees user-level exactly-once
+// FIFO delivery, so replay re-derives a fault-free equivalent run and the
+// annotations remain diagnostic provenance.
+//
+// Global record order is the recorder's append order, which respects
+// causality: the record that triggered a send is always appended before
+// the delivery record of the message it sent.  Replaying records in log
+// order with per-channel FIFO release is therefore always feasible.
+//
+// Wire format: length-prefixed frames (net/framing.hpp).  Frame 0 is the
+// header, every following frame one record, bodies encoded with
+// ByteWriter/ByteReader.  decode() validates structurally (kinds, bounds)
+// and semantically (per-channel delivery ordinals must be sequential,
+// timer fires must reference an already-created ordinal), so a truncated
+// or bit-flipped log is a clean Error, never UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/serialization.hpp"
+
+namespace ddbg {
+
+inline constexpr std::uint32_t kReplayLogMagic = 0x4C505244;  // "DRPL"
+inline constexpr std::uint16_t kReplayLogVersion = 1;
+// Default file name inside a --record directory.
+inline constexpr const char* kReplayLogFileName = "replay.log";
+
+struct ReplayLogHeader {
+  std::uint64_t seed = 1;
+  // Substrate the run was recorded on: "sim" | "threads" | "tcp".
+  std::string substrate;
+  // Workload name + parameters, enough for an embedder's factory to build
+  // fresh user processes (empty workload = caller supplies processes).
+  std::string workload;
+  std::uint32_t num_user_processes = 0;
+  std::uint32_t debugger_fanout = 0;
+  // Channel count of the full (debugger-extended) topology; bounds-checks
+  // every channel id in the body.
+  std::uint32_t num_channels = 0;
+  // Fault-plan spec string of the recorded run ("" = fault-free) —
+  // provenance only; replay runs fault-free by construction.
+  std::string fault_spec;
+
+  void encode(ByteWriter& writer) const;
+  [[nodiscard]] static Result<ReplayLogHeader> decode(ByteReader& reader);
+  [[nodiscard]] std::string describe() const;
+};
+
+enum class ReplayRecordKind : std::uint8_t {
+  kDeliver = 0,
+  kTimerSet = 1,
+  kTimerFire = 2,
+  kHaltCut = 3,
+  kAnnotation = 4,
+};
+inline constexpr std::uint8_t kMaxReplayRecordKind =
+    static_cast<std::uint8_t>(ReplayRecordKind::kAnnotation);
+
+struct ReplayRecord {
+  ReplayRecordKind kind = ReplayRecordKind::kDeliver;
+  std::uint32_t process = 0;   // deliver / timer_set / timer_fire
+  std::uint32_t channel = 0;   // deliver / annotation
+  std::uint64_t ordinal = 0;   // deliver: per-channel index; timers: creation
+  std::uint64_t hash = 0;      // deliver: payload FNV-1a
+  std::uint64_t detail = 0;    // deliver: payload bytes; annotation: detail
+  std::uint32_t timer = 0;     // timer_set: substrate TimerId value
+  std::uint64_t wave = 0;      // halt_cut
+  std::uint8_t annotation = 0; // annotation kind (replay_hooks.hpp)
+  Bytes state;                 // halt_cut: encoded S_h snapshots
+
+  void encode(ByteWriter& writer) const;
+};
+
+class ReplayLog {
+ public:
+  ReplayLogHeader header;
+  std::vector<ReplayRecord> records;
+
+  // ---- summary counts ----
+  [[nodiscard]] std::size_t deliveries() const;
+  [[nodiscard]] std::size_t timer_sets() const;
+  [[nodiscard]] std::size_t timer_fires() const;
+  [[nodiscard]] std::size_t halt_cuts() const;
+  [[nodiscard]] std::size_t annotations() const;
+  [[nodiscard]] std::string describe() const;
+
+  // ---- wire ----
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Result<ReplayLog> decode(
+      std::span<const std::uint8_t> data);
+
+  // ---- files ----
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Result<ReplayLog> load(const std::string& path);
+};
+
+}  // namespace ddbg

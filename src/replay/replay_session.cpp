@@ -1,0 +1,167 @@
+#include "replay/replay_session.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "workload/behaviors.hpp"
+#include "workload/resources.hpp"
+
+namespace ddbg {
+
+namespace {
+
+std::string trimmed(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  std::size_t end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+// Split "verb rest" on the first whitespace run.
+std::pair<std::string, std::string> split_verb(const std::string& text) {
+  const std::size_t space = text.find_first_of(" \t");
+  if (space == std::string::npos) return {text, ""};
+  return {text.substr(0, space), trimmed(text.substr(space + 1))};
+}
+
+Error usage_error() {
+  return Error(ErrorCode::kInvalidArgument,
+               "usage: replay load <path> | run | back | cut <k> | status");
+}
+
+}  // namespace
+
+Result<BuiltWorkload> make_named_workload(const std::string& workload,
+                                          std::uint32_t n) {
+  if (n < 2) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "workload needs at least 2 processes");
+  }
+  BuiltWorkload built;
+  // These configs are the record-side configs (ddbg_target) verbatim: a
+  // replayed process must run the exact code path the log recorded.
+  if (workload == "ring") {
+    built.topology = Topology::ring(n);
+    TokenRingConfig config;
+    config.rounds = 1'000'000;  // effectively: until shutdown
+    config.hop_delay = Duration::millis(1);
+    built.processes = make_token_ring(n, config);
+  } else if (workload == "gossip") {
+    built.topology = Topology::ring(n);
+    GossipConfig config;
+    config.send_interval = Duration::millis(1);
+    built.processes = make_gossip(n, config);
+  } else if (workload == "resources") {
+    built.topology = resource_ring_topology(n);
+    ResourceRingConfig config;
+    config.acquire_delay = Duration::millis(50);
+    built.processes = make_resource_ring(n, config);
+  } else {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unknown workload '" + workload +
+                     "' (expected ring|gossip|resources)");
+  }
+  return built;
+}
+
+Result<std::string> ReplayCommandHandler::handle(const std::string& command) {
+  const auto [verb, rest] = split_verb(trimmed(command));
+  if (verb == "load") {
+    if (rest.empty()) return usage_error();
+    return load(rest);
+  }
+  if (verb == "status") return status();
+  if (verb != "run" && verb != "back" && verb != "cut") return usage_error();
+  if (!log_.has_value()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "no log loaded; run `replay load <path>` first");
+  }
+  if (verb == "run") {
+    cursor_ = 0;  // a full run resets the time-travel cursor
+    return run_to(0);
+  }
+  if (verb == "cut") {
+    char* end = nullptr;
+    const unsigned long long k = std::strtoull(rest.c_str(), &end, 10);
+    if (rest.empty() || end == nullptr || *end != '\0' || k == 0 ||
+        k > num_cuts_) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "cut wants 1.." + std::to_string(num_cuts_) +
+                       " (log has " + std::to_string(num_cuts_) +
+                       " recorded cuts)");
+    }
+    return run_to(k);
+  }
+  // back: one consistent cut earlier than where we stand.
+  const std::uint64_t target = cursor_ == 0 ? num_cuts_ : cursor_ - 1;
+  if (target == 0) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 cursor_ == 0 ? "log has no recorded halt cut to go back to"
+                              : "already at the first recorded cut");
+  }
+  return run_to(target);
+}
+
+std::function<Result<std::string>(const std::string&)>
+ReplayCommandHandler::bound() {
+  return [this](const std::string& command) {
+    std::lock_guard<std::mutex> guard{mutex_};
+    return handle(command);
+  };
+}
+
+Result<std::string> ReplayCommandHandler::load(const std::string& path) {
+  auto log = ReplayLog::load(path);
+  if (!log.ok()) return log.error();
+  log_ = std::move(log).value();
+  path_ = path;
+  num_cuts_ = log_->halt_cuts();
+  cursor_ = 0;
+  last_report_.clear();
+  return "loaded " + path + "\n" + log_->describe();
+}
+
+Result<ReplayDriver::Report> ReplayCommandHandler::replay(
+    std::uint64_t stop_after_cut) {
+  auto built = make_named_workload(log_->header.workload,
+                                   log_->header.num_user_processes);
+  if (!built.ok()) return built.error();
+  ReplayDriver::Options options;
+  options.stop_after_cut = stop_after_cut;
+  ReplayDriver driver(*log_, built.value().topology,
+                      std::move(built.value().processes), std::move(options));
+  return driver.run();
+}
+
+Result<std::string> ReplayCommandHandler::run_to(
+    std::uint64_t stop_after_cut) {
+  auto report = replay(stop_after_cut);
+  if (!report.ok()) return report.error();
+  std::ostringstream out;
+  if (stop_after_cut == 0) {
+    out << "replayed " << path_ << " (" << log_->header.describe() << ")\n";
+  } else {
+    cursor_ = stop_after_cut;
+    out << "time-traveled to cut " << stop_after_cut << "/" << num_cuts_
+        << " of " << path_ << "\n";
+  }
+  out << report.value().describe();
+  last_report_ = out.str();
+  return last_report_;
+}
+
+Result<std::string> ReplayCommandHandler::status() const {
+  if (!log_.has_value()) return std::string("no log loaded");
+  std::ostringstream out;
+  out << "loaded: " << path_ << "\n" << log_->describe() << "\n";
+  if (cursor_ != 0) {
+    out << "cursor: halted at cut " << cursor_ << "/" << num_cuts_ << "\n";
+  } else {
+    out << "cursor: end of run\n";
+  }
+  if (!last_report_.empty()) out << last_report_;
+  return out.str();
+}
+
+}  // namespace ddbg

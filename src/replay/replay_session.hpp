@@ -1,0 +1,77 @@
+// ReplayCommandHandler: the `replay` verb of the debugger session
+// protocol, bound into a SessionServer via set_replay_handler().
+//
+//   replay load <path>   parse + validate a replay log, print its summary
+//   replay run           re-execute the whole log in the simulator
+//   replay back          reverse-continue: re-execute to the halt cut
+//                        before the current cursor and stop there, halted
+//   replay cut <k>       time-travel directly to the k-th recorded cut
+//   replay status        loaded log, cursor, last report
+//
+// "Backwards execution" is deterministic re-execution of a prefix
+// (DESIGN.md): each `back`/`cut` builds a fresh ReplayDriver from the
+// loaded log, replays from the beginning up to the target HaltCut record,
+// and reports the frozen consistent cut — the recorded S_h it must be
+// equivalent() to is re-verified on every trip.
+//
+// The handler builds user processes with the same named-workload factory
+// ddbg_target records with (make_named_workload), so a log recorded by
+// `ddbg_target --record` replays with byte-identical process behavior.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/process.hpp"
+#include "net/topology.hpp"
+#include "replay/replay_driver.hpp"
+#include "replay/replay_log.hpp"
+
+namespace ddbg {
+
+// The workload zoo shared by ddbg_target (record side) and the replay
+// handler (re-execute side): one place for the per-workload configs, so
+// the recorded and replayed process behaviors cannot drift.
+struct BuiltWorkload {
+  Topology topology{0};
+  std::vector<ProcessPtr> processes;
+};
+[[nodiscard]] Result<BuiltWorkload> make_named_workload(
+    const std::string& workload, std::uint32_t n);
+
+class ReplayCommandHandler {
+ public:
+  // Handle one `replay ...` command; the returned text goes to the client
+  // verbatim.  Serialized by the caller or externally — the handler keeps
+  // cursor state across calls and is not itself thread-safe.
+  [[nodiscard]] Result<std::string> handle(const std::string& command);
+
+  // Bindable form for SessionServer::set_replay_handler.  The server may
+  // invoke it from several session-service threads; a mutex in the bound
+  // callable serializes them (replays are rare and seconds-long anyway).
+  [[nodiscard]] std::function<Result<std::string>(const std::string&)>
+  bound();
+
+ private:
+  [[nodiscard]] Result<std::string> load(const std::string& path);
+  [[nodiscard]] Result<std::string> run_to(std::uint64_t stop_after_cut);
+  [[nodiscard]] Result<std::string> status() const;
+  [[nodiscard]] Result<ReplayDriver::Report> replay(
+      std::uint64_t stop_after_cut);
+
+  std::mutex mutex_;  // serializes bound() calls across session threads
+  std::optional<ReplayLog> log_;
+  std::string path_;
+  std::uint64_t num_cuts_ = 0;
+  // Reverse-continue cursor: the cut the last `back`/`cut` stopped at;
+  // 0 = not time-traveled (cursor conceptually at end of run).
+  std::uint64_t cursor_ = 0;
+  std::string last_report_;
+};
+
+}  // namespace ddbg

@@ -15,6 +15,14 @@ namespace ddbg {
 
 namespace {
 using SteadyClock = std::chrono::steady_clock;
+
+// Replay-log annotation for transport-level nondeterminism (fault draws,
+// reconnects, resyncs).  Diagnostic provenance only — the null check keeps
+// unrecorded runs untouched.
+void annotate(const std::shared_ptr<ReplaySink>& sink, std::uint8_t kind,
+              ChannelId channel, std::uint64_t detail) {
+  if (sink != nullptr) sink->record_annotation(kind, channel, detail);
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -367,10 +375,16 @@ void Runtime::Worker::rel_transmit(ChannelId channel, std::uint64_t seq) {
     case FaultKind::kDrop:
     case FaultKind::kPartition:
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       break;  // frame vanishes; the retransmit timer recovers
     case FaultKind::kReset: {
       runtime_.metrics_.on_fault(fault_index(fault.kind));
       runtime_.metrics_.on_channel_down();
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       // The frame is lost with the "connection"; after a redial delay,
       // resync replays the whole unacked window.
       if (reconnect_pending_[c] != 0) break;
@@ -382,21 +396,31 @@ void Runtime::Worker::rel_transmit(ChannelId channel, std::uint64_t seq) {
         const std::size_t cc = channel.value();
         reconnect_pending_[cc] = 0;
         runtime_.metrics_.on_reconnect();
+        annotate(runtime_.config_.replay, kReplayAnnotationReconnect, channel,
+                 0);
         const std::size_t replayed =
             rel_send_[cc].mark_all_due(runtime_.now());
         runtime_.metrics_.on_resync_replayed(replayed);
+        annotate(runtime_.config_.replay, kReplayAnnotationResync, channel,
+                 replayed);
         rel_check_retries(channel);
       });
       break;
     }
     case FaultKind::kDuplicate:
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       rel_deliver_frame(channel, seq, Duration{0});
       rel_deliver_frame(channel, seq, Duration{0});
       break;
     case FaultKind::kReorder:
     case FaultKind::kDelay:
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       rel_deliver_frame(channel, seq, fault.extra_delay);
       break;
     case FaultKind::kNone:
@@ -506,6 +530,9 @@ void Runtime::Worker::rel_on_frame(Item& item, std::size_t& deliveries) {
       runtime_.config_.faults->decide_ack(item.channel, attempt);
   if (fault.kind == FaultKind::kDrop) {
     runtime_.metrics_.on_fault(fault_index(fault.kind));
+    annotate(runtime_.config_.replay,
+             static_cast<std::uint8_t>(fault_index(fault.kind)), item.channel,
+             attempt);
     return;
   }
   Worker& src =
@@ -514,6 +541,9 @@ void Runtime::Worker::rel_on_frame(Item& item, std::size_t& deliveries) {
   const std::uint64_t cum = rel_recv_[c].cum_ack();
   if (fault.kind == FaultKind::kDelay) {
     runtime_.metrics_.on_fault(fault_index(fault.kind));
+    annotate(runtime_.config_.replay,
+             static_cast<std::uint8_t>(fault_index(fault.kind)), item.channel,
+             attempt);
     const auto when =
         SteadyClock::now() + std::chrono::nanoseconds(fault.extra_delay.ns);
     const ChannelId ch = item.channel;

@@ -26,6 +26,7 @@
 #include "net/fault_plan.hpp"
 #include "net/process.hpp"
 #include "net/reliable.hpp"
+#include "net/replay_hooks.hpp"
 #include "net/topology.hpp"
 #include "net/transport_hooks.hpp"
 
@@ -40,6 +41,11 @@ struct RuntimeConfig {
   // (default) keeps the direct-delivery fast path untouched.
   std::shared_ptr<FaultPlan> faults;
   ReliableConfig reliable;
+  // Record/replay sink (src/replay).  The runtime appends transport-level
+  // annotations — fault draws, reconnects, resync replays — as diagnostic
+  // provenance; the user-boundary inputs are recorded by the DebugShims.
+  // Null (default) leaves every path untouched.
+  std::shared_ptr<ReplaySink> replay;
 };
 
 class Runtime {

@@ -29,6 +29,14 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
+// Replay-log annotation for transport-level nondeterminism (fault draws,
+// reconnects, resyncs).  Diagnostic provenance only — the null check keeps
+// unrecorded runs untouched.
+void annotate(const std::shared_ptr<ReplaySink>& sink, std::uint8_t kind,
+              ChannelId channel, std::uint64_t detail) {
+  if (sink != nullptr) sink->record_annotation(kind, channel, detail);
+}
+
 // Every frame body starts with the 4-byte channel id it belongs to — the
 // demultiplexing key on a shared pair socket.
 constexpr std::size_t kChannelPrefixSize = 4;
@@ -226,6 +234,10 @@ class TcpRuntime::Worker {
   int pipe_write_ = -1;
   int epoll_fd_ = -1;
 
+  // Declared before conns_: the queued frames in PairConn hold leases that
+  // recycle into this pool when destroyed, so the pool must outlive them.
+  BufferPool pool_;
+
   // deque, not vector: PairConn holds move-only pooled leases and must
   // never be relocated (epoll events reference slots by index).
   std::deque<PairConn> conns_;
@@ -238,7 +250,6 @@ class TcpRuntime::Worker {
   std::vector<ChannelId> in_channels_;
   std::vector<ChannelId> out_channels_;
 
-  BufferPool pool_;
   std::size_t frames_this_wakeup_ = 0;
   // Scratch: in-slots that received data in the current parse batch (one
   // cumulative ack each).
@@ -1065,18 +1076,27 @@ void TcpRuntime::Worker::rel_transmit(std::size_t slot, std::uint64_t seq) {
     case FaultKind::kPartition:
       // Swallowed by the adversary; the retransmit timer recovers.
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       return;
     case FaultKind::kReset: {
       // Connection torn down under the frame: quarantine the pair socket
       // and redial after a backoff.  Resync on the fresh connection
       // replays the whole unacked window, this frame included.
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       const std::uint32_t pair = runtime_.channel_pair_[channel.value()];
       conn_down(send_slot_of_pair_.at(pair), /*count_loss=*/true);
       return;
     }
     case FaultKind::kDuplicate:
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       rel_write_data(slot, seq);
       rel_write_data(slot, seq);
       return;
@@ -1086,6 +1106,9 @@ void TcpRuntime::Worker::rel_transmit(std::size_t slot, std::uint64_t seq) {
       // overtake this one on the wire, and the receiver's sequencer puts
       // the order back.
       runtime_.metrics_.on_fault(fault_index(fault.kind));
+      annotate(runtime_.config_.replay,
+               static_cast<std::uint8_t>(fault_index(fault.kind)), channel,
+               attempt);
       delayed_.emplace(SteadyClock::now() +
                            std::chrono::nanoseconds(fault.extra_delay.ns),
                        DelayedWire{false, slot, 0, seq});
@@ -1120,10 +1143,16 @@ void TcpRuntime::Worker::rel_write_ack(std::size_t in_slot,
   if (fault.kind == FaultKind::kDrop) {
     // Cumulative acks make a lost one free: the next carries its news.
     runtime_.metrics_.on_fault(fault_index(fault.kind));
+    annotate(runtime_.config_.replay,
+             static_cast<std::uint8_t>(fault_index(fault.kind)),
+             in_channels_[in_slot], attempt);
     return;
   }
   if (fault.kind == FaultKind::kDelay) {
     runtime_.metrics_.on_fault(fault_index(fault.kind));
+    annotate(runtime_.config_.replay,
+             static_cast<std::uint8_t>(fault_index(fault.kind)),
+             in_channels_[in_slot], attempt);
     delayed_.emplace(SteadyClock::now() +
                          std::chrono::nanoseconds(fault.extra_delay.ns),
                      DelayedWire{true, in_slot, conn_slot, 0});
@@ -1162,7 +1191,11 @@ void TcpRuntime::Worker::resync_pair(std::uint32_t pair) {
       continue;
     }
     const std::size_t replayed = rel_send_[slot].mark_all_due(runtime_.now());
-    if (replayed > 0) runtime_.metrics_.on_resync_replayed(replayed);
+    if (replayed > 0) {
+      runtime_.metrics_.on_resync_replayed(replayed);
+      annotate(runtime_.config_.replay, kReplayAnnotationResync,
+               out_channels_[slot], replayed);
+    }
   }
 }
 
@@ -1210,6 +1243,8 @@ void TcpRuntime::Worker::rel_try_reconnect(std::size_t slot) {
   epoll_add_conn(slot);
   runtime_.pair_fd_[2 * conn.pair].store(fd);
   runtime_.metrics_.on_reconnect();
+  annotate(runtime_.config_.replay, kReplayAnnotationReconnect,
+           ChannelId(conn.pair), conn.pair);
   resync_pair(conn.pair);
 }
 

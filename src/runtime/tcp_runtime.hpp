@@ -38,6 +38,7 @@
 #include "net/fault_plan.hpp"
 #include "net/process.hpp"
 #include "net/reliable.hpp"
+#include "net/replay_hooks.hpp"
 #include "net/topology.hpp"
 #include "net/transport_hooks.hpp"
 
@@ -66,6 +67,11 @@ struct TcpRuntimeConfig {
   // must not block the reactor — SessionServer::adopt only registers the
   // fd and spawns a service thread, which is the intended receiver.
   std::function<void(int fd)> on_control_accept;
+  // Record/replay sink (src/replay).  The reactor appends transport-level
+  // annotations — fault draws, reconnects, resync replays — as diagnostic
+  // provenance; the user-boundary inputs are recorded by the DebugShims.
+  // Null (default) leaves every path untouched.
+  std::shared_ptr<ReplaySink> replay;
 };
 
 class TcpRuntime {

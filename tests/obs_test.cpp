@@ -373,6 +373,10 @@ TEST(MetricsGolden, TinyTokenRingTraceAndJsonArePinned) {
       R"("tree_fanout":0,"acks_aggregated":0,"markers_suppressed":0},)"
       R"("session":{"opened":0,"closed":0,"active_peak":0,"requests":0,)"
       R"("request_errors":0,"halts_handed_off":0,"halts_released":0},)"
+      R"("replay":{"records_logged":0,"deliveries_logged":0,)"
+      R"("timer_sets_logged":0,"timer_fires_logged":0,"cuts_logged":0,)"
+      R"("annotations_logged":0,"log_bytes":0,"deliveries_replayed":0,)"
+      R"("timers_replayed":0,"cuts_replayed":0,"divergences":0},)"
       R"("processes":[{)"
       R"("id":0,"bytes_sent":22,"bytes_delivered":23,"max_queue_depth":0,)"
       R"("sent":{"app":1,"halt_marker":0,"snapshot_marker":0,)"

@@ -1,0 +1,387 @@
+// Record/replay: a run recorded on any substrate re-executes
+// byte-deterministically in the simulator.
+//
+// The determinism contract under test (DESIGN.md "Record/replay"): the log
+// captures every input a user process is a function of — per-channel
+// delivery order, timer creation/firing order, completed halt cuts — so
+// replaying those inputs in the logged order reproduces the run exactly:
+// identical final states, identical replayed S_h (Theorem-2 equivalence),
+// and two replays of one log are byte-identical in full.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "debugger/harness.hpp"
+#include "net/fault_plan.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replay_driver.hpp"
+#include "replay/replay_session.hpp"
+#include "sim/latency_model.hpp"
+#include "workload/behaviors.hpp"
+
+namespace ddbg {
+namespace {
+
+constexpr Duration kWait = Duration::seconds(60);
+
+TokenRingConfig ring_config(std::uint32_t rounds) {
+  TokenRingConfig config;
+  config.rounds = rounds;
+  config.hop_delay = Duration::millis(1);
+  return config;
+}
+
+ReplayLogHeader ring_header(std::uint32_t n, const char* substrate,
+                            std::uint64_t seed) {
+  ReplayLogHeader header;
+  header.seed = seed;
+  header.substrate = substrate;
+  header.num_user_processes = n;
+  header.debugger_fanout = 0;
+  header.num_channels = static_cast<std::uint32_t>(
+      Topology::ring(n).with_debugger().num_channels());
+  return header;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-recorded runs
+// ---------------------------------------------------------------------------
+
+struct SimRecording {
+  ReplayLog log;
+  std::vector<std::string> final_states;
+};
+
+// Record a ring run in the simulator: a few token hops, one halt/resume
+// cycle mid-run, then run to quiescence.
+SimRecording record_sim_ring(std::uint32_t n, std::uint32_t halts = 1) {
+  auto recorder = std::make_shared<ReplayRecorder>(ring_header(n, "sim", 11));
+  HarnessConfig config;
+  config.seed = 11;
+  config.latency = std::make_unique<ConstantLatency>(Duration::millis(2));
+  config.replay = recorder;
+  SimDebugHarness harness(Topology::ring(n), make_token_ring(n, ring_config(6)),
+                          std::move(config));
+  recorder->set_metrics(&harness.sim().metrics());
+
+  Simulation& sim = harness.sim();
+  for (std::uint32_t wave = 0; wave < halts; ++wave) {
+    sim.run_until(sim.now() + Duration::millis(15));
+    harness.session().halt();
+    auto info = harness.session().wait_for_halt(kWait);
+    EXPECT_TRUE(info.has_value());
+    harness.session().resume(kWait);
+  }
+  sim.run_until_quiescent();
+
+  SimRecording recording;
+  recording.log = recorder->log();
+  for (std::uint32_t p = 0; p < n; ++p) {
+    recording.final_states.push_back(
+        harness.shim(ProcessId(p)).describe_state());
+  }
+  return recording;
+}
+
+ReplayDriver::Report replay_ring(const ReplayLog& log, std::uint32_t n,
+                                 std::uint64_t stop_after_cut = 0) {
+  ReplayDriver::Options options;
+  options.stop_after_cut = stop_after_cut;
+  ReplayDriver driver(log, Topology::ring(n),
+                      make_token_ring(n, ring_config(6)), options);
+  return driver.run();
+}
+
+TEST(ReplaySim, RecordedRunReplaysExactly) {
+  const std::uint32_t n = 4;
+  SimRecording recording = record_sim_ring(n);
+  ASSERT_GT(recording.log.deliveries(), 0u);
+  ASSERT_EQ(recording.log.halt_cuts(), 1u);
+  ASSERT_GT(recording.log.timer_fires(), 0u);
+
+  ReplayDriver::Report report = replay_ring(recording.log, n);
+  EXPECT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.deliveries, recording.log.deliveries());
+  EXPECT_EQ(report.timer_fires, recording.log.timer_fires());
+  EXPECT_EQ(report.cuts, 1u);
+  EXPECT_EQ(report.cuts_matched, 1u) << report.describe();
+  EXPECT_EQ(report.divergences, 0u) << report.describe();
+  // The replayed run ends in the recorded run's exact final states.
+  EXPECT_EQ(report.final_states, recording.final_states);
+}
+
+TEST(ReplaySim, TwoReplaysAreByteIdentical) {
+  const std::uint32_t n = 4;
+  SimRecording recording = record_sim_ring(n);
+  ReplayDriver::Report first = replay_ring(recording.log, n);
+  ReplayDriver::Report second = replay_ring(recording.log, n);
+  EXPECT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.describe(), second.describe());
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.final_states, second.final_states);
+}
+
+TEST(ReplaySim, ReverseContinueParksAtEarlierCut) {
+  const std::uint32_t n = 4;
+  SimRecording recording = record_sim_ring(n, /*halts=*/2);
+  ASSERT_EQ(recording.log.halt_cuts(), 2u);
+
+  ReplayDriver::Options options;
+  options.stop_after_cut = 1;
+  ReplayDriver driver(recording.log, Topology::ring(n),
+                      make_token_ring(n, ring_config(6)), options);
+  ReplayDriver::Report report = driver.run();
+  EXPECT_TRUE(report.ok()) << report.error;
+  EXPECT_TRUE(report.halted_at_cut);
+  EXPECT_EQ(report.cuts, 1u);
+  EXPECT_EQ(report.cuts_matched, 1u) << report.describe();
+  // The time-traveled system is live and inspectable: the first cut's wave
+  // is complete and every user process is frozen (halted).
+  auto wave = driver.harness().debugger().latest_halt_wave();
+  ASSERT_TRUE(wave.has_value());
+  EXPECT_TRUE(wave->complete);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    EXPECT_TRUE(driver.harness().shim(ProcessId(p)).halted());
+  }
+}
+
+TEST(ReplaySim, MutatedLogCountsDivergence) {
+  const std::uint32_t n = 4;
+  SimRecording recording = record_sim_ring(n);
+  // Corrupt the payload hash of the first delivery: replay must keep going
+  // (the message is still delivered) but flag the divergence.
+  for (ReplayRecord& record : recording.log.records) {
+    if (record.kind == ReplayRecordKind::kDeliver) {
+      record.hash ^= 0xdeadbeefULL;
+      break;
+    }
+  }
+  ReplayDriver::Report report = replay_ring(recording.log, n);
+  EXPECT_GE(report.divergences, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Threaded-runtime-recorded runs
+// ---------------------------------------------------------------------------
+
+TEST(ReplayRuntime, ThreadedRunReplaysInSimulator) {
+  const std::uint32_t n = 4;
+  auto recorder =
+      std::make_shared<ReplayRecorder>(ring_header(n, "threads", 1));
+  HarnessConfig config;
+  config.seed = 1;
+  config.replay = recorder;
+  RuntimeDebugHarness harness(Topology::ring(n),
+                              make_token_ring(n, ring_config(1'000'000)),
+                              std::move(config));
+  recorder->set_metrics(&harness.runtime().metrics());
+  harness.start();
+
+  // Let the token circulate, then freeze a consistent cut mid-flight.
+  ASSERT_TRUE(Runtime::wait_until(
+      [&] { return recorder->log().deliveries() >= 3 * n; }, kWait));
+  harness.session().halt();
+  auto wave = harness.session().wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  harness.session().resume(kWait);
+  ASSERT_TRUE(Runtime::wait_until(
+      [&] { return recorder->log().deliveries() >= 6 * n; }, kWait));
+  harness.shutdown();
+
+  const ReplayLog log = recorder->log();
+  ASSERT_EQ(log.halt_cuts(), 1u);
+  ASSERT_GT(log.timer_fires(), 0u);
+
+  // The wall-clock-scheduled threaded run replays under virtual time.
+  ReplayDriver::Report first = replay_ring(log, n);
+  EXPECT_TRUE(first.ok()) << first.error << "\n" << first.describe();
+  EXPECT_EQ(first.cuts_matched, 1u) << first.describe();
+  EXPECT_EQ(first.divergences, 0u) << first.describe();
+
+  ReplayDriver::Report second = replay_ring(log, n);
+  EXPECT_EQ(first.describe(), second.describe());
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+// ---------------------------------------------------------------------------
+// TCP-recorded runs under a fault plan
+// ---------------------------------------------------------------------------
+
+TEST(ReplayTcp, ChaosRunReplaysAsFaultFreeEquivalent) {
+  const std::uint32_t n = 4;
+  auto plan = FaultPlan::parse("drop=0.03,delay=0.05,extra_delay=2ms", 5);
+  ASSERT_TRUE(plan.ok());
+
+  auto recorder = std::make_shared<ReplayRecorder>(ring_header(n, "tcp", 5));
+  HarnessConfig config;
+  config.seed = 5;
+  config.faults = std::make_shared<FaultPlan>(std::move(plan).value());
+  config.replay = recorder;
+  TcpDebugHarness harness(Topology::ring(n),
+                          make_token_ring(n, ring_config(1'000'000)),
+                          std::move(config));
+  recorder->set_metrics(&harness.tcp().metrics());
+  ASSERT_TRUE(harness.start());
+
+  ASSERT_TRUE(TcpRuntime::wait_until(
+      [&] { return recorder->log().deliveries() >= 3 * n; }, kWait));
+  harness.session().halt();
+  auto wave = harness.session().wait_for_halt(kWait);
+  ASSERT_TRUE(wave.has_value());
+  harness.session().resume(kWait);
+  ASSERT_TRUE(TcpRuntime::wait_until(
+      [&] { return recorder->log().deliveries() >= 6 * n; }, kWait));
+  harness.shutdown();
+
+  const ReplayLog log = recorder->log();
+  ASSERT_EQ(log.halt_cuts(), 1u);
+
+  // The reliability layer made user-level delivery exactly-once FIFO, so
+  // the replay is the fault-free equivalent run: same inputs, same cut,
+  // zero divergences — with the fault draws preserved as annotations.
+  ReplayDriver::Report first = replay_ring(log, n);
+  EXPECT_TRUE(first.ok()) << first.error << "\n" << first.describe();
+  EXPECT_EQ(first.cuts_matched, 1u) << first.describe();
+  EXPECT_EQ(first.divergences, 0u) << first.describe();
+  EXPECT_EQ(first.annotations, log.annotations());
+
+  ReplayDriver::Report second = replay_ring(log, n);
+  EXPECT_EQ(first.describe(), second.describe());
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+// ---------------------------------------------------------------------------
+// Wire round trip + session command surface
+// ---------------------------------------------------------------------------
+
+TEST(ReplayLogWire, SaveLoadRoundTrip) {
+  const std::uint32_t n = 4;
+  SimRecording recording = record_sim_ring(n);
+  const std::string path =
+      testing::TempDir() + "replay_roundtrip_" +
+      std::to_string(::getpid()) + ".log";
+  ASSERT_TRUE(recording.log.save(path).ok());
+  auto loaded = ReplayLog::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+  EXPECT_EQ(loaded.value().encode(), recording.log.encode());
+  std::remove(path.c_str());
+}
+
+TEST(ReplaySession, LoadRunBackCut) {
+  // Record with the named-workload factory so the handler can rebuild the
+  // exact processes from the header alone.
+  const std::uint32_t n = 4;
+  auto built = make_named_workload("ring", n);
+  ASSERT_TRUE(built.ok());
+
+  ReplayLogHeader header = ring_header(n, "sim", 3);
+  header.workload = "ring";
+  auto recorder = std::make_shared<ReplayRecorder>(header);
+  HarnessConfig config;
+  config.seed = 3;
+  config.latency = std::make_unique<ConstantLatency>(Duration::millis(2));
+  config.replay = recorder;
+  SimDebugHarness harness(built.value().topology,
+                          std::move(built.value().processes),
+                          std::move(config));
+  recorder->set_metrics(&harness.sim().metrics());
+  Simulation& sim = harness.sim();
+  for (int wave = 0; wave < 2; ++wave) {
+    sim.run_until(sim.now() + Duration::millis(15));
+    harness.session().halt();
+    ASSERT_TRUE(harness.session().wait_for_halt(kWait).has_value());
+    harness.session().resume(kWait);
+  }
+
+  const std::string path = testing::TempDir() + "replay_session_" +
+                           std::to_string(::getpid()) + ".log";
+  ASSERT_TRUE(recorder->save(path).ok());
+
+  ReplayCommandHandler handler;
+  auto precondition = handler.handle("run");
+  ASSERT_FALSE(precondition.ok());
+  EXPECT_EQ(precondition.error().code(), ErrorCode::kFailedPrecondition);
+
+  auto loaded = handler.handle("load " + path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+  EXPECT_NE(loaded.value().find("loaded"), std::string::npos);
+
+  auto run = handler.handle("run");
+  ASSERT_TRUE(run.ok()) << run.error().message();
+  EXPECT_NE(run.value().find("cuts_matched=2/2"), std::string::npos)
+      << run.value();
+  EXPECT_NE(run.value().find("divergences=0"), std::string::npos);
+
+  // Reverse-continue: back -> cut 2, back -> cut 1, back -> error.
+  auto back = handler.handle("back");
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  EXPECT_NE(back.value().find("time-traveled to cut 2/2"), std::string::npos)
+      << back.value();
+  auto back2 = handler.handle("back");
+  ASSERT_TRUE(back2.ok()) << back2.error().message();
+  EXPECT_NE(back2.value().find("time-traveled to cut 1/2"),
+            std::string::npos);
+  auto back3 = handler.handle("back");
+  ASSERT_FALSE(back3.ok());
+  EXPECT_EQ(back3.error().code(), ErrorCode::kFailedPrecondition);
+
+  auto cut = handler.handle("cut 2");
+  ASSERT_TRUE(cut.ok()) << cut.error().message();
+  EXPECT_NE(cut.value().find("time-traveled to cut 2/2"), std::string::npos);
+
+  auto status = handler.handle("status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status.value().find("halted at cut 2/2"), std::string::npos);
+
+  auto bogus = handler.handle("cut 9");
+  EXPECT_FALSE(bogus.ok());
+  EXPECT_FALSE(handler.handle("frobnicate").ok());
+  std::remove(path.c_str());
+}
+
+// The replay metrics block is kept by both sides: the recorder counts what
+// it logs, the driver counts what it re-executes.
+TEST(ReplayMetrics, RecorderAndDriverKeepTheReplayBlock) {
+  const std::uint32_t n = 4;
+  auto recorder = std::make_shared<ReplayRecorder>(ring_header(n, "sim", 11));
+  HarnessConfig config;
+  config.seed = 11;
+  config.latency = std::make_unique<ConstantLatency>(Duration::millis(2));
+  config.replay = recorder;
+  SimDebugHarness harness(Topology::ring(n), make_token_ring(n, ring_config(6)),
+                          std::move(config));
+  recorder->set_metrics(&harness.sim().metrics());
+  Simulation& sim = harness.sim();
+  sim.run_until(sim.now() + Duration::millis(15));
+  harness.session().halt();
+  ASSERT_TRUE(harness.session().wait_for_halt(kWait).has_value());
+  harness.session().resume(kWait);
+  sim.run_until_quiescent();
+
+  const auto recorded = harness.sim().metrics().snapshot();
+  const ReplayLog log = recorder->log();
+  EXPECT_EQ(recorded.replay.records_logged, log.records.size());
+  EXPECT_EQ(recorded.replay.deliveries_logged, log.deliveries());
+  EXPECT_EQ(recorded.replay.timer_sets_logged, log.timer_sets());
+  EXPECT_EQ(recorded.replay.timer_fires_logged, log.timer_fires());
+  EXPECT_EQ(recorded.replay.cuts_logged, log.halt_cuts());
+  EXPECT_EQ(recorded.replay.deliveries_replayed, 0u);
+
+  ReplayDriver driver(log, Topology::ring(n),
+                      make_token_ring(n, ring_config(6)));
+  ReplayDriver::Report report = driver.run();
+  ASSERT_TRUE(report.ok()) << report.error;
+  const auto replayed = driver.harness().sim().metrics().snapshot();
+  EXPECT_EQ(replayed.replay.deliveries_replayed, log.deliveries());
+  EXPECT_EQ(replayed.replay.timers_replayed, log.timer_fires());
+  EXPECT_EQ(replayed.replay.cuts_replayed, log.halt_cuts());
+  EXPECT_EQ(replayed.replay.divergences, 0u);
+  EXPECT_EQ(replayed.replay.records_logged, 0u);  // replays never re-record
+}
+
+}  // namespace
+}  // namespace ddbg

@@ -8,7 +8,15 @@
 #include <thread>
 #include <vector>
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
 #include "debugger/harness.hpp"
+#include "debugger/port_file.hpp"
 #include "debugger/session_client.hpp"
 #include "debugger/session_protocol.hpp"
 #include "debugger/session_repl.hpp"
@@ -516,6 +524,121 @@ TEST(SessionServerTcp, DisconnectMidHaltHandsOffToSurvivor) {
   const auto snap = target.harness.tcp().metrics().snapshot();
   EXPECT_EQ(snap.session.halts_handed_off, 1u);
   EXPECT_EQ(snap.session.halts_released, 0u);
+}
+
+// -- Port files: the target -> client rendezvous (debugger/port_file) ------
+//
+// Regression suite for the stale-port race: a port file left behind by a
+// dead target used to make the client dial a recycled port.  The fixed
+// scheme writes atomically (tmp + rename) and names the server PID so the
+// reader can reject entries whose server is gone.
+
+namespace {
+
+std::string port_file_path(const char* tag) {
+  return testing::TempDir() + "ddbg_port_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+}  // namespace
+
+TEST(PortFile, WriteReadRoundTripCarriesLivePid) {
+  const std::string path = port_file_path("roundtrip");
+  ASSERT_TRUE(write_port_file(path, 41233).ok());
+  auto entry = read_port_file(path);
+  ASSERT_TRUE(entry.ok()) << entry.error().message();
+  EXPECT_EQ(entry.value().port, 41233);
+  EXPECT_EQ(entry.value().pid, static_cast<std::int64_t>(::getpid()));
+  // The atomic write must not leave its temporary behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(PortFile, StaleEntryFromDeadServerIsRejected) {
+  // A freshly reaped child is a guaranteed-dead PID that was just alive —
+  // exactly what a crashed ddbg_target leaves in its port file.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_FALSE(process_alive(child));
+
+  const std::string path = port_file_path("stale");
+  {
+    std::ofstream out(path);
+    out << "DDBG_CONTROL_PORT=41233\n"
+        << "DDBG_SERVER_PID=" << child << "\n";
+  }
+  auto entry = read_port_file(path);
+  ASSERT_FALSE(entry.ok());
+  EXPECT_EQ(entry.error().code(), ErrorCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(PortFile, LegacyBarePortFileStillAccepted) {
+  const std::string path = port_file_path("legacy");
+  {
+    std::ofstream out(path);
+    out << "41233\n";
+  }
+  auto entry = read_port_file(path);
+  ASSERT_TRUE(entry.ok()) << entry.error().message();
+  EXPECT_EQ(entry.value().port, 41233);
+  EXPECT_EQ(entry.value().pid, 0);  // no PID, no liveness check
+  std::remove(path.c_str());
+}
+
+TEST(PortFile, MissingAndEmptyFilesReadAsNotReady) {
+  auto missing = read_port_file(port_file_path("missing"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
+
+  const std::string path = port_file_path("empty");
+  { std::ofstream out(path); }
+  auto empty = read_port_file(path);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code(), ErrorCode::kNotFound);
+
+  // A PID with no port is also "not ready yet", not a dialable entry.
+  {
+    std::ofstream out(path);
+    out << "DDBG_SERVER_PID=" << ::getpid() << "\n";
+  }
+  auto pid_only = read_port_file(path);
+  ASSERT_FALSE(pid_only.ok());
+  EXPECT_EQ(pid_only.error().code(), ErrorCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(PortFile, MalformedEntriesAreParseErrors) {
+  const std::string path = port_file_path("malformed");
+  for (const char* content :
+       {"DDBG_CONTROL_PORT=banana\n", "DDBG_CONTROL_PORT=99999999\n",
+        "DDBG_SERVER_PID=banana\nDDBG_CONTROL_PORT=41233\n",
+        "not a port file\n"}) {
+    {
+      std::ofstream out(path);
+      out << content;
+    }
+    auto entry = read_port_file(path);
+    ASSERT_FALSE(entry.ok()) << content;
+    EXPECT_EQ(entry.error().code(), ErrorCode::kParseError) << content;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PortFile, RewriteReplacesEntryAtomically) {
+  // A target restarting on the same path must atomically supersede its old
+  // entry; the reader sees either the old complete entry or the new one.
+  const std::string path = port_file_path("rewrite");
+  ASSERT_TRUE(write_port_file(path, 1111).ok());
+  ASSERT_TRUE(write_port_file(path, 2222).ok());
+  auto entry = read_port_file(path);
+  ASSERT_TRUE(entry.ok()) << entry.error().message();
+  EXPECT_EQ(entry.value().port, 2222);
+  std::remove(path.c_str());
 }
 
 }  // namespace

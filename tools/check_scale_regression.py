@@ -17,17 +17,28 @@ threshold (default 25%) is reported.  Exits non-zero on regressions unless
 that absorbs shared-runner noise while still catching order-of-magnitude
 slowdowns.
 
+A baseline at or near zero (a run too fast for the wall-clock's
+resolution, or a placeholder row) cannot anchor a ratio: any measurable
+current time would divide into a spurious infinite regression.  Such
+labels are skipped with a warning instead of being compared.
+
 Usage:  tools/check_scale_regression.py baseline.json current.json
             [--threshold 0.25] [--warn-only]
+        tools/check_scale_regression.py --self-test
 Stdlib only.
 """
 import argparse
 import json
 import re
 import sys
+import tempfile
 
 WALL_RE = re.compile(r"wall_ms=([0-9.]+)")
 VOLATILE_RE = re.compile(r"\s*(?:wall_ms|speedup|msgs_per_sec)=[0-9.]+")
+
+# Baselines at or below this are unusable as a ratio denominator: 0.05 ms
+# is the scale of timer resolution plus print formatting truncation.
+MIN_BASELINE_MS = 0.05
 
 
 def load_walls(path):
@@ -46,42 +57,115 @@ def load_walls(path):
     return walls
 
 
+def compare(base, cur, threshold, out=sys.stdout, err=sys.stderr):
+    """Compare label->wall_ms maps; returns (regressions, compared, skipped)."""
+    regressions = 0
+    compared = 0
+    skipped = 0
+    for key in sorted(set(base) & set(cur)):
+        if base[key] <= MIN_BASELINE_MS:
+            skipped += 1
+            print(f"{key}: baseline {base[key]:.2f} ms is at/below the "
+                  f"{MIN_BASELINE_MS} ms resolution floor -- skipped "
+                  "(cannot anchor a ratio)", file=out)
+            continue
+        compared += 1
+        ratio = cur[key] / base[key]
+        flag = ""
+        if ratio > 1.0 + threshold:
+            regressions += 1
+            flag = f"  <-- REGRESSION (>{threshold:.0%} slower)"
+        print(f"{key}: baseline {base[key]:.2f} ms, "
+              f"current {cur[key]:.2f} ms ({ratio:.2f}x){flag}", file=out)
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key}: no baseline (new configuration)", file=out)
+    return regressions, compared, skipped
+
+
+def self_test():
+    """Unit checks for the comparison logic, runnable in CI with no bench
+    artifacts: zero and near-zero baselines must be skipped (not divided
+    by), real regressions must still be flagged, and the envelope loader
+    must strip volatile fields."""
+    import io
+
+    sink = io.StringIO()
+
+    # Zero / near-zero baselines: skipped, never a ZeroDivisionError or a
+    # spurious infinite regression.
+    regressions, compared, skipped = compare(
+        {"a": 0.0, "b": 0.04, "c": 10.0}, {"a": 5.0, "b": 5.0, "c": 10.5},
+        threshold=0.25, out=sink)
+    assert regressions == 0, f"spurious regression: {sink.getvalue()}"
+    assert compared == 1 and skipped == 2, (compared, skipped)
+
+    # A real regression on a healthy baseline is still caught.
+    regressions, compared, skipped = compare(
+        {"c": 10.0}, {"c": 20.0}, threshold=0.25, out=sink)
+    assert regressions == 1 and compared == 1 and skipped == 0
+
+    # At the floor exactly: skipped (<=, not <).
+    regressions, compared, skipped = compare(
+        {"d": MIN_BASELINE_MS}, {"d": 100.0}, threshold=0.25, out=sink)
+    assert regressions == 0 and skipped == 1
+
+    # Loader: volatile fields are stripped from the matching key and the
+    # wall time is extracted.
+    doc = {
+        "schema": "ddbg.bench.metrics.v1",
+        "bench": "self_test",
+        "runs": [
+            {"label": "tree n=256 seq wall_ms=41.03", "metrics": {}},
+            {"label": "incast n=8 wall_ms=35.5 msgs_per_sec=1803726",
+             "metrics": {}},
+            {"label": "no wall time here", "metrics": {}},
+        ],
+    }
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+        json.dump(doc, f)
+        f.flush()
+        walls = load_walls(f.name)
+    assert walls == {"tree n=256 seq": 41.03, "incast n=8": 35.5}, walls
+
+    print("self-test ok")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="bench_scale wall-clock regression check")
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional slowdown (default 0.25)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit zero")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in unit checks and exit")
     args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required unless --self-test")
 
     base = load_walls(args.baseline)
     cur = load_walls(args.current)
-    shared = sorted(set(base) & set(cur))
-    if not shared:
+    if not set(base) & set(cur):
         print("check_scale_regression: no common labels between "
               f"{args.baseline} and {args.current}", file=sys.stderr)
         return 0 if args.warn_only else 1
 
-    regressions = 0
-    for key in shared:
-        ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
-        flag = ""
-        if ratio > 1.0 + args.threshold:
-            regressions += 1
-            flag = f"  <-- REGRESSION (>{args.threshold:.0%} slower)"
-        print(f"{key}: baseline {base[key]:.2f} ms, "
-              f"current {cur[key]:.2f} ms ({ratio:.2f}x){flag}")
-    for key in sorted(set(cur) - set(base)):
-        print(f"{key}: no baseline (new configuration)")
-
+    regressions, compared, skipped = compare(base, cur, args.threshold)
+    if skipped:
+        print(f"warning: {skipped} label(s) skipped on a near-zero baseline",
+              file=sys.stderr)
     if regressions:
         print(f"{regressions} regression(s) beyond "
               f"{args.threshold:.0%} of baseline", file=sys.stderr)
         return 0 if args.warn_only else 1
-    print(f"ok: {len(shared)} labels within {args.threshold:.0%} of baseline")
+    print(f"ok: {compared} labels within {args.threshold:.0%} of baseline"
+          + (f" ({skipped} skipped)" if skipped else ""))
     return 0
 
 

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "debugger/port_file.hpp"
 #include "debugger/session_client.hpp"
 #include "debugger/session_repl.hpp"
 
@@ -45,16 +46,6 @@ int usage(const char* argv0) {
                "          [--assert SUBSTRING]... [--connect-retry SECONDS]\n",
                argv0);
   return 2;
-}
-
-// ddbg_target writes the bare port; also accept "DDBG_CONTROL_PORT=...".
-int read_port_file(const std::string& path) {
-  std::ifstream in(path);
-  std::string line;
-  if (!std::getline(in, line)) return 0;
-  const auto eq = line.find('=');
-  if (eq != std::string::npos) line = line.substr(eq + 1);
-  return std::atoi(line.c_str());
 }
 
 }  // namespace
@@ -103,8 +94,15 @@ int main(int argc, char** argv) {
   while (true) {
     int port = opt.port;
     if (port == 0 && !opt.port_file.empty()) {
-      port = read_port_file(opt.port_file);
-      if (port == 0) last_error = "port file not ready: " + opt.port_file;
+      // read_port_file rejects torn, malformed and stale entries (a file
+      // whose recorded server PID is dead) — all of them read as "not
+      // ready" and we keep polling until the retry deadline.
+      auto entry = read_port_file(opt.port_file);
+      if (entry.ok()) {
+        port = entry.value().port;
+      } else {
+        last_error = entry.error().message();
+      }
     }
     if (port != 0) {
       auto status = client.connect(static_cast<std::uint16_t>(port));

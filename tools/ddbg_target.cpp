@@ -3,13 +3,22 @@
 //
 //   ddbg_target --workload ring --n 6 --port-file /tmp/port
 //               --run-for 60 --stop-file /tmp/stop --metrics-out m.json
+//               --record /tmp/rec --chaos "drop=0.02,delay=0.05"
 //
 // Prints "DDBG_CONTROL_PORT=<port>" on stdout once the listener is live
-// (and writes the bare port number to --port-file, atomically enough for a
-// shell `until [ -s file ]` loop).  Runs until --run-for elapses or
-// --stop-file appears, then tears down and writes the final
-// ddbg.metrics.v1 snapshot (wrapped in the bench envelope
+// (and publishes port + PID to --port-file atomically — see
+// debugger/port_file.hpp for the stale-entry handling).  Runs until
+// --run-for elapses or --stop-file appears, then tears down and writes the
+// final ddbg.metrics.v1 snapshot (wrapped in the bench envelope
 // tools/validate_metrics.py checks) to --metrics-out.
+//
+// --record DIR attaches a ReplayRecorder to the whole stack and writes
+// DIR/replay.log at shutdown; a `replay load DIR/replay.log` + `replay
+// run` in any attached ddbg session (or tools/replay_run) then re-executes
+// the run deterministically in the simulator.  --chaos SPEC runs the
+// workload under a fault plan (net/fault_plan.hpp spec syntax) — with
+// --record, the fault draws are logged as annotations and the replay is
+// the fault-free equivalent run.
 //
 // Workloads:
 //   ring       token ring (default) — lively, deadlock-free
@@ -20,13 +29,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "debugger/harness.hpp"
+#include "debugger/port_file.hpp"
 #include "debugger/session_server.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replay_session.hpp"
 #include "workload/behaviors.hpp"
 #include "workload/resources.hpp"
 
@@ -42,6 +56,9 @@ struct Options {
   std::string port_file;
   std::string stop_file;
   std::string metrics_out;
+  std::string record_dir;
+  std::string chaos;
+  std::uint64_t seed = 1;
 };
 
 int usage(const char* argv0) {
@@ -49,7 +66,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--workload ring|gossip|resources] [--n N] [--fanout K]\n"
       "          [--run-for SECONDS] [--port-file PATH] [--stop-file PATH]\n"
-      "          [--metrics-out PATH]\n",
+      "          [--metrics-out PATH] [--record DIR] [--chaos SPEC]\n"
+      "          [--seed S]\n",
       argv0);
   return 2;
 }
@@ -96,6 +114,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       opt.metrics_out = v;
+    } else if (arg == "--record") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.record_dir = v;
+    } else if (arg == "--chaos") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.chaos = v;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
     } else {
       return usage(argv[0]);
     }
@@ -105,34 +135,49 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Topology topology = Topology::ring(opt.n);
-  std::vector<ProcessPtr> processes;
-  if (opt.workload == "ring") {
-    TokenRingConfig config;
-    config.rounds = 1'000'000;  // effectively: until shutdown
-    config.hop_delay = Duration::millis(1);
-    processes = make_token_ring(opt.n, config);
-  } else if (opt.workload == "gossip") {
-    GossipConfig config;
-    config.send_interval = Duration::millis(1);
-    processes = make_gossip(opt.n, config);
-  } else if (opt.workload == "resources") {
-    topology = resource_ring_topology(opt.n);
-    ResourceRingConfig config;
-    // Hold own resource well past thread-startup skew before requesting
-    // the neighbor's, so the greedy ring closes its circular wait on the
-    // first acquisition cycle even on the real network.
-    config.acquire_delay = Duration::millis(50);
-    processes = make_resource_ring(opt.n, config);
-  } else {
-    std::fprintf(stderr, "ddbg_target: unknown workload '%s'\n",
-                 opt.workload.c_str());
+  // One factory for record and replay (replay/replay_session.hpp): the
+  // processes a later `replay run` builds are these exact behaviors.  The
+  // resources workload's acquire_delay is tuned to close the circular wait
+  // past thread-startup skew even on the real network.
+  auto built = make_named_workload(opt.workload, opt.n);
+  if (!built.ok()) {
+    std::fprintf(stderr, "ddbg_target: %s\n",
+                 built.error().message().c_str());
     return 2;
   }
+  Topology topology = std::move(built.value().topology);
+  std::vector<ProcessPtr> processes = std::move(built.value().processes);
 
   HarnessConfig hcfg;
+  hcfg.seed = opt.seed;
   hcfg.debugger_fanout = opt.fanout;
+  if (!opt.chaos.empty()) {
+    auto plan = FaultPlan::parse(opt.chaos, opt.seed);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "ddbg_target: bad --chaos spec: %s\n",
+                   plan.error().message().c_str());
+      return 2;
+    }
+    hcfg.faults = std::make_shared<FaultPlan>(std::move(plan).value());
+  }
+  std::shared_ptr<ReplayRecorder> recorder;
+  if (!opt.record_dir.empty()) {
+    ReplayLogHeader header;
+    header.seed = opt.seed;
+    header.substrate = "tcp";
+    header.workload = opt.workload;
+    header.num_user_processes = opt.n;
+    header.debugger_fanout = opt.fanout;
+    header.num_channels = static_cast<std::uint32_t>(
+        (opt.fanout == 0 ? topology.with_debugger()
+                         : topology.with_debugger_tree(opt.fanout))
+            .num_channels());
+    header.fault_spec = opt.chaos;
+    recorder = std::make_shared<ReplayRecorder>(header);
+    hcfg.replay = recorder;
+  }
   TcpDebugHarness harness(topology, std::move(processes), std::move(hcfg));
+  if (recorder != nullptr) recorder->set_metrics(&harness.tcp().metrics());
 
   TcpHost host(harness.tcp());
   SessionServerConfig scfg;
@@ -142,6 +187,11 @@ int main(int argc, char** argv) {
   server.set_metrics_json_source([&harness] {
     return harness.tcp().metrics().snapshot(harness.tcp().now()).to_json();
   });
+  // The live server answers `replay ...` commands itself: sessions can load
+  // the log of a *previous* recorded run (or, after shutdown, this one) and
+  // time-travel through it in a private simulation.
+  ReplayCommandHandler replay_handler;
+  server.set_replay_handler(replay_handler.bound());
   harness.tcp().set_control_acceptor(server.acceptor());
 
   if (!harness.start()) {
@@ -152,8 +202,13 @@ int main(int argc, char** argv) {
   std::printf("DDBG_CONTROL_PORT=%u\n", port);
   std::fflush(stdout);
   if (!opt.port_file.empty()) {
-    std::ofstream out(opt.port_file);
-    out << port << "\n";
+    // Atomic publish (tmp + rename) with our PID so a client never dials a
+    // torn entry or a port left behind by a dead target.
+    auto status = write_port_file(opt.port_file, port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ddbg_target: %s\n",
+                   status.error().message().c_str());
+    }
   }
 
   const auto deadline = std::chrono::steady_clock::now() +
@@ -166,6 +221,18 @@ int main(int argc, char** argv) {
   // Order matters: the server must release its sessions (and any held
   // halt) while the runtime can still run the resume commands.
   server.stop();
+  if (recorder != nullptr) {
+    const std::string log_path =
+        opt.record_dir + "/" + kReplayLogFileName;
+    auto saved = recorder->save(log_path);
+    if (saved.ok()) {
+      std::printf("ddbg_target: wrote %s (%zu records)\n", log_path.c_str(),
+                  recorder->records());
+    } else {
+      std::fprintf(stderr, "ddbg_target: %s\n",
+                   saved.error().message().c_str());
+    }
+  }
   const std::string metrics_json =
       harness.tcp().metrics().snapshot(harness.tcp().now()).to_json();
   harness.shutdown();

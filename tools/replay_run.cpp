@@ -1,0 +1,149 @@
+// replay_run: re-execute a recorded replay log in the simulator.
+//
+//   replay_run --log rec/replay.log --runs 2
+//              --report-out report.txt --metrics-out metrics.json
+//              [--cut K]
+//
+// Loads the log, rebuilds the recorded named workload
+// (replay/replay_session.hpp) and replays it --runs times (default 2),
+// asserting that every run produces byte-identical reports and metrics —
+// the determinism claim CI pins.  The first run's report and metrics are
+// written to the requested files; the metrics JSON is wrapped in the bench
+// envelope tools/validate_metrics.py checks.
+//
+// Exit codes (stable, asserted by CI):
+//   0  replay complete, all runs byte-identical, every cut matched
+//   1  replay diverged (cut mismatch, missing input, divergent hash)
+//   2  usage / unreadable log
+//   3  runs were not byte-identical (replay nondeterminism)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "replay/replay_driver.hpp"
+#include "replay/replay_session.hpp"
+
+using namespace ddbg;
+
+namespace {
+
+struct Options {
+  std::string log_path;
+  std::string report_out;
+  std::string metrics_out;
+  std::uint64_t cut = 0;  // 0 = full replay
+  int runs = 2;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --log PATH [--runs N] [--cut K]\n"
+               "          [--report-out PATH] [--metrics-out PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--log") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.log_path = v;
+    } else if (arg == "--report-out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.report_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.metrics_out = v;
+    } else if (arg == "--cut") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.cut = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--runs") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.runs = std::atoi(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.log_path.empty() || opt.runs < 1) return usage(argv[0]);
+
+  auto log = ReplayLog::load(opt.log_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "replay_run: %s\n",
+                 log.error().message().c_str());
+    return 2;
+  }
+  std::printf("%s\n", log.value().describe().c_str());
+
+  std::vector<ReplayDriver::Report> reports;
+  for (int run = 0; run < opt.runs; ++run) {
+    auto built = make_named_workload(log.value().header.workload,
+                                     log.value().header.num_user_processes);
+    if (!built.ok()) {
+      std::fprintf(stderr, "replay_run: %s\n",
+                   built.error().message().c_str());
+      return 2;
+    }
+    ReplayDriver::Options options;
+    options.stop_after_cut = opt.cut;
+    ReplayDriver driver(log.value(), built.value().topology,
+                        std::move(built.value().processes), options);
+    reports.push_back(driver.run());
+    std::printf("--- run %d ---\n%s", run + 1,
+                reports.back().describe().c_str());
+  }
+
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    if (reports[i].describe() != reports[0].describe() ||
+        reports[i].metrics_json != reports[0].metrics_json) {
+      std::fprintf(stderr,
+                   "replay_run: run %zu is not byte-identical to run 1 — "
+                   "replay nondeterminism\n",
+                   i + 1);
+      return 3;
+    }
+  }
+
+  const ReplayDriver::Report& report = reports.front();
+  if (!opt.report_out.empty()) {
+    std::ofstream out(opt.report_out, std::ios::trunc);
+    out << report.describe();
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out, std::ios::trunc);
+    out << "{\"schema\":\"ddbg.bench.metrics.v1\",\"bench\":\"replay_run\","
+        << "\"runs\":[{\"label\":\"replay_"
+        << log.value().header.workload << "_n"
+        << log.value().header.num_user_processes
+        << "\",\"metrics\":" << report.metrics_json << "}]}\n";
+  }
+
+  if (!report.ok() || report.cuts_matched != report.cuts ||
+      report.divergences != 0) {
+    std::fprintf(stderr, "replay_run: replay diverged\n%s",
+                 report.describe().c_str());
+    return 1;
+  }
+  std::printf("replay_run: %d run(s) byte-identical, %llu/%llu cuts "
+              "matched, 0 divergences\n",
+              opt.runs,
+              static_cast<unsigned long long>(report.cuts_matched),
+              static_cast<unsigned long long>(report.cuts));
+  return 0;
+}

@@ -30,6 +30,14 @@ SESSION_KEYS = {
     "opened", "closed", "active_peak", "requests", "request_errors",
     "halts_handed_off", "halts_released",
 }
+REPLAY_LOGGED_KEYS = [
+    "deliveries_logged", "timer_sets_logged", "timer_fires_logged",
+    "cuts_logged", "annotations_logged",
+]
+REPLAY_KEYS = set(REPLAY_LOGGED_KEYS) | {
+    "records_logged", "log_bytes", "deliveries_replayed", "timers_replayed",
+    "cuts_replayed", "divergences",
+}
 RUNTIMES = {"sim", "threads", "tcp"}
 
 
@@ -196,6 +204,26 @@ def check_snapshot(snap, where):
            f"{where}.session: halt teardown outcomes exceed closed sessions")
     expect(session["requests"] == 0 or session["opened"] > 0,
            f"{where}.session: requests without any session")
+
+    replay = snap.get("replay")
+    expect(isinstance(replay, dict) and set(replay) == REPLAY_KEYS,
+           f"{where}: replay keys "
+           f"{sorted(replay) if isinstance(replay, dict) else replay} != "
+           f"{sorted(REPLAY_KEYS)}")
+    for key, value in replay.items():
+        expect(isinstance(value, int) and value >= 0,
+               f"{where}.replay: {key} not a non-negative int")
+    # records_logged is derived, never counted: it must equal the sum of
+    # the per-kind logged counters exactly.
+    expect(replay["records_logged"] ==
+           sum(replay[k] for k in REPLAY_LOGGED_KEYS),
+           f"{where}.replay: records_logged != sum of per-kind counters")
+    # A recording and a replay never share a registry: the recorded run
+    # logs, the replaying simulation replays.
+    expect(replay["records_logged"] == 0 or
+           replay["deliveries_replayed"] + replay["timers_replayed"] +
+           replay["cuts_replayed"] == 0,
+           f"{where}.replay: one registry both logged and replayed records")
 
     processes = snap.get("processes")
     expect(isinstance(processes, list), f"{where}: missing processes")
